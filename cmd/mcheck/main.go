@@ -1,0 +1,199 @@
+// mcheck is the xg++ analogue: it applies metal checkers (and the
+// built-in FLASH suite) to protocol-C sources.
+//
+// Usage:
+//
+//	mcheck [-I dir]... [-checker file.metal]... [-flash] file.c...
+//	mcheck -emit summaries.json file.c...     (local pass, paper §3.2)
+//	mcheck -link summaries.json...            (global lane pass, §7)
+//
+// With -flash the built-in eight-checker FLASH suite runs using the
+// naming-convention protocol spec (h_* hardware handlers, sw_*
+// software handlers). Each -checker flag compiles and runs one metal
+// program. Diagnostics print one per line as file:line:col: message.
+//
+// -emit/-link reproduce the paper's file-based inter-procedural
+// workflow: the local pass annotates each send with its lane and
+// writes per-function flow graphs; the link pass merges any number of
+// summary files into a whole-protocol call graph and runs the lane
+// quota traversal (with default allowance 1/1/1/1 per handler).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/checkers"
+	"flashmc/internal/core"
+	"flashmc/internal/engine"
+	"flashmc/internal/flash"
+	"flashmc/internal/global"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var includes, checkerFiles stringList
+	flag.Var(&includes, "I", "include search directory (repeatable)")
+	flag.Var(&checkerFiles, "checker", "metal checker source file (repeatable)")
+	flashSuite := flag.Bool("flash", false, "run the built-in FLASH checker suite")
+	verbose := flag.Bool("v", false, "print per-checker summaries")
+	emit := flag.String("emit", "", "local pass: write annotated flow-graph summaries to this file")
+	link := flag.Bool("link", false, "global pass: arguments are summary files; run the lane checker")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "mcheck: no input files")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *link {
+		os.Exit(linkPass(files))
+	}
+
+	prog, err := core.Load("mcheck", cpp.Layered(cpp.OSSource{}, flash.HeaderSource()), files, includes...)
+	if err != nil {
+		fail("load: %v", err)
+	}
+	for _, e := range prog.ParseErrors {
+		fmt.Fprintf(os.Stderr, "mcheck: %v\n", e)
+	}
+	if len(prog.ParseErrors) > 0 {
+		os.Exit(1)
+	}
+
+	if *emit != "" {
+		out, err := os.Create(*emit)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer out.Close()
+		if err := global.Write(out, checkers.Summarize(prog)); err != nil {
+			fail("emit: %v", err)
+		}
+		fmt.Printf("emitted %d function summaries to %s\n", len(prog.Fns), *emit)
+		return
+	}
+
+	var reports []engine.Report
+
+	for _, cf := range checkerFiles {
+		src, err := os.ReadFile(cf)
+		if err != nil {
+			fail("%v", err)
+		}
+		mp, err := prog.CompileChecker(string(src))
+		if err != nil {
+			fail("%s: %v", cf, err)
+		}
+		rs := prog.RunSM(mp.SM)
+		if *verbose {
+			fmt.Printf("checker %s (%d lines): %d reports\n", mp.Name, mp.LOC, len(rs))
+		}
+		reports = append(reports, rs...)
+	}
+
+	if *flashSuite {
+		spec := conventionSpec(prog)
+		for _, chk := range checkers.All() {
+			rs := chk.Check(prog, spec)
+			if *verbose {
+				fmt.Printf("checker %s (%d lines): %d reports\n", chk.Name(), chk.LOC(), len(rs))
+			}
+			reports = append(reports, rs...)
+		}
+	}
+
+	sort.Slice(reports, func(i, j int) bool {
+		a, b := reports[i], reports[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	for _, r := range reports {
+		fmt.Printf("%s: [%s] %s\n", r.Pos, r.SM, r.Msg)
+	}
+	if len(reports) > 0 {
+		os.Exit(1)
+	}
+}
+
+// conventionSpec derives a protocol spec from naming conventions, for
+// checking code without an explicit specification.
+func conventionSpec(prog *core.Program) *flash.Spec {
+	spec := &flash.Spec{
+		Protocol:        "cli",
+		Allowance:       map[string]flash.LaneVector{},
+		NoStack:         map[string]bool{},
+		BufferFreeFns:   map[string]bool{},
+		BufferUseFns:    map[string]bool{},
+		CondFreeFns:     map[string]bool{},
+		DirWritebackFns: map[string]bool{},
+	}
+	for _, fn := range prog.Fns {
+		switch flash.ClassifyName(fn.Name) {
+		case flash.HardwareHandler:
+			spec.Hardware = append(spec.Hardware, fn.Name)
+		case flash.SoftwareHandler:
+			spec.Software = append(spec.Software, fn.Name)
+		}
+	}
+	return spec
+}
+
+// linkPass merges summary files and runs the global lane traversal.
+func linkPass(files []string) int {
+	var sums []*global.Summary
+	for _, f := range files {
+		r, err := os.Open(f)
+		if err != nil {
+			fail("%v", err)
+		}
+		s, err := global.Read(r)
+		r.Close()
+		if err != nil {
+			fail("%s: %v", f, err)
+		}
+		sums = append(sums, s...)
+	}
+	prog, errs := global.Link(sums)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "mcheck: link: %v\n", e)
+	}
+	spec := &flash.Spec{Protocol: "cli", Allowance: map[string]flash.LaneVector{}}
+	for fn := range prog.Funcs {
+		switch flash.ClassifyName(fn) {
+		case flash.HardwareHandler:
+			spec.Hardware = append(spec.Hardware, fn)
+		case flash.SoftwareHandler:
+			spec.Software = append(spec.Software, fn)
+		}
+	}
+	sort.Strings(spec.Hardware)
+	sort.Strings(spec.Software)
+	reports := checkers.CheckLanes(prog, spec)
+	for _, r := range reports {
+		fmt.Printf("%s: [lanes] %s\n", r.Pos, r.Msg)
+	}
+	fmt.Printf("linked %d functions, %d handlers, %d report(s)\n",
+		len(prog.Funcs), len(spec.Hardware)+len(spec.Software), len(reports))
+	if len(reports) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// metalc compiles metal checker programs and dumps their structure —
+// a development aid for checker authors (the paper's users are system
+// implementors writing their own extensions).
+//
+// Usage:
+//
+//	metalc [-I dir]... checker.metal...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/flash"
+	"flashmc/internal/metal"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var includes stringList
+	flag.Var(&includes, "I", "include search directory (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "metalc: no input files")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metalc: %v\n", err)
+			exit = 1
+			continue
+		}
+		prog, err := metal.Compile(string(src), metal.Options{
+			Include:     cpp.Layered(cpp.OSSource{}, flash.HeaderSource()),
+			IncludeDirs: includes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metalc: %s: %v\n", file, err)
+			exit = 1
+			continue
+		}
+		dump(file, prog)
+	}
+	os.Exit(exit)
+}
+
+func dump(file string, prog *metal.Program) {
+	fmt.Printf("%s: sm %s (%d source lines)\n", file, prog.Name, prog.LOC)
+	if len(prog.Decls) > 0 {
+		fmt.Printf("  wildcards:\n")
+		for name, c := range prog.Decls {
+			fmt.Printf("    %-12s %s\n", name, c)
+		}
+	}
+	if len(prog.TrackVars) > 0 {
+		fmt.Printf("  tracked: %s\n", strings.Join(prog.TrackVars, ", "))
+	}
+	if len(prog.PatternNames) > 0 {
+		fmt.Printf("  named patterns: %s\n", strings.Join(prog.PatternNames, ", "))
+	}
+	fmt.Printf("  start state: %s\n", prog.SM.Start)
+	if len(prog.SM.Cond) > 0 {
+		fmt.Printf("  cond rules: %d\n", len(prog.SM.Cond))
+	}
+	fmt.Printf("  rules:\n")
+	for _, r := range prog.SM.Rules {
+		target := r.Target
+		if target == "" {
+			target = "(stay)"
+		}
+		action := ""
+		if r.Action != nil {
+			action = " +action"
+		}
+		fmt.Printf("    %-14s %d pattern(s) ==> %s%s\n", r.State+":", len(r.Patterns), target, action)
+	}
+}

@@ -1,0 +1,102 @@
+// paperbench regenerates every table of the paper's evaluation and
+// prints paper-vs-measured rows, plus the static-vs-dynamic experiment
+// motivating the work.
+//
+// Usage:
+//
+//	paperbench [-seed N] [-trials N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashmc/internal/flash"
+	"flashmc/internal/flashgen"
+	"flashmc/internal/paper"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "corpus seed")
+	trials := flag.Int("trials", 120, "dynamic-testing trials per handler")
+	flag.Parse()
+
+	c, err := paper.LoadCorpus(flashgen.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== Table 1: protocol size (paper vs measured) ===")
+	t1 := c.Table1()
+	paperLOC, paperPaths, paperAvg, paperMax := flash.Counts{}, flash.Counts{}, flash.Counts{}, flash.Counts{}
+	for p, row := range flash.Table1 {
+		paperLOC[p], paperPaths[p], paperAvg[p], paperMax[p] = row.LOC, row.Paths, row.AvgLen, row.MaxLen
+	}
+	fmt.Print(paper.RenderCompare("LOC", paperLOC, paper.Row(t1.LOC)))
+	fmt.Print(paper.RenderCompare("# of paths", paperPaths, paper.Row(t1.Paths)))
+	fmt.Print(paper.RenderCompare("avg path length", paperAvg, paper.Row(t1.AvgLen)))
+	fmt.Print(paper.RenderCompare("max path length", paperMax, paper.Row(t1.MaxLen)))
+
+	fmt.Println("\n=== Table 2: buffer race checker ===")
+	t2 := c.Table2()
+	fmt.Print(paper.RenderCompare("errors", flash.Table2.Errors, t2.Errors))
+	fmt.Print(paper.RenderCompare("false positives", flash.Table2.FalsePos, t2.FalsePos))
+	fmt.Print(paper.RenderCompare("applied", flash.Table2.Applied, t2.Applied))
+
+	fmt.Println("\n=== Table 3: message length checker ===")
+	t3 := c.Table3()
+	fmt.Print(paper.RenderCompare("errors", flash.Table3.Errors, t3.Errors))
+	fmt.Print(paper.RenderCompare("false positives", flash.Table3.FalsePos, t3.FalsePos))
+	fmt.Print(paper.RenderCompare("applied", flash.Table3.Applied, t3.Applied))
+
+	fmt.Println("\n=== Table 4: buffer management checker ===")
+	t4 := c.Table4()
+	fmt.Print(paper.RenderCompare("errors", flash.Table4.Errors, t4.Errors))
+	fmt.Print(paper.RenderCompare("minor", flash.Table4.Minor, t4.Minor))
+	fmt.Print(paper.RenderCompare("useful annotations", flash.Table4.Useful, t4.Useful))
+	fmt.Print(paper.RenderCompare("useless annotations", flash.Table4.Useless, t4.Useless))
+
+	fmt.Println("\n=== §7: lane deadlock checker ===")
+	lanes := c.Lanes()
+	fmt.Print(paper.RenderCompare("errors", flash.LanesResults.Errors, lanes.Errors))
+	fmt.Print(paper.RenderCompare("false positives", flash.LanesResults.FalsePos, lanes.FalsePos))
+
+	fmt.Println("\n=== Table 5: execution restrictions ===")
+	t5 := c.Table5()
+	viol := paper.Row{}
+	for p, sc := range t5.Scores {
+		viol[p] = sc.Violations
+	}
+	fmt.Print(paper.RenderCompare("violations", flash.Table5.Violations, viol))
+	fmt.Print(paper.RenderCompare("handlers", flash.Table5.Handlers, t5.Handlers))
+	fmt.Print(paper.RenderCompare("vars", flash.Table5.Vars, t5.Vars))
+
+	fmt.Println("\n=== Table 6: three less effective checks ===")
+	t6 := c.Table6()
+	fmt.Print(paper.RenderCompare("alloc false positives", flash.Table6.BufferAlloc.FalsePos, t6.BufferAlloc.FalsePos))
+	fmt.Print(paper.RenderCompare("alloc applied", flash.Table6.BufferAlloc.Applied, t6.BufferAlloc.Applied))
+	fmt.Print(paper.RenderCompare("directory errors", flash.Table6.Directory.Errors, t6.Directory.Errors))
+	fmt.Print(paper.RenderCompare("directory false pos", flash.Table6.Directory.FalsePos, t6.Directory.FalsePos))
+	fmt.Print(paper.RenderCompare("directory applied", flash.Table6.Directory.Applied, t6.Directory.Applied))
+	fmt.Print(paper.RenderCompare("send-wait false pos", flash.Table6.SendWait.FalsePos, t6.SendWait.FalsePos))
+	fmt.Print(paper.RenderCompare("send-wait applied", flash.Table6.SendWait.Applied, t6.SendWait.Applied))
+
+	fmt.Println("\n=== Table 7: summary ===")
+	fmt.Printf("%-24s %12s %12s %12s %12s %8s %10s\n",
+		"checker", "LOC(paper)", "LOC(ours)", "err(paper)", "err(ours)", "fp(paper)", "fp(ours)")
+	errT, fpT := 0, 0
+	for i, row := range c.Table7() {
+		want := flash.Table7[i]
+		fmt.Printf("%-24s %12d %12d %12d %12d %8d %10d\n",
+			row.Checker, want.LOC, row.LOC, want.Err, row.Err, want.FalsePos, row.FalsePos)
+		errT += row.Err
+		fpT += row.FalsePos
+	}
+	fmt.Printf("%-24s %12d %12s %12d %12d %8d %10d\n", "Total",
+		flash.Table7Totals.LOC, "-", flash.Table7Totals.Err, errT, flash.Table7Totals.FalsePos, fpT)
+
+	fmt.Println("\n=== §2/§11: static vs dynamic detection ===")
+	fmt.Print(paper.RenderStaticVsDynamic(c.StaticVsDynamic(*trials, *seed)))
+}

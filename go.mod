@@ -1,0 +1,3 @@
+module flashmc
+
+go 1.22

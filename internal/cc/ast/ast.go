@@ -1,0 +1,402 @@
+// Package ast defines the abstract syntax tree for the protocol-C
+// subset. The same node types serve two roles: trees produced by
+// parsing protocol source, and pattern trees produced by compiling
+// metal patterns (which may additionally contain Wildcard nodes that
+// match and bind arbitrary sub-expressions; see package match).
+package ast
+
+import (
+	"flashmc/internal/cc/token"
+	"flashmc/internal/cc/types"
+)
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	// Type returns the type assigned by the checker, or nil before
+	// checking (pattern trees are never checked).
+	Type() types.Type
+	exprNode()
+}
+
+// exprBase carries position and checker-assigned type for expressions.
+type exprBase struct {
+	P token.Pos
+	T types.Type
+}
+
+func (e *exprBase) Pos() token.Pos   { return e.P }
+func (e *exprBase) Type() types.Type { return e.T }
+
+// SetType records the checker-assigned type of an expression. It lives
+// on the embedded base so the checker can set types generically.
+func (e *exprBase) SetType(t types.Type) { e.T = t }
+
+// Typed is the interface the checker uses to record expression types.
+type Typed interface{ SetType(types.Type) }
+
+// Ident is a use of a name.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// IntLit is an integer literal (decimal, octal or hex, with optional
+// suffixes). Value holds the parsed value.
+type IntLit struct {
+	exprBase
+	Text  string
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Text  string
+	Value float64
+}
+
+// CharLit is a character literal; Value is its integer value.
+type CharLit struct {
+	exprBase
+	Text  string
+	Value int64
+}
+
+// StringLit is a string literal; Value is the unquoted contents.
+type StringLit struct {
+	exprBase
+	Text  string
+	Value string
+}
+
+// Paren is a parenthesized expression.
+type Paren struct {
+	exprBase
+	X Expr
+}
+
+// Unary is a prefix operator application (!x, -x, *p, &v, ~x, ++x,
+// --x) or, when Postfix is set, x++ / x--.
+type Unary struct {
+	exprBase
+	Op      token.Kind
+	X       Expr
+	Postfix bool
+}
+
+// Binary is a binary operator application, including the comma
+// operator (Op == token.Comma).
+type Binary struct {
+	exprBase
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Assign is an assignment, simple (=) or compound (+=, <<=, ...).
+type Assign struct {
+	exprBase
+	Op       token.Kind
+	LHS, RHS Expr
+}
+
+// Cond is the ternary conditional c ? a : b.
+type Cond struct {
+	exprBase
+	C, Then, Else Expr
+}
+
+// Call is a function call. In FLASH code the callee is almost always
+// an Ident (possibly naming a macro kept unexpanded).
+type Call struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is array subscripting x[i].
+type Index struct {
+	exprBase
+	X, Idx Expr
+}
+
+// Member is field selection x.f (Arrow false) or x->f (Arrow true).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// Cast is an explicit conversion (T)x.
+type Cast struct {
+	exprBase
+	To types.Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof expr.
+type SizeofExpr struct {
+	exprBase
+	X Expr
+}
+
+// SizeofType is sizeof(T).
+type SizeofType struct {
+	exprBase
+	Of types.Type
+}
+
+// InitList is a brace initializer list { e1, e2, ... } used in
+// declarations (protocol tables of lane allowances, opcode maps, ...).
+type InitList struct {
+	exprBase
+	Elems []Expr
+}
+
+// Wildcard appears only in pattern trees. It matches any expression
+// satisfying Constraint ("" or "expr" = anything, "scalar" = integer
+// or pointer type, "unsigned"/"int"/... = that basic type family,
+// "const" = any literal, "id" = any identifier) and binds it under
+// Name in the match environment.
+type Wildcard struct {
+	exprBase
+	Name       string
+	Constraint string
+}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*CharLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*Paren) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*Cast) exprNode()       {}
+func (*SizeofExpr) exprNode() {}
+func (*SizeofType) exprNode() {}
+func (*InitList) exprNode()   {}
+func (*Wildcard) exprNode()   {}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type stmtBase struct{ P token.Pos }
+
+func (s *stmtBase) Pos() token.Pos { return s.P }
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// DeclStmt is a local declaration; one statement per declarator.
+type DeclStmt struct {
+	stmtBase
+	Decl *VarDecl
+}
+
+// Block is a brace-enclosed statement list.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// If is an if/else statement (Else may be nil).
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// While is a while loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do { } while loop.
+type DoWhile struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For is a for loop; Init may be a declaration or expression statement
+// and any of the three clauses may be nil.
+type For struct {
+	stmtBase
+	Init Stmt // *DeclStmt, *ExprStmt or nil
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Switch is a switch statement; its Body contains Case labels.
+type Switch struct {
+	stmtBase
+	Tag  Expr
+	Body *Block
+}
+
+// Case is a case or (Value == nil) default label inside a switch body.
+type Case struct {
+	stmtBase
+	Value Expr // nil for default
+}
+
+// Break is a break statement.
+type Break struct{ stmtBase }
+
+// Continue is a continue statement.
+type Continue struct{ stmtBase }
+
+// Return is a return statement; X may be nil.
+type Return struct {
+	stmtBase
+	X Expr
+}
+
+// Goto is a goto statement.
+type Goto struct {
+	stmtBase
+	Label string
+}
+
+// Labeled is a labeled statement target for goto.
+type Labeled struct {
+	stmtBase
+	Label string
+	Stmt  Stmt
+}
+
+// Empty is a lone semicolon.
+type Empty struct{ stmtBase }
+
+func (*ExprStmt) stmtNode() {}
+func (*DeclStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*DoWhile) stmtNode()  {}
+func (*For) stmtNode()      {}
+func (*Switch) stmtNode()   {}
+func (*Case) stmtNode()     {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Return) stmtNode()   {}
+func (*Goto) stmtNode()     {}
+func (*Labeled) stmtNode()  {}
+func (*Empty) stmtNode()    {}
+
+// Storage classes for declarations.
+type Storage int
+
+// Storage class values.
+const (
+	StorageNone Storage = iota
+	StorageExtern
+	StorageStatic
+	StorageTypedef
+	StorageRegister
+	StorageAuto
+)
+
+// Decl is implemented by top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+type declBase struct{ P token.Pos }
+
+func (d *declBase) Pos() token.Pos { return d.P }
+
+// VarDecl declares one variable (global or local).
+type VarDecl struct {
+	declBase
+	Name    string
+	T       types.Type
+	Init    Expr // nil if none
+	Storage Storage
+	Const   bool
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	T    types.Type
+	P    token.Pos
+}
+
+// FuncDecl is a function prototype (Body == nil) or definition.
+type FuncDecl struct {
+	declBase
+	Name     string
+	Ret      types.Type
+	Params   []Param
+	Variadic bool
+	Body     *Block
+	Storage  Storage
+	Inline   bool
+
+	// EndPos is the position of the closing brace of the body (valid
+	// for definitions); used for span/line accounting.
+	EndPos token.Pos
+}
+
+// TypeDecl declares a typedef, or a named struct/union/enum at file
+// scope (Name empty for bare "struct S { ... };" where the tag lives
+// in the type).
+type TypeDecl struct {
+	declBase
+	Name string // typedef name; "" for bare tag declarations
+	T    types.Type
+}
+
+func (*VarDecl) declNode()  {}
+func (*FuncDecl) declNode() {}
+func (*TypeDecl) declNode() {}
+
+// File is one translation unit after preprocessing.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Pos implements Node; it is the position of the first declaration.
+func (f *File) Pos() token.Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return token.Pos{File: f.Name}
+}
+
+// Funcs returns the function definitions (not prototypes) in the file,
+// in source order.
+func (f *File) Funcs() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/parser"
+)
+
+func parseFile(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := parser.ParseText("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return f
+}
+
+func TestInspectVisitsEverything(t *testing.T) {
+	f := parseFile(t, `
+int g = 3;
+void fn(int p) {
+	int loc = g + p;
+	if (loc > 0) {
+		while (loc) {
+			loc--;
+		}
+	} else {
+		switch (p) {
+		case 1:
+			loc = f2(p, "s") ? 1 : 2;
+			break;
+		default:
+			loc = arr[p].field->next;
+		}
+	}
+	do { loc += sizeof(int); } while (0);
+	for (loc = 0; loc < 3; loc++) {
+		continue;
+	}
+	goto end;
+end:
+	return;
+}`)
+	var kinds = map[string]int{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.If:
+			kinds["if"]++
+		case *ast.While:
+			kinds["while"]++
+		case *ast.DoWhile:
+			kinds["do"]++
+		case *ast.For:
+			kinds["for"]++
+		case *ast.Switch:
+			kinds["switch"]++
+		case *ast.Case:
+			kinds["case"]++
+		case *ast.Cond:
+			kinds["cond"]++
+		case *ast.Call:
+			kinds["call"]++
+		case *ast.Index:
+			kinds["index"]++
+		case *ast.Member:
+			kinds["member"]++
+		case *ast.Goto:
+			kinds["goto"]++
+		case *ast.Labeled:
+			kinds["label"]++
+		case *ast.Return:
+			kinds["return"]++
+		case *ast.SizeofType:
+			kinds["sizeof"]++
+		case *ast.Ident:
+			kinds["ident"]++
+		}
+		return true
+	})
+	for _, k := range []string{"if", "while", "do", "for", "switch", "cond",
+		"call", "index", "member", "goto", "label", "return", "sizeof"} {
+		if kinds[k] == 0 {
+			t.Errorf("Inspect never visited %s", k)
+		}
+	}
+	if kinds["case"] != 2 {
+		t.Errorf("cases %d", kinds["case"])
+	}
+}
+
+func TestInspectPruning(t *testing.T) {
+	f := parseFile(t, `void fn(void) { outer(inner(1)); }`)
+	var calls []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.Call); ok {
+			calls = append(calls, ast.ExprString(c.Fun))
+			return false // do not descend into arguments
+		}
+		return true
+	})
+	if len(calls) != 1 || calls[0] != "outer" {
+		t.Errorf("calls %v (pruning broken)", calls)
+	}
+}
+
+func TestExprStringOperators(t *testing.T) {
+	cases := []string{
+		"a + b * c",
+		"(a + b) * c",
+		"x <<= 2",
+		"p->f.g[3]",
+		"f(1, 'c', \"s\")",
+		"-x++",
+		"!done && ready",
+		"cond ? t : e",
+		"(unsigned)n",
+		"sizeof(int)",
+	}
+	for _, src := range cases {
+		e, err := parser.ParseExprPattern(src, parser.PatternContext{})
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		got := ast.ExprString(e)
+		// Re-parse the rendering; it must round-trip to itself.
+		e2, err := parser.ParseExprPattern(got, parser.PatternContext{})
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", got, err)
+		}
+		if got2 := ast.ExprString(e2); got2 != got {
+			t.Errorf("%q: unstable rendering %q -> %q", src, got, got2)
+		}
+	}
+}
+
+func TestStmtStringShapes(t *testing.T) {
+	f := parseFile(t, `
+void fn(int c) {
+	c = 1;
+	if (c) { }
+	while (c) { }
+	do { } while (c);
+	switch (c) { case 1: break; default: ; }
+	return;
+}`)
+	var rendered []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			rendered = append(rendered, ast.StmtString(s))
+		}
+		return true
+	})
+	joined := strings.Join(rendered, "\n")
+	for _, want := range []string{"c = 1;", "if (c) ...", "while (c) ...",
+		"do ... while (c)", "switch (c) ...", "case 1:", "default:", "break;", "return;"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in renderings:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFuncsFiltersPrototypes(t *testing.T) {
+	f := parseFile(t, `
+void proto(int x);
+void def(void) { }
+int other(void);
+`)
+	fns := f.Funcs()
+	if len(fns) != 1 || fns[0].Name != "def" {
+		t.Errorf("Funcs: %v", fns)
+	}
+}
+
+func TestFilePos(t *testing.T) {
+	f := parseFile(t, "\n\nint x;\n")
+	if f.Pos().Line != 3 {
+		t.Errorf("file pos %v", f.Pos())
+	}
+	empty := &ast.File{Name: "e.c"}
+	if empty.Pos().File != "e.c" {
+		t.Errorf("empty file pos %v", empty.Pos())
+	}
+}

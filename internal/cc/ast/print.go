@@ -1,0 +1,171 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"flashmc/internal/cc/token"
+)
+
+// ExprString renders an expression back to compact C source. It is
+// used in diagnostics ("data send, zero len at NI_SEND(...)") and by
+// round-trip tests. Wildcards render as $name.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		b.WriteString(x.Text)
+	case *FloatLit:
+		b.WriteString(x.Text)
+	case *CharLit:
+		b.WriteString(x.Text)
+	case *StringLit:
+		b.WriteString(x.Text)
+	case *Paren:
+		b.WriteByte('(')
+		writeExpr(b, x.X)
+		b.WriteByte(')')
+	case *Unary:
+		if x.Postfix {
+			writeExpr(b, x.X)
+			b.WriteString(x.Op.String())
+		} else {
+			b.WriteString(x.Op.String())
+			if x.Op == token.KwSizeof {
+				b.WriteByte(' ')
+			}
+			writeExpr(b, x.X)
+		}
+	case *Binary:
+		writeExpr(b, x.X)
+		if x.Op == token.Comma {
+			b.WriteString(", ")
+		} else {
+			b.WriteByte(' ')
+			b.WriteString(x.Op.String())
+			b.WriteByte(' ')
+		}
+		writeExpr(b, x.Y)
+	case *Assign:
+		writeExpr(b, x.LHS)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		writeExpr(b, x.RHS)
+	case *Cond:
+		writeExpr(b, x.C)
+		b.WriteString(" ? ")
+		writeExpr(b, x.Then)
+		b.WriteString(" : ")
+		writeExpr(b, x.Else)
+	case *Call:
+		writeExpr(b, x.Fun)
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *Index:
+		writeExpr(b, x.X)
+		b.WriteByte('[')
+		writeExpr(b, x.Idx)
+		b.WriteByte(']')
+	case *Member:
+		writeExpr(b, x.X)
+		if x.Arrow {
+			b.WriteString("->")
+		} else {
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Name)
+	case *Cast:
+		b.WriteByte('(')
+		b.WriteString(x.To.String())
+		b.WriteByte(')')
+		writeExpr(b, x.X)
+	case *SizeofExpr:
+		b.WriteString("sizeof ")
+		writeExpr(b, x.X)
+	case *SizeofType:
+		b.WriteString("sizeof(")
+		b.WriteString(x.Of.String())
+		b.WriteByte(')')
+	case *InitList:
+		b.WriteByte('{')
+		for i, e := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, e)
+		}
+		b.WriteByte('}')
+	case *Wildcard:
+		fmt.Fprintf(b, "$%s", x.Name)
+	default:
+		fmt.Fprintf(b, "<?expr %T>", e)
+	}
+}
+
+// StmtString renders a statement to single-line C-ish text, used in
+// diagnostics and engine traces.
+func StmtString(s Stmt) string {
+	switch x := s.(type) {
+	case nil:
+		return "<nil>"
+	case *ExprStmt:
+		return ExprString(x.X) + ";"
+	case *DeclStmt:
+		d := x.Decl
+		out := d.T.String() + " " + d.Name
+		if d.Init != nil {
+			out += " = " + ExprString(d.Init)
+		}
+		return out + ";"
+	case *Block:
+		return fmt.Sprintf("{ ...%d stmts... }", len(x.Stmts))
+	case *If:
+		return "if (" + ExprString(x.Cond) + ") ..."
+	case *While:
+		return "while (" + ExprString(x.Cond) + ") ..."
+	case *DoWhile:
+		return "do ... while (" + ExprString(x.Cond) + ")"
+	case *For:
+		return "for (...) ..."
+	case *Switch:
+		return "switch (" + ExprString(x.Tag) + ") ..."
+	case *Case:
+		if x.Value == nil {
+			return "default:"
+		}
+		return "case " + ExprString(x.Value) + ":"
+	case *Break:
+		return "break;"
+	case *Continue:
+		return "continue;"
+	case *Return:
+		if x.X == nil {
+			return "return;"
+		}
+		return "return " + ExprString(x.X) + ";"
+	case *Goto:
+		return "goto " + x.Label + ";"
+	case *Labeled:
+		return x.Label + ": " + StmtString(x.Stmt)
+	case *Empty:
+		return ";"
+	default:
+		return fmt.Sprintf("<?stmt %T>", s)
+	}
+}

@@ -1,0 +1,102 @@
+package ast
+
+// Inspect traverses the tree rooted at n in depth-first pre-order,
+// calling f for every non-nil node. If f returns false, children of
+// that node are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Paren:
+		Inspect(x.X, f)
+	case *Unary:
+		Inspect(x.X, f)
+	case *Binary:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *Assign:
+		Inspect(x.LHS, f)
+		Inspect(x.RHS, f)
+	case *Cond:
+		Inspect(x.C, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *Call:
+		Inspect(x.Fun, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Index:
+		Inspect(x.X, f)
+		Inspect(x.Idx, f)
+	case *Member:
+		Inspect(x.X, f)
+	case *Cast:
+		Inspect(x.X, f)
+	case *SizeofExpr:
+		Inspect(x.X, f)
+	case *InitList:
+		for _, e := range x.Elems {
+			Inspect(e, f)
+		}
+
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *DeclStmt:
+		Inspect(x.Decl, f)
+	case *Block:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *If:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *While:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *DoWhile:
+		Inspect(x.Body, f)
+		Inspect(x.Cond, f)
+	case *For:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *Switch:
+		Inspect(x.Tag, f)
+		Inspect(x.Body, f)
+	case *Case:
+		if x.Value != nil {
+			Inspect(x.Value, f)
+		}
+	case *Return:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *Labeled:
+		Inspect(x.Stmt, f)
+
+	case *VarDecl:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+	case *FuncDecl:
+		if x.Body != nil {
+			Inspect(x.Body, f)
+		}
+	case *File:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+// Package cpp implements the C preprocessor subset needed for FLASH
+// protocol code: #include with search paths, object- and function-like
+// #define (including # stringize and ## paste), #undef, the full
+// conditional family (#if/#ifdef/#ifndef/#elif/#else/#endif) with
+// constant-expression evaluation and defined(), #error, and #pragma
+// (ignored).
+//
+// Output is a single preprocessed text buffer in which include
+// boundaries are recorded as line markers
+//
+//	# <line> "<file>"
+//
+// which package lexer interprets, so downstream positions refer to the
+// original files.
+//
+// Files are read through the Source interface so corpora can live
+// purely in memory (package flashgen) or on disk (cmd/mcheck).
+package cpp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Source resolves include files.
+type Source interface {
+	// ReadFile returns the contents of the named file.
+	ReadFile(name string) (string, error)
+}
+
+// OSSource reads files from the operating system, rooted at Dir (or
+// the process working directory if Dir is empty).
+type OSSource struct{ Dir string }
+
+// ReadFile implements Source.
+func (s OSSource) ReadFile(name string) (string, error) {
+	if s.Dir != "" && !filepath.IsAbs(name) {
+		name = filepath.Join(s.Dir, name)
+	}
+	b, err := os.ReadFile(name)
+	return string(b), err
+}
+
+// MapSource serves files from an in-memory map of name -> contents.
+type MapSource map[string]string
+
+// ReadFile implements Source.
+func (m MapSource) ReadFile(name string) (string, error) {
+	if s, ok := m[name]; ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("file %q not found", name)
+}
+
+// Layered combines sources: each lookup tries them in order. It lets
+// the command-line tools overlay the built-in FLASH header under
+// on-disk protocol sources.
+func Layered(srcs ...Source) Source { return layered(srcs) }
+
+type layered []Source
+
+// ReadFile implements Source.
+func (l layered) ReadFile(name string) (string, error) {
+	var firstErr error
+	for _, s := range l {
+		text, err := s.ReadFile(name)
+		if err == nil {
+			return text, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("file %q not found", name)
+	}
+	return "", firstErr
+}
+
+// Error is a preprocessing error with its source location.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name     string
+	FuncLike bool
+	Params   []string
+	Body     []ppTok
+}
+
+// Preprocessor holds preprocessing state across files.
+type Preprocessor struct {
+	src         Source
+	includeDirs []string
+	macros      map[string]*Macro
+	out         strings.Builder
+	errs        []error
+	depth       int
+
+	// KeepMacros lists function-like macro names that must NOT be
+	// expanded even if defined; the FLASH checkers pattern-match their
+	// invocations (the paper's xg++ workaround, §11).
+	KeepMacros map[string]bool
+}
+
+// New returns a Preprocessor reading includes from src and the given
+// search directories (used for both "..." and <...> includes; for
+// quoted includes the including file's directory is tried first).
+func New(src Source, includeDirs ...string) *Preprocessor {
+	return &Preprocessor{
+		src:         src,
+		includeDirs: includeDirs,
+		macros:      make(map[string]*Macro),
+		KeepMacros:  make(map[string]bool),
+	}
+}
+
+// Define installs an object-like macro, e.g. Define("SIMULATION", "1").
+// An empty body defines the name with no tokens (as in -DNAME).
+func (p *Preprocessor) Define(name, body string) {
+	p.macros[name] = &Macro{Name: name, Body: scanAll(body)}
+}
+
+// Errors returns all errors accumulated so far.
+func (p *Preprocessor) Errors() []error { return p.errs }
+
+func (p *Preprocessor) errorf(file string, line int, format string, args ...any) {
+	p.errs = append(p.errs, &Error{File: file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Process preprocesses the named top-level file and returns the
+// preprocessed text. Errors are available via Errors; processing
+// continues past recoverable errors.
+func (p *Preprocessor) Process(name string) string {
+	text, err := p.src.ReadFile(name)
+	if err != nil {
+		p.errorf(name, 0, "cannot read: %v", err)
+		return ""
+	}
+	p.out.Reset()
+	p.processText(name, text)
+	return p.out.String()
+}
+
+// ProcessText preprocesses the given text as though it were file name.
+func (p *Preprocessor) ProcessText(name, text string) string {
+	p.out.Reset()
+	p.processText(name, text)
+	return p.out.String()
+}
+
+const maxIncludeDepth = 64
+
+// condState tracks one #if nesting level.
+type condState struct {
+	taken    bool // some branch at this level has been taken
+	active   bool // current branch is active
+	sawElse  bool
+	wasLive  bool // enclosing context was active when #if was seen
+	openLine int
+}
+
+func (p *Preprocessor) processText(file, text string) {
+	if p.depth >= maxIncludeDepth {
+		p.errorf(file, 0, "include depth exceeds %d (cycle?)", maxIncludeDepth)
+		return
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+
+	fmt.Fprintf(&p.out, "# %d %q\n", 1, file)
+	lines := splitLogicalLines(text)
+	var conds []condState
+
+	live := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, ln := range lines {
+		trim := strings.TrimSpace(ln.text)
+		if strings.HasPrefix(trim, "#") {
+			p.directive(file, ln, trim, &conds, live)
+			continue
+		}
+		if !live() {
+			continue
+		}
+		expanded := p.expandLine(file, ln.line, ln.text)
+		fmt.Fprintf(&p.out, "# %d %q\n", ln.line, file)
+		p.out.WriteString(expanded)
+		p.out.WriteByte('\n')
+	}
+	for _, c := range conds {
+		p.errorf(file, c.openLine, "unterminated #if")
+	}
+}
+
+type logicalLine struct {
+	line int // starting physical line
+	text string
+}
+
+// splitLogicalLines splits text into lines, joining backslash
+// continuations and stripping comments that could hide directives.
+func splitLogicalLines(text string) []logicalLine {
+	text = stripBlockComments(text)
+	raw := strings.Split(text, "\n")
+	var out []logicalLine
+	for i := 0; i < len(raw); i++ {
+		start := i + 1
+		line := raw[i]
+		for strings.HasSuffix(line, "\\") && i+1 < len(raw) {
+			line = line[:len(line)-1] + raw[i+1]
+			i++
+		}
+		out = append(out, logicalLine{line: start, text: line})
+	}
+	return out
+}
+
+// stripBlockComments replaces /*...*/ comments with spaces (preserving
+// newlines so line numbers stay accurate) and removes // comments.
+// String and character literals are respected.
+func stripBlockComments(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '/' && i+1 < len(text) && text[i+1] == '*':
+			i += 2
+			b.WriteString("  ")
+			for i < len(text) {
+				if text[i] == '*' && i+1 < len(text) && text[i+1] == '/' {
+					i += 2
+					b.WriteString("  ")
+					break
+				}
+				if text[i] == '\n' {
+					b.WriteByte('\n')
+				} else {
+					b.WriteByte(' ')
+				}
+				i++
+			}
+		case c == '/' && i+1 < len(text) && text[i+1] == '/':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			b.WriteByte(c)
+			i++
+			for i < len(text) && text[i] != quote && text[i] != '\n' {
+				if text[i] == '\\' && i+1 < len(text) {
+					b.WriteByte(text[i])
+					i++
+				}
+				b.WriteByte(text[i])
+				i++
+			}
+			if i < len(text) {
+				b.WriteByte(text[i])
+				i++
+			}
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
+}
+
+func (p *Preprocessor) directive(file string, ln logicalLine, trim string, conds *[]condState, live func() bool) {
+	body := strings.TrimSpace(trim[1:])
+	name := body
+	rest := ""
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		name, rest = body[:i], strings.TrimSpace(body[i+1:])
+	}
+	switch name {
+	case "if", "ifdef", "ifndef":
+		wasLive := live()
+		active := false
+		if wasLive {
+			switch name {
+			case "ifdef":
+				active = p.macros[rest] != nil
+			case "ifndef":
+				active = p.macros[rest] == nil
+			default:
+				active = p.evalCond(file, ln.line, rest)
+			}
+		}
+		*conds = append(*conds, condState{taken: active, active: active, wasLive: wasLive, openLine: ln.line})
+	case "elif":
+		if len(*conds) == 0 {
+			p.errorf(file, ln.line, "#elif without #if")
+			return
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.sawElse {
+			p.errorf(file, ln.line, "#elif after #else")
+			return
+		}
+		if c.wasLive && !c.taken && p.evalCond(file, ln.line, rest) {
+			c.active, c.taken = true, true
+		} else {
+			c.active = false
+		}
+	case "else":
+		if len(*conds) == 0 {
+			p.errorf(file, ln.line, "#else without #if")
+			return
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.sawElse {
+			p.errorf(file, ln.line, "duplicate #else")
+			return
+		}
+		c.sawElse = true
+		c.active = c.wasLive && !c.taken
+		c.taken = true
+	case "endif":
+		if len(*conds) == 0 {
+			p.errorf(file, ln.line, "#endif without #if")
+			return
+		}
+		*conds = (*conds)[:len(*conds)-1]
+	case "include":
+		if live() {
+			p.include(file, ln.line, rest)
+		}
+	case "define":
+		if live() {
+			p.define(file, ln.line, rest)
+		}
+	case "undef":
+		if live() {
+			delete(p.macros, strings.TrimSpace(rest))
+		}
+	case "error":
+		if live() {
+			p.errorf(file, ln.line, "#error %s", rest)
+		}
+	case "pragma", "line":
+		// ignored
+	case "":
+		// null directive
+	default:
+		if live() {
+			p.errorf(file, ln.line, "unknown directive #%s", name)
+		}
+	}
+}
+
+func (p *Preprocessor) include(file string, line int, arg string) {
+	arg = strings.TrimSpace(arg)
+	var name string
+	var quoted bool
+	switch {
+	case len(arg) >= 2 && arg[0] == '"':
+		end := strings.IndexByte(arg[1:], '"')
+		if end < 0 {
+			p.errorf(file, line, "malformed #include %s", arg)
+			return
+		}
+		name, quoted = arg[1:1+end], true
+	case len(arg) >= 2 && arg[0] == '<':
+		end := strings.IndexByte(arg, '>')
+		if end < 0 {
+			p.errorf(file, line, "malformed #include %s", arg)
+			return
+		}
+		name = arg[1:end]
+	default:
+		p.errorf(file, line, "malformed #include %s", arg)
+		return
+	}
+
+	var candidates []string
+	if quoted {
+		candidates = append(candidates, filepath.Join(filepath.Dir(file), name))
+	}
+	for _, d := range p.includeDirs {
+		candidates = append(candidates, filepath.Join(d, name))
+	}
+	candidates = append(candidates, name)
+	for _, c := range candidates {
+		text, err := p.src.ReadFile(c)
+		if err == nil {
+			p.processText(c, text)
+			fmt.Fprintf(&p.out, "# %d %q\n", line+1, file)
+			return
+		}
+	}
+	p.errorf(file, line, "include file %q not found", name)
+}
+
+func (p *Preprocessor) define(file string, line int, rest string) {
+	toks := scanAll(rest)
+	if len(toks) == 0 || toks[0].kind != tkIdent {
+		p.errorf(file, line, "malformed #define")
+		return
+	}
+	m := &Macro{Name: toks[0].text}
+	i := 1
+	// Function-like only if '(' immediately follows the name (no space);
+	// scanAll records adjacency.
+	if i < len(toks) && toks[i].text == "(" && !toks[i].spaceBefore {
+		m.FuncLike = true
+		i++
+		for i < len(toks) && toks[i].text != ")" {
+			if toks[i].kind == tkIdent {
+				m.Params = append(m.Params, toks[i].text)
+			} else if toks[i].text != "," {
+				p.errorf(file, line, "malformed macro parameter list")
+				return
+			}
+			i++
+		}
+		if i >= len(toks) {
+			p.errorf(file, line, "unterminated macro parameter list")
+			return
+		}
+		i++ // ')'
+	}
+	m.Body = toks[i:]
+	p.macros[m.Name] = m
+}

@@ -1,0 +1,673 @@
+package cpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ppTok is a minimal preprocessing token: enough structure for macro
+// expansion; the real lexer runs later on the expanded text.
+type ppTok struct {
+	kind        ppKind
+	text        string
+	spaceBefore bool
+	noExpand    map[string]bool // hide set: macros not expandable in this token
+}
+
+type ppKind int
+
+const (
+	tkIdent ppKind = iota
+	tkNumber
+	tkString
+	tkChar
+	tkPunct
+)
+
+func isIdentB(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// scanAll tokenizes a single logical line into preprocessing tokens.
+func scanAll(s string) []ppTok {
+	var out []ppTok
+	i := 0
+	space := false
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			space = true
+			i++
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(s) && isIdentB(s[j]) {
+				j++
+			}
+			out = append(out, ppTok{kind: tkIdent, text: s[i:j], spaceBefore: space})
+			space = false
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && (isIdentB(s[j]) || s[j] == '.' ||
+				((s[j] == '+' || s[j] == '-') && j > i && (s[j-1] == 'e' || s[j-1] == 'E'))) {
+				j++
+			}
+			out = append(out, ppTok{kind: tkNumber, text: s[i:j], spaceBefore: space})
+			space = false
+			i = j
+		case c == '"' || c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != c {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				j++
+			}
+			if j < len(s) {
+				j++
+			}
+			kind := tkString
+			if c == '\'' {
+				kind = tkChar
+			}
+			out = append(out, ppTok{kind: kind, text: s[i:j], spaceBefore: space})
+			space = false
+			i = j
+		default:
+			// Multi-char puncts that matter to cpp: ## and the usual ops.
+			n := 1
+			if i+1 < len(s) {
+				two := s[i : i+2]
+				switch two {
+				case "##", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+					"->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+					"|=", "^=":
+					n = 2
+				}
+				if i+2 < len(s) && (s[i:i+3] == "<<=" || s[i:i+3] == ">>=" || s[i:i+3] == "...") {
+					n = 3
+				}
+			}
+			out = append(out, ppTok{kind: tkPunct, text: s[i : i+n], spaceBefore: space})
+			space = false
+			i += n
+		}
+	}
+	return out
+}
+
+// render converts tokens back to text, inserting spaces where needed to
+// keep adjacent tokens from gluing into different tokens.
+func render(toks []ppTok) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 && needSpace(toks[i-1], t) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.text)
+	}
+	return b.String()
+}
+
+func needSpace(a, b ppTok) bool {
+	if b.spaceBefore {
+		return true
+	}
+	if a.text == "" || b.text == "" {
+		return false
+	}
+	al, bf := a.text[len(a.text)-1], b.text[0]
+	// identifier/number adjacency
+	if isIdentB(al) && isIdentB(bf) {
+		return true
+	}
+	// Operator gluing hazards: separate puncts only when concatenating
+	// their boundary characters would lex as a longer operator.
+	if a.kind == tkPunct && b.kind == tkPunct && glueHazard[string(al)+string(bf)] {
+		return true
+	}
+	return false
+}
+
+// glueHazard lists character pairs that would fuse into a different
+// operator if rendered without a separating space.
+var glueHazard = map[string]bool{
+	"++": true, "--": true, "<<": true, ">>": true, "&&": true,
+	"||": true, "==": true, "<=": true, ">=": true, "!=": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "->": true, "//": true,
+	"/*": true, "*/": true, "##": true, "..": true,
+}
+
+// expandLine macro-expands one logical source line.
+func (p *Preprocessor) expandLine(file string, line int, text string) string {
+	toks := scanAll(text)
+	out := p.expand(file, line, toks)
+	return render(out)
+}
+
+// expand performs macro replacement over toks until no replaceable
+// macro invocation remains. Recursion is prevented with per-token hide
+// sets (a simplification of Prosser's algorithm sufficient in practice).
+func (p *Preprocessor) expand(file string, line int, toks []ppTok) []ppTok {
+	var out []ppTok
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		if t.kind != tkIdent {
+			out = append(out, t)
+			i++
+			continue
+		}
+		m := p.macros[t.text]
+		if m == nil || (t.noExpand != nil && t.noExpand[t.text]) || p.KeepMacros[t.text] {
+			out = append(out, t)
+			i++
+			continue
+		}
+		if !m.FuncLike {
+			rep := p.substitute(file, line, m, nil)
+			rep = hide(rep, m.Name, t.noExpand)
+			rep = p.expand(file, line, rep)
+			if len(rep) > 0 {
+				rep[0].spaceBefore = t.spaceBefore
+			}
+			out = append(out, rep...)
+			i++
+			continue
+		}
+		// Function-like: need '(' next.
+		if i+1 >= len(toks) || toks[i+1].text != "(" {
+			out = append(out, t)
+			i++
+			continue
+		}
+		args, next, ok := collectArgs(toks, i+1)
+		if !ok {
+			p.errorf(file, line, "unterminated invocation of macro %s", m.Name)
+			out = append(out, t)
+			i++
+			continue
+		}
+		if len(args) == 1 && len(args[0]) == 0 && len(m.Params) == 0 {
+			args = nil
+		}
+		if len(args) != len(m.Params) {
+			p.errorf(file, line, "macro %s expects %d arguments, got %d", m.Name, len(m.Params), len(args))
+		}
+		rep := p.substitute(file, line, m, args)
+		rep = hide(rep, m.Name, t.noExpand)
+		rep = p.expand(file, line, rep)
+		if len(rep) > 0 {
+			rep[0].spaceBefore = t.spaceBefore
+		}
+		out = append(out, rep...)
+		i = next
+	}
+	return out
+}
+
+// hide adds name (plus inherited hide set) to every token's hide set.
+func hide(toks []ppTok, name string, inherited map[string]bool) []ppTok {
+	out := make([]ppTok, len(toks))
+	for i, t := range toks {
+		ns := make(map[string]bool, len(t.noExpand)+len(inherited)+1)
+		for k := range t.noExpand {
+			ns[k] = true
+		}
+		for k := range inherited {
+			ns[k] = true
+		}
+		ns[name] = true
+		t.noExpand = ns
+		out[i] = t
+	}
+	return out
+}
+
+// collectArgs parses a macro argument list starting at the '(' token at
+// index open. It returns the arguments, the index just past the ')',
+// and whether the list was closed.
+func collectArgs(toks []ppTok, open int) (args [][]ppTok, next int, ok bool) {
+	depth := 0
+	var cur []ppTok
+	for i := open; i < len(toks); i++ {
+		t := toks[i]
+		switch t.text {
+		case "(":
+			depth++
+			if depth > 1 {
+				cur = append(cur, t)
+			}
+		case ")":
+			depth--
+			if depth == 0 {
+				args = append(args, cur)
+				return args, i + 1, true
+			}
+			cur = append(cur, t)
+		case ",":
+			if depth == 1 {
+				args = append(args, cur)
+				cur = nil
+			} else {
+				cur = append(cur, t)
+			}
+		default:
+			if depth >= 1 {
+				cur = append(cur, t)
+			}
+		}
+	}
+	return nil, open, false
+}
+
+// substitute replaces parameters in the macro body with (pre-expanded)
+// arguments, handling # stringize and ## paste.
+func (p *Preprocessor) substitute(file string, line int, m *Macro, args [][]ppTok) []ppTok {
+	paramIdx := func(name string) int {
+		for i, p := range m.Params {
+			if p == name {
+				return i
+			}
+		}
+		return -1
+	}
+	argFor := func(i int) []ppTok {
+		if i < len(args) {
+			return args[i]
+		}
+		return nil
+	}
+
+	var out []ppTok
+	body := m.Body
+	for i := 0; i < len(body); i++ {
+		t := body[i]
+		// # param -> string literal
+		if t.text == "#" && m.FuncLike && i+1 < len(body) && body[i+1].kind == tkIdent {
+			if pi := paramIdx(body[i+1].text); pi >= 0 {
+				out = append(out, ppTok{kind: tkString,
+					text:        strconv.Quote(render(argFor(pi))),
+					spaceBefore: t.spaceBefore})
+				i++
+				continue
+			}
+		}
+		// token ## token
+		if i+1 < len(body) && body[i+1].text == "##" {
+			left := expandParam(t, paramIdx, argFor)
+			for i+1 < len(body) && body[i+1].text == "##" {
+				if i+2 >= len(body) {
+					p.errorf(file, line, "## at end of macro %s", m.Name)
+					i++
+					break
+				}
+				right := expandParam(body[i+2], paramIdx, argFor)
+				left = paste(left, right)
+				i += 2
+			}
+			out = append(out, left...)
+			continue
+		}
+		if t.kind == tkIdent {
+			if pi := paramIdx(t.text); pi >= 0 {
+				// Arguments are macro-expanded before substitution
+				// (except for #/## operands, handled above).
+				rep := p.expand(file, line, argFor(pi))
+				if len(rep) > 0 {
+					rep[0].spaceBefore = t.spaceBefore
+				}
+				out = append(out, rep...)
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// expandParam returns the raw (unexpanded) tokens for a parameter
+// reference, or the token itself.
+func expandParam(t ppTok, paramIdx func(string) int, argFor func(int) []ppTok) []ppTok {
+	if t.kind == tkIdent {
+		if pi := paramIdx(t.text); pi >= 0 {
+			arg := argFor(pi)
+			cp := make([]ppTok, len(arg))
+			copy(cp, arg)
+			return cp
+		}
+	}
+	return []ppTok{t}
+}
+
+// paste glues the last token of left to the first token of right.
+func paste(left, right []ppTok) []ppTok {
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	glued := left[len(left)-1].text + right[0].text
+	toks := scanAll(glued)
+	out := append([]ppTok{}, left[:len(left)-1]...)
+	out = append(out, toks...)
+	out = append(out, right[1:]...)
+	return out
+}
+
+// evalCond evaluates a #if/#elif expression after macro expansion and
+// defined() substitution. Undefined identifiers evaluate to 0, per C.
+func (p *Preprocessor) evalCond(file string, line int, expr string) bool {
+	toks := scanAll(expr)
+	// Replace defined X / defined(X) before macro expansion.
+	var pre []ppTok
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.kind == tkIdent && t.text == "defined" {
+			name := ""
+			if i+1 < len(toks) && toks[i+1].kind == tkIdent {
+				name = toks[i+1].text
+				i++
+			} else if i+3 < len(toks) && toks[i+1].text == "(" && toks[i+2].kind == tkIdent && toks[i+3].text == ")" {
+				name = toks[i+2].text
+				i += 3
+			} else {
+				p.errorf(file, line, "malformed defined()")
+			}
+			val := "0"
+			if p.macros[name] != nil {
+				val = "1"
+			}
+			pre = append(pre, ppTok{kind: tkNumber, text: val, spaceBefore: t.spaceBefore})
+			continue
+		}
+		pre = append(pre, t)
+	}
+	expanded := p.expand(file, line, pre)
+	ev := condEval{toks: expanded}
+	v := ev.ternary()
+	if ev.err != "" {
+		p.errorf(file, line, "bad #if expression: %s", ev.err)
+		return false
+	}
+	return v != 0
+}
+
+// condEval is a tiny recursive-descent evaluator over preprocessing
+// tokens producing int64 values.
+type condEval struct {
+	toks []ppTok
+	pos  int
+	err  string
+}
+
+func (e *condEval) peek() string {
+	if e.pos < len(e.toks) {
+		return e.toks[e.pos].text
+	}
+	return ""
+}
+
+func (e *condEval) next() ppTok {
+	if e.pos < len(e.toks) {
+		t := e.toks[e.pos]
+		e.pos++
+		return t
+	}
+	return ppTok{}
+}
+
+func (e *condEval) fail(msg string) int64 {
+	if e.err == "" {
+		e.err = msg
+	}
+	return 0
+}
+
+func (e *condEval) ternary() int64 {
+	c := e.lor()
+	if e.peek() == "?" {
+		e.next()
+		a := e.ternary()
+		if e.peek() != ":" {
+			return e.fail("expected :")
+		}
+		e.next()
+		b := e.ternary()
+		if c != 0 {
+			return a
+		}
+		return b
+	}
+	return c
+}
+
+func (e *condEval) lor() int64 {
+	v := e.land()
+	for e.peek() == "||" {
+		e.next()
+		r := e.land()
+		if v != 0 || r != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v
+}
+
+func (e *condEval) land() int64 {
+	v := e.bitor()
+	for e.peek() == "&&" {
+		e.next()
+		r := e.bitor()
+		if v != 0 && r != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v
+}
+
+func (e *condEval) bitor() int64 {
+	v := e.bitxor()
+	for e.peek() == "|" {
+		e.next()
+		v |= e.bitxor()
+	}
+	return v
+}
+
+func (e *condEval) bitxor() int64 {
+	v := e.bitand()
+	for e.peek() == "^" {
+		e.next()
+		v ^= e.bitand()
+	}
+	return v
+}
+
+func (e *condEval) bitand() int64 {
+	v := e.equality()
+	for e.peek() == "&" {
+		e.next()
+		v &= e.equality()
+	}
+	return v
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *condEval) equality() int64 {
+	v := e.relational()
+	for {
+		switch e.peek() {
+		case "==":
+			e.next()
+			v = b2i(v == e.relational())
+		case "!=":
+			e.next()
+			v = b2i(v != e.relational())
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) relational() int64 {
+	v := e.shift()
+	for {
+		switch e.peek() {
+		case "<":
+			e.next()
+			v = b2i(v < e.shift())
+		case ">":
+			e.next()
+			v = b2i(v > e.shift())
+		case "<=":
+			e.next()
+			v = b2i(v <= e.shift())
+		case ">=":
+			e.next()
+			v = b2i(v >= e.shift())
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) shift() int64 {
+	v := e.additive()
+	for {
+		switch e.peek() {
+		case "<<":
+			e.next()
+			v <<= uint64(e.additive()) & 63
+		case ">>":
+			e.next()
+			v >>= uint64(e.additive()) & 63
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) additive() int64 {
+	v := e.multiplicative()
+	for {
+		switch e.peek() {
+		case "+":
+			e.next()
+			v += e.multiplicative()
+		case "-":
+			e.next()
+			v -= e.multiplicative()
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) multiplicative() int64 {
+	v := e.unary()
+	for {
+		switch e.peek() {
+		case "*":
+			e.next()
+			v *= e.unary()
+		case "/":
+			e.next()
+			d := e.unary()
+			if d == 0 {
+				return e.fail("division by zero")
+			}
+			v /= d
+		case "%":
+			e.next()
+			d := e.unary()
+			if d == 0 {
+				return e.fail("modulo by zero")
+			}
+			v %= d
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) unary() int64 {
+	switch e.peek() {
+	case "!":
+		e.next()
+		return b2i(e.unary() == 0)
+	case "~":
+		e.next()
+		return ^e.unary()
+	case "-":
+		e.next()
+		return -e.unary()
+	case "+":
+		e.next()
+		return e.unary()
+	}
+	return e.primary()
+}
+
+func (e *condEval) primary() int64 {
+	t := e.next()
+	switch t.kind {
+	case tkNumber:
+		text := strings.TrimRight(t.text, "uUlL")
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			// Try unsigned range.
+			u, err2 := strconv.ParseUint(text, 0, 64)
+			if err2 != nil {
+				return e.fail(fmt.Sprintf("bad number %q", t.text))
+			}
+			return int64(u)
+		}
+		return v
+	case tkChar:
+		s := t.text
+		if len(s) >= 3 {
+			if s[1] == '\\' && len(s) >= 4 {
+				switch s[2] {
+				case 'n':
+					return '\n'
+				case 't':
+					return '\t'
+				case '0':
+					return 0
+				case 'r':
+					return '\r'
+				}
+				return int64(s[2])
+			}
+			return int64(s[1])
+		}
+		return e.fail("bad char literal")
+	case tkIdent:
+		return 0 // undefined identifiers are 0 in #if
+	case tkPunct:
+		if t.text == "(" {
+			v := e.ternary()
+			if e.peek() != ")" {
+				return e.fail("missing )")
+			}
+			e.next()
+			return v
+		}
+	}
+	return e.fail(fmt.Sprintf("unexpected token %q", t.text))
+}

@@ -1,0 +1,332 @@
+// Package sem performs name resolution and expression typing over
+// protocol-C ASTs. It is deliberately lenient in the way the paper's
+// xg++ had to be: undeclared identifiers (macros kept unexpanded,
+// externs declared in headers not in the compile set) are given type
+// int with a warning rather than an error, and call expressions may
+// appear as assignment targets (FLASH macro idioms like
+// HANDLER_GLOBALS(f) = v).
+//
+// The results feed three consumers: the metal "scalar"/"unsigned"
+// wildcard constraints, the no-float execution restriction (paper §8),
+// and the no-stack size checks.
+package sem
+
+import (
+	"fmt"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/cc/types"
+)
+
+// Warning is a non-fatal semantic diagnostic.
+type Warning struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (w *Warning) Error() string { return fmt.Sprintf("%s: warning: %s", w.Pos, w.Msg) }
+
+// Env accumulates cross-file symbol information for one protocol
+// (globals and function signatures from headers and earlier files).
+type Env struct {
+	Globals    map[string]types.Type
+	Funcs      map[string]*types.Func
+	EnumConsts map[string]int64
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{
+		Globals:    make(map[string]types.Type),
+		Funcs:      make(map[string]*types.Func),
+		EnumConsts: make(map[string]int64),
+	}
+}
+
+// Checker types one file against an Env.
+type Checker struct {
+	env      *Env
+	scopes   []map[string]types.Type
+	warnings []error
+
+	// WarnUndeclared controls whether unknown identifiers produce
+	// warnings (off for pattern fragments).
+	WarnUndeclared bool
+}
+
+// NewChecker returns a Checker over env.
+func NewChecker(env *Env) *Checker {
+	return &Checker{env: env, WarnUndeclared: true}
+}
+
+// Warnings returns diagnostics accumulated across Check calls.
+func (c *Checker) Warnings() []error { return c.warnings }
+
+func (c *Checker) warnf(pos token.Pos, format string, args ...any) {
+	if len(c.warnings) > 500 {
+		return
+	}
+	c.warnings = append(c.warnings, &Warning{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Check resolves and types every declaration in f, updating the Env
+// with globals and function signatures as it goes.
+func (c *Checker) Check(f *ast.File) {
+	// First pass: register all top-level names (headers declare
+	// prototypes after use sites in some protocol files).
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *ast.VarDecl:
+			c.env.Globals[x.Name] = x.T
+		case *ast.FuncDecl:
+			ft := &types.Func{Ret: x.Ret, Variadic: x.Variadic}
+			for _, p := range x.Params {
+				ft.Params = append(ft.Params, p.T)
+			}
+			c.env.Funcs[x.Name] = ft
+		}
+	}
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *ast.VarDecl:
+			if x.Init != nil {
+				c.expr(x.Init)
+			}
+		case *ast.FuncDecl:
+			if x.Body == nil {
+				continue
+			}
+			c.push()
+			for _, p := range x.Params {
+				c.declare(p.Name, p.T)
+			}
+			c.stmt(x.Body)
+			c.pop()
+		}
+	}
+}
+
+func (c *Checker) push() { c.scopes = append(c.scopes, map[string]types.Type{}) }
+func (c *Checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *Checker) declare(name string, t types.Type) {
+	if len(c.scopes) == 0 {
+		c.push()
+	}
+	c.scopes[len(c.scopes)-1][name] = t
+}
+
+// lookup resolves a name through local scopes, globals, functions and
+// enum constants.
+func (c *Checker) lookup(name string) (types.Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	if t, ok := c.env.Globals[name]; ok {
+		return t, true
+	}
+	if ft, ok := c.env.Funcs[name]; ok {
+		return ft, true
+	}
+	if _, ok := c.env.EnumConsts[name]; ok {
+		return types.IntType, true
+	}
+	return nil, false
+}
+
+func (c *Checker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		c.expr(x.X)
+	case *ast.DeclStmt:
+		if x.Decl.Init != nil {
+			c.expr(x.Decl.Init)
+		}
+		c.declare(x.Decl.Name, x.Decl.T)
+	case *ast.Block:
+		c.push()
+		for _, st := range x.Stmts {
+			c.stmt(st)
+		}
+		c.pop()
+	case *ast.If:
+		c.expr(x.Cond)
+		c.stmt(x.Then)
+		c.stmt(x.Else)
+	case *ast.While:
+		c.expr(x.Cond)
+		c.stmt(x.Body)
+	case *ast.DoWhile:
+		c.stmt(x.Body)
+		c.expr(x.Cond)
+	case *ast.For:
+		c.push()
+		c.stmt(x.Init)
+		if x.Cond != nil {
+			c.expr(x.Cond)
+		}
+		if x.Post != nil {
+			c.expr(x.Post)
+		}
+		c.stmt(x.Body)
+		c.pop()
+	case *ast.Switch:
+		c.expr(x.Tag)
+		c.stmt(x.Body)
+	case *ast.Case:
+		if x.Value != nil {
+			c.expr(x.Value)
+		}
+	case *ast.Return:
+		if x.X != nil {
+			c.expr(x.X)
+		}
+	case *ast.Labeled:
+		c.stmt(x.Stmt)
+	}
+}
+
+// expr types e, records the type on the node, and returns it.
+func (c *Checker) expr(e ast.Expr) types.Type {
+	t := c.exprType(e)
+	if t == nil {
+		t = types.IntType
+	}
+	if typed, ok := e.(ast.Typed); ok {
+		typed.SetType(t)
+	}
+	return t
+}
+
+func (c *Checker) exprType(e ast.Expr) types.Type {
+	switch x := e.(type) {
+	case nil:
+		return types.IntType
+	case *ast.Ident:
+		if t, ok := c.lookup(x.Name); ok {
+			return t
+		}
+		if c.WarnUndeclared {
+			c.warnf(x.Pos(), "undeclared identifier %q (assuming int)", x.Name)
+		}
+		return types.IntType
+	case *ast.IntLit:
+		return types.IntType
+	case *ast.FloatLit:
+		return types.DoubleType
+	case *ast.CharLit:
+		return types.CharType
+	case *ast.StringLit:
+		return &types.Pointer{Elem: types.CharType}
+	case *ast.Paren:
+		return c.expr(x.X)
+	case *ast.Unary:
+		xt := c.expr(x.X)
+		switch x.Op {
+		case token.Star:
+			if p, ok := types.Unwrap(xt).(*types.Pointer); ok {
+				return p.Elem
+			}
+			if a, ok := types.Unwrap(xt).(*types.Array); ok {
+				return a.Elem
+			}
+			c.warnf(x.Pos(), "dereference of non-pointer %v", xt)
+			return types.IntType
+		case token.BitAnd:
+			return &types.Pointer{Elem: xt}
+		case token.Not:
+			return types.IntType
+		default:
+			return xt
+		}
+	case *ast.Binary:
+		xt := c.expr(x.X)
+		yt := c.expr(x.Y)
+		switch x.Op {
+		case token.LogicalAnd, token.LogicalOr, token.Eq, token.NotEq,
+			token.Less, token.Greater, token.LessEq, token.GreaterEq:
+			return types.IntType
+		case token.Comma:
+			return yt
+		default:
+			return types.Promote(xt, yt)
+		}
+	case *ast.Assign:
+		lt := c.expr(x.LHS)
+		c.expr(x.RHS)
+		return lt
+	case *ast.Cond:
+		c.expr(x.C)
+		tt := c.expr(x.Then)
+		et := c.expr(x.Else)
+		return types.Promote(tt, et)
+	case *ast.Call:
+		for _, a := range x.Args {
+			c.expr(a)
+		}
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			if ft, ok := c.env.Funcs[id.Name]; ok {
+				if typed, ok2 := x.Fun.(ast.Typed); ok2 {
+					typed.SetType(ft)
+				}
+				return ft.Ret
+			}
+			// Unexpanded FLASH macro or undeclared function: assume a
+			// function returning int (the paper's leniency).
+			if typed, ok2 := x.Fun.(ast.Typed); ok2 {
+				typed.SetType(&types.Func{Ret: types.IntType})
+			}
+			return types.IntType
+		}
+		ft := c.expr(x.Fun)
+		if f, ok := types.Unwrap(ft).(*types.Func); ok {
+			return f.Ret
+		}
+		return types.IntType
+	case *ast.Index:
+		xt := c.expr(x.X)
+		c.expr(x.Idx)
+		switch u := types.Unwrap(xt).(type) {
+		case *types.Array:
+			return u.Elem
+		case *types.Pointer:
+			return u.Elem
+		}
+		return types.IntType
+	case *ast.Member:
+		xt := c.expr(x.X)
+		base := types.Unwrap(xt)
+		if x.Arrow {
+			if p, ok := base.(*types.Pointer); ok {
+				base = types.Unwrap(p.Elem)
+			}
+		}
+		if st, ok := base.(*types.Struct); ok {
+			if f := st.Find(x.Name); f != nil {
+				return f.T
+			}
+			c.warnf(x.Pos(), "no field %q in %v", x.Name, st)
+		}
+		return types.IntType
+	case *ast.Cast:
+		c.expr(x.X)
+		return x.To
+	case *ast.SizeofExpr:
+		c.expr(x.X)
+		return types.UIntType
+	case *ast.SizeofType:
+		return types.UIntType
+	case *ast.InitList:
+		for _, el := range x.Elems {
+			c.expr(el)
+		}
+		return types.IntType
+	case *ast.Wildcard:
+		return types.IntType
+	}
+	return types.IntType
+}

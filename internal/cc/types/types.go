@@ -1,0 +1,396 @@
+// Package types models the C type system of the protocol subset and
+// provides size/alignment computation under the 32-bit MIPS-like model
+// the FLASH protocol processor uses (int/long/pointer = 4 bytes).
+//
+// The execution-restriction checker (paper §8) depends on two
+// judgments implemented here: whether an expression's type involves
+// floating point, and whether a local variable's type exceeds 64 bits
+// (too large to live in registers for "no stack" handlers).
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all C types.
+type Type interface {
+	String() string
+	// Size returns the size in bytes, or -1 when unknown (incomplete
+	// arrays, void, functions).
+	Size() int64
+}
+
+// BasicKind enumerates the built-in scalar types.
+type BasicKind int
+
+// Basic type kinds.
+const (
+	Void BasicKind = iota
+	Char
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	LongLong
+	ULongLong
+	Float
+	Double
+	LongDouble
+)
+
+var basicNames = [...]string{
+	Void: "void", Char: "char", UChar: "unsigned char",
+	Short: "short", UShort: "unsigned short",
+	Int: "int", UInt: "unsigned int",
+	Long: "long", ULong: "unsigned long",
+	LongLong: "long long", ULongLong: "unsigned long long",
+	Float: "float", Double: "double", LongDouble: "long double",
+}
+
+var basicSizes = [...]int64{
+	Void: -1, Char: 1, UChar: 1, Short: 2, UShort: 2,
+	Int: 4, UInt: 4, Long: 4, ULong: 4,
+	LongLong: 8, ULongLong: 8,
+	Float: 4, Double: 8, LongDouble: 8,
+}
+
+// Basic is a built-in scalar type.
+type Basic struct{ Kind BasicKind }
+
+func (b *Basic) String() string { return basicNames[b.Kind] }
+
+// Size implements Type.
+func (b *Basic) Size() int64 { return basicSizes[b.Kind] }
+
+// Singleton basic types; types compare by pointer identity for basics.
+var (
+	VoidType       = &Basic{Void}
+	CharType       = &Basic{Char}
+	UCharType      = &Basic{UChar}
+	ShortType      = &Basic{Short}
+	UShortType     = &Basic{UShort}
+	IntType        = &Basic{Int}
+	UIntType       = &Basic{UInt}
+	LongType       = &Basic{Long}
+	ULongType      = &Basic{ULong}
+	LongLongType   = &Basic{LongLong}
+	ULongLongType  = &Basic{ULongLong}
+	FloatType      = &Basic{Float}
+	DoubleType     = &Basic{Double}
+	LongDoubleType = &Basic{LongDouble}
+)
+
+// Pointer is a pointer type.
+type Pointer struct{ Elem Type }
+
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+
+// Size implements Type; pointers are 4 bytes in the MAGIC model.
+func (p *Pointer) Size() int64 { return 4 }
+
+// Array is an array type; Len < 0 means incomplete ([]).
+type Array struct {
+	Elem Type
+	Len  int64
+}
+
+func (a *Array) String() string {
+	if a.Len < 0 {
+		return a.Elem.String() + "[]"
+	}
+	return fmt.Sprintf("%s[%d]", a.Elem, a.Len)
+}
+
+// Size implements Type.
+func (a *Array) Size() int64 {
+	if a.Len < 0 {
+		return -1
+	}
+	es := a.Elem.Size()
+	if es < 0 {
+		return -1
+	}
+	return es * a.Len
+}
+
+// Field is one struct or union member.
+type Field struct {
+	Name string
+	T    Type
+}
+
+// Struct is a struct or union type. Tag may be empty for anonymous
+// types. Incomplete (forward-declared) structs have Fields == nil and
+// Complete == false.
+type Struct struct {
+	Tag      string
+	Union    bool
+	Fields   []Field
+	Complete bool
+}
+
+func (s *Struct) String() string {
+	kw := "struct"
+	if s.Union {
+		kw = "union"
+	}
+	if s.Tag != "" {
+		return kw + " " + s.Tag
+	}
+	return kw + " <anon>"
+}
+
+// Size implements Type (no padding model beyond 4-byte rounding, which
+// is all the checkers need).
+func (s *Struct) Size() int64 {
+	if !s.Complete {
+		return -1
+	}
+	var total int64
+	for _, f := range s.Fields {
+		fs := f.T.Size()
+		if fs < 0 {
+			return -1
+		}
+		if s.Union {
+			if fs > total {
+				total = fs
+			}
+		} else {
+			total += fs
+		}
+	}
+	// Round to 4-byte multiple like the MIPS ABI would.
+	if r := total % 4; r != 0 {
+		total += 4 - r
+	}
+	return total
+}
+
+// Find returns the field with the given name, or nil.
+func (s *Struct) Find(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Enum is an enumerated type; enumerators are ints.
+type Enum struct {
+	Tag     string
+	Members []string
+}
+
+func (e *Enum) String() string {
+	if e.Tag != "" {
+		return "enum " + e.Tag
+	}
+	return "enum <anon>"
+}
+
+// Size implements Type.
+func (e *Enum) Size() int64 { return 4 }
+
+// Func is a function type.
+type Func struct {
+	Ret      Type
+	Params   []Type
+	Variadic bool
+}
+
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString(f.Ret.String())
+	b.WriteString(" (")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	if f.Variadic {
+		if len(f.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Size implements Type.
+func (f *Func) Size() int64 { return -1 }
+
+// Named is a typedef.
+type Named struct {
+	Name       string
+	Underlying Type
+}
+
+func (n *Named) String() string { return n.Name }
+
+// Size implements Type.
+func (n *Named) Size() int64 { return n.Underlying.Size() }
+
+// Unwrap strips typedef layers, returning the underlying type.
+func Unwrap(t Type) Type {
+	for {
+		n, ok := t.(*Named)
+		if !ok {
+			return t
+		}
+		t = n.Underlying
+	}
+}
+
+// IsFloat reports whether t involves a floating-point scalar directly
+// (after stripping typedefs). Aggregates are inspected member-wise by
+// ContainsFloat.
+func IsFloat(t Type) bool {
+	b, ok := Unwrap(t).(*Basic)
+	return ok && (b.Kind == Float || b.Kind == Double || b.Kind == LongDouble)
+}
+
+// ContainsFloat reports whether t is or contains a floating-point
+// component (array elements, struct fields).
+func ContainsFloat(t Type) bool {
+	switch u := Unwrap(t).(type) {
+	case *Basic:
+		return IsFloat(u)
+	case *Array:
+		return ContainsFloat(u.Elem)
+	case *Struct:
+		for _, f := range u.Fields {
+			if ContainsFloat(f.T) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsInteger reports whether t is an integer scalar (including char and
+// enum) after stripping typedefs.
+func IsInteger(t Type) bool {
+	switch u := Unwrap(t).(type) {
+	case *Basic:
+		return u.Kind != Void && !IsFloat(u)
+	case *Enum:
+		return true
+	}
+	return false
+}
+
+// IsUnsigned reports whether t is an unsigned integer type.
+func IsUnsigned(t Type) bool {
+	b, ok := Unwrap(t).(*Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind {
+	case UChar, UShort, UInt, ULong, ULongLong:
+		return true
+	}
+	return false
+}
+
+// IsScalar reports whether t is an integer, enum, float, or pointer
+// type — the set the metal "scalar" wildcard constraint accepts.
+func IsScalar(t Type) bool {
+	switch Unwrap(t).(type) {
+	case *Pointer:
+		return true
+	case *Enum:
+		return true
+	case *Basic:
+		return Unwrap(t).(*Basic).Kind != Void
+	}
+	return false
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := Unwrap(t).(*Pointer)
+	return ok
+}
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool {
+	b, ok := Unwrap(t).(*Basic)
+	return ok && b.Kind == Void
+}
+
+// Equal reports structural type equality (typedefs transparent).
+func Equal(a, b Type) bool {
+	a, b = Unwrap(a), Unwrap(b)
+	switch x := a.(type) {
+	case *Basic:
+		y, ok := b.(*Basic)
+		return ok && x.Kind == y.Kind
+	case *Pointer:
+		y, ok := b.(*Pointer)
+		return ok && Equal(x.Elem, y.Elem)
+	case *Array:
+		y, ok := b.(*Array)
+		return ok && x.Len == y.Len && Equal(x.Elem, y.Elem)
+	case *Struct:
+		return a == b // nominal identity
+	case *Enum:
+		return a == b
+	case *Func:
+		y, ok := b.(*Func)
+		if !ok || x.Variadic != y.Variadic || len(x.Params) != len(y.Params) || !Equal(x.Ret, y.Ret) {
+			return false
+		}
+		for i := range x.Params {
+			if !Equal(x.Params[i], y.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Promote returns the usual-arithmetic-conversion result of combining
+// two scalar operand types; it is deliberately approximate (the
+// checkers need float-ness and signedness, not exact C semantics).
+func Promote(a, b Type) Type {
+	ua, ub := Unwrap(a), Unwrap(b)
+	if IsFloat(ua) || IsFloat(ub) {
+		if isKind(ua, LongDouble) || isKind(ub, LongDouble) {
+			return LongDoubleType
+		}
+		if isKind(ua, Double) || isKind(ub, Double) {
+			return DoubleType
+		}
+		return FloatType
+	}
+	if IsPointer(ua) {
+		return ua
+	}
+	if IsPointer(ub) {
+		return ub
+	}
+	if isKind(ua, ULongLong) || isKind(ub, ULongLong) {
+		return ULongLongType
+	}
+	if isKind(ua, LongLong) || isKind(ub, LongLong) {
+		return LongLongType
+	}
+	if IsUnsigned(ua) || IsUnsigned(ub) {
+		return UIntType
+	}
+	return IntType
+}
+
+func isKind(t Type, k BasicKind) bool {
+	b, ok := Unwrap(t).(*Basic)
+	return ok && b.Kind == k
+}

@@ -1,0 +1,241 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	cases := map[Type]int64{
+		CharType: 1, UCharType: 1, ShortType: 2, UShortType: 2,
+		IntType: 4, UIntType: 4, LongType: 4, ULongType: 4,
+		LongLongType: 8, FloatType: 4, DoubleType: 8,
+	}
+	for ty, want := range cases {
+		if got := ty.Size(); got != want {
+			t.Errorf("%v size %d want %d", ty, got, want)
+		}
+	}
+	if VoidType.Size() != -1 {
+		t.Error("void has a size")
+	}
+}
+
+func TestPointerIs32Bit(t *testing.T) {
+	p := &Pointer{Elem: DoubleType}
+	if p.Size() != 4 {
+		t.Errorf("MAGIC pointers are 4 bytes, got %d", p.Size())
+	}
+}
+
+func TestArraySizes(t *testing.T) {
+	a := &Array{Elem: UIntType, Len: 6}
+	if a.Size() != 24 {
+		t.Errorf("size %d", a.Size())
+	}
+	inc := &Array{Elem: UIntType, Len: -1}
+	if inc.Size() != -1 {
+		t.Error("incomplete array has a size")
+	}
+	nested := &Array{Elem: &Array{Elem: CharType, Len: 3}, Len: 4}
+	if nested.Size() != 12 {
+		t.Errorf("nested size %d", nested.Size())
+	}
+}
+
+func TestStructSizeAndUnion(t *testing.T) {
+	s := &Struct{Tag: "s", Complete: true, Fields: []Field{
+		{"a", CharType}, {"b", UIntType},
+	}}
+	// 1 + 4 = 5, rounded up to 8.
+	if s.Size() != 8 {
+		t.Errorf("struct size %d", s.Size())
+	}
+	u := &Struct{Tag: "u", Union: true, Complete: true, Fields: []Field{
+		{"a", CharType}, {"b", DoubleType},
+	}}
+	if u.Size() != 8 {
+		t.Errorf("union size %d", u.Size())
+	}
+	fwd := &Struct{Tag: "fwd"}
+	if fwd.Size() != -1 {
+		t.Error("incomplete struct has a size")
+	}
+}
+
+func TestStructFind(t *testing.T) {
+	s := &Struct{Tag: "hdr", Complete: true, Fields: []Field{
+		{"len", UIntType}, {"type", UShortType},
+	}}
+	if f := s.Find("len"); f == nil || !Equal(f.T, UIntType) {
+		t.Error("Find(len)")
+	}
+	if s.Find("nope") != nil {
+		t.Error("Find(nope) non-nil")
+	}
+}
+
+func TestUnwrapNamedChains(t *testing.T) {
+	inner := &Named{Name: "u32", Underlying: UIntType}
+	outer := &Named{Name: "word_t", Underlying: inner}
+	if Unwrap(outer) != UIntType {
+		t.Errorf("unwrap %v", Unwrap(outer))
+	}
+	if outer.Size() != 4 {
+		t.Errorf("named size %d", outer.Size())
+	}
+}
+
+func TestFloatPredicates(t *testing.T) {
+	if !IsFloat(FloatType) || !IsFloat(DoubleType) || !IsFloat(LongDoubleType) {
+		t.Error("float kinds")
+	}
+	if IsFloat(IntType) || IsFloat(&Pointer{Elem: FloatType}) {
+		t.Error("non-floats reported as float")
+	}
+	named := &Named{Name: "real_t", Underlying: DoubleType}
+	if !IsFloat(named) {
+		t.Error("typedef to double not float")
+	}
+}
+
+func TestContainsFloat(t *testing.T) {
+	s := &Struct{Tag: "v", Complete: true, Fields: []Field{
+		{"n", IntType},
+		{"samples", &Array{Elem: FloatType, Len: 4}},
+	}}
+	if !ContainsFloat(s) {
+		t.Error("struct with float array")
+	}
+	clean := &Struct{Tag: "c", Complete: true, Fields: []Field{{"n", IntType}}}
+	if ContainsFloat(clean) {
+		t.Error("int-only struct contains float")
+	}
+}
+
+func TestScalarAndIntegerPredicates(t *testing.T) {
+	if !IsScalar(IntType) || !IsScalar(&Pointer{Elem: VoidType}) || !IsScalar(&Enum{Tag: "e"}) {
+		t.Error("scalars")
+	}
+	if IsScalar(VoidType) {
+		t.Error("void is scalar")
+	}
+	st := &Struct{Tag: "s", Complete: true}
+	if IsScalar(st) || IsInteger(st) {
+		t.Error("struct is scalar/integer")
+	}
+	if !IsInteger(CharType) || !IsInteger(&Enum{Tag: "e"}) {
+		t.Error("integers")
+	}
+	if IsInteger(FloatType) {
+		t.Error("float is integer")
+	}
+}
+
+func TestUnsigned(t *testing.T) {
+	for _, ty := range []Type{UCharType, UShortType, UIntType, ULongType, ULongLongType} {
+		if !IsUnsigned(ty) {
+			t.Errorf("%v not unsigned", ty)
+		}
+	}
+	for _, ty := range []Type{CharType, IntType, LongType, FloatType} {
+		if IsUnsigned(ty) {
+			t.Errorf("%v unsigned", ty)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(&Pointer{Elem: UIntType}, &Pointer{Elem: UIntType}) {
+		t.Error("pointer equality")
+	}
+	if Equal(&Pointer{Elem: UIntType}, &Pointer{Elem: IntType}) {
+		t.Error("distinct pointees equal")
+	}
+	if !Equal(&Array{Elem: IntType, Len: 3}, &Array{Elem: IntType, Len: 3}) {
+		t.Error("array equality")
+	}
+	if Equal(&Array{Elem: IntType, Len: 3}, &Array{Elem: IntType, Len: 4}) {
+		t.Error("different lengths equal")
+	}
+	// Structs are nominal.
+	a := &Struct{Tag: "s", Complete: true}
+	b := &Struct{Tag: "s", Complete: true}
+	if Equal(a, b) {
+		t.Error("distinct struct instances equal")
+	}
+	if !Equal(a, a) {
+		t.Error("struct not self-equal")
+	}
+	// Typedefs are transparent.
+	if !Equal(&Named{Name: "u", Underlying: UIntType}, UIntType) {
+		t.Error("typedef not transparent")
+	}
+	f1 := &Func{Ret: IntType, Params: []Type{UIntType}}
+	f2 := &Func{Ret: IntType, Params: []Type{UIntType}}
+	if !Equal(f1, f2) {
+		t.Error("func equality")
+	}
+	f3 := &Func{Ret: IntType, Params: []Type{UIntType}, Variadic: true}
+	if Equal(f1, f3) {
+		t.Error("variadic equal to non-variadic")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	cases := []struct {
+		a, b, want Type
+	}{
+		{IntType, IntType, IntType},
+		{CharType, ShortType, IntType},
+		{IntType, UIntType, UIntType},
+		{IntType, FloatType, FloatType},
+		{FloatType, DoubleType, DoubleType},
+		{DoubleType, LongDoubleType, LongDoubleType},
+		{IntType, LongLongType, LongLongType},
+		{UIntType, ULongLongType, ULongLongType},
+	}
+	for _, c := range cases {
+		if got := Promote(c.a, c.b); !Equal(got, c.want) {
+			t.Errorf("Promote(%v, %v) = %v want %v", c.a, c.b, got, c.want)
+		}
+	}
+	p := &Pointer{Elem: CharType}
+	if got := Promote(p, IntType); !IsPointer(got) {
+		t.Errorf("pointer arithmetic result %v", got)
+	}
+}
+
+// Property: Promote is symmetric for the scalar lattice.
+func TestPromoteSymmetricProperty(t *testing.T) {
+	scalars := []Type{CharType, UCharType, ShortType, UShortType,
+		IntType, UIntType, LongType, ULongType, LongLongType,
+		ULongLongType, FloatType, DoubleType, LongDoubleType}
+	f := func(i, j uint8) bool {
+		a := scalars[int(i)%len(scalars)]
+		b := scalars[int(j)%len(scalars)]
+		return Equal(Promote(a, b), Promote(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: promoting with float always yields float; with only
+// integers never does.
+func TestPromoteFloatClosureProperty(t *testing.T) {
+	ints := []Type{CharType, ShortType, IntType, UIntType, LongType, ULongType}
+	floats := []Type{FloatType, DoubleType, LongDoubleType}
+	f := func(i, j uint8, pickFloat bool) bool {
+		a := ints[int(i)%len(ints)]
+		if pickFloat {
+			b := floats[int(j)%len(floats)]
+			return IsFloat(Promote(a, b))
+		}
+		b := ints[int(j)%len(ints)]
+		return !IsFloat(Promote(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

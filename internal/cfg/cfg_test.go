@@ -1,0 +1,312 @@
+package cfg
+
+import (
+	"testing"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/parser"
+)
+
+// buildFn parses src and builds the CFG of its first function.
+func buildFn(t *testing.T, src string) *Graph {
+	t.Helper()
+	f, errs := parser.ParseText("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	fns := f.Funcs()
+	if len(fns) == 0 {
+		t.Fatal("no function")
+	}
+	return Build(fns[0])
+}
+
+// countKind counts reachable nodes of a kind.
+func countKind(g *Graph, k NodeKind) int {
+	reach := g.Reachable()
+	n := 0
+	for node := range reach {
+		if node.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLinear(t *testing.T) {
+	g := buildFn(t, `void f(void) { int a; a = 1; a = 2; }`)
+	if got := countKind(g, KindStmt); got != 3 {
+		t.Errorf("stmt nodes %d", got)
+	}
+	if got := countKind(g, KindBranch); got != 0 {
+		t.Errorf("branch nodes %d", got)
+	}
+	if !g.Reachable()[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFn(t, `void f(int c) { if (c) { c = 1; } else { c = 2; } c = 3; }`)
+	if got := countKind(g, KindBranch); got != 1 {
+		t.Fatalf("branch nodes %d", got)
+	}
+	// Find the branch; it must have one True and one False edge.
+	for _, n := range g.Nodes {
+		if n.Kind != KindBranch {
+			continue
+		}
+		var hasT, hasF bool
+		for _, e := range n.Succs {
+			switch e.Label {
+			case True:
+				hasT = true
+			case False:
+				hasF = true
+			}
+		}
+		if !hasT || !hasF {
+			t.Errorf("branch edges T=%v F=%v", hasT, hasF)
+		}
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g := buildFn(t, `void f(int c) { if (c) c = 1; c = 2; }`)
+	if !g.Reachable()[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestWhileHasBackEdge(t *testing.T) {
+	g := buildFn(t, `void f(int n) { while (n) { n--; } }`)
+	if len(g.BackEdges()) != 1 {
+		t.Errorf("back edges %d", len(g.BackEdges()))
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	g := buildFn(t, `void f(int n) { do { n--; } while (n); }`)
+	if len(g.BackEdges()) != 1 {
+		t.Errorf("back edges %d", len(g.BackEdges()))
+	}
+	if !g.Reachable()[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := buildFn(t, `void f(void) { int i; for (i = 0; i < 4; i++) { i += 0; } }`)
+	if len(g.BackEdges()) != 1 {
+		t.Errorf("back edges %d", len(g.BackEdges()))
+	}
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	g := buildFn(t, `void f(int c) { for (;;) { if (c) break; } c = 1; }`)
+	if !g.Reachable()[g.Exit] {
+		t.Error("exit unreachable (break not wired)")
+	}
+}
+
+func TestInfiniteForNoBreak(t *testing.T) {
+	g := buildFn(t, `void f(void) { for (;;) { } }`)
+	// Exit should be unreachable.
+	if g.Reachable()[g.Exit] {
+		t.Error("exit reachable from for(;;) without break")
+	}
+}
+
+func TestContinueTargets(t *testing.T) {
+	g := buildFn(t, `void f(int n) { while (n) { if (n == 2) continue; n--; } }`)
+	// Graph must stay finite and exit reachable.
+	if !g.Reachable()[g.Exit] {
+		t.Error("exit unreachable")
+	}
+	if len(g.BackEdges()) < 1 {
+		t.Error("no back edge")
+	}
+}
+
+func TestSwitchEdges(t *testing.T) {
+	g := buildFn(t, `
+void f(int op) {
+	switch (op) {
+	case 1:
+		op = 10;
+		break;
+	case 2:
+	case 3:
+		op = 20;
+		break;
+	default:
+		op = 30;
+	}
+	op = 40;
+}`)
+	var sw *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			sw = n
+		}
+	}
+	if sw == nil {
+		t.Fatal("no switch branch node")
+	}
+	var caseEdges, defEdges int
+	for _, e := range sw.Succs {
+		switch e.Label {
+		case CaseEq:
+			caseEdges++
+		case Default:
+			defEdges++
+		}
+	}
+	if caseEdges != 3 || defEdges != 1 {
+		t.Errorf("case=%d default=%d", caseEdges, defEdges)
+	}
+}
+
+func TestSwitchImplicitDefault(t *testing.T) {
+	g := buildFn(t, `void f(int op) { switch (op) { case 1: op = 2; break; } op = 3; }`)
+	var sw *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			sw = n
+		}
+	}
+	var def int
+	for _, e := range sw.Succs {
+		if e.Label == Default {
+			def++
+		}
+	}
+	if def != 1 {
+		t.Errorf("implicit default edges %d", def)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFn(t, `
+void f(int op) {
+	int x;
+	switch (op) {
+	case 1:
+		x = 1;
+	case 2:
+		x = 2;
+		break;
+	}
+}`)
+	// Find "x = 1" node; its successor chain must reach "x = 2"
+	// without passing through the switch branch again.
+	var n1, n2 *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindStmt {
+			s := ast.StmtString(n.Stmt)
+			if s == "x = 1;" {
+				n1 = n
+			}
+			if s == "x = 2;" {
+				n2 = n
+			}
+		}
+	}
+	if n1 == nil || n2 == nil {
+		t.Fatal("missing stmt nodes")
+	}
+	// BFS from n1.
+	seen := map[*Node]bool{}
+	q := []*Node{n1}
+	found := false
+	for len(q) > 0 {
+		n := q[0]
+		q = q[1:]
+		if n == n2 {
+			found = true
+			break
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range n.Succs {
+			q = append(q, e.To)
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge missing")
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := buildFn(t, `
+void f(int c) {
+	int x;
+top:
+	x = 1;
+	if (c) goto done;
+	goto top;
+done:
+	x = 2;
+}`)
+	if !g.Reachable()[g.Exit] {
+		t.Error("exit unreachable")
+	}
+	if len(g.BackEdges()) < 1 {
+		t.Error("backward goto produced no back edge")
+	}
+}
+
+func TestReturnConnectsToExit(t *testing.T) {
+	g := buildFn(t, `void f(int c) { if (c) return; c = 1; }`)
+	// Two paths must reach exit.
+	var returns int
+	for _, n := range g.Nodes {
+		if n.Kind == KindStmt {
+			if _, ok := n.Stmt.(*ast.Return); ok {
+				returns++
+				hasExit := false
+				for _, e := range n.Succs {
+					if e.To == g.Exit {
+						hasExit = true
+					}
+				}
+				if !hasExit {
+					t.Error("return not wired to exit")
+				}
+			}
+		}
+	}
+	if returns != 1 {
+		t.Errorf("returns %d", returns)
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := buildFn(t, `void f(void) { return; f(); }`)
+	reach := g.Reachable()
+	for _, n := range g.Nodes {
+		if n.Kind == KindStmt {
+			if s, ok := n.Stmt.(*ast.ExprStmt); ok {
+				if ast.ExprString(s.X) == "f()" && reach[n] {
+					t.Error("code after return is reachable")
+				}
+			}
+		}
+	}
+}
+
+func TestEveryNonExitReachableNodeHasSucc(t *testing.T) {
+	g := buildFn(t, `
+void f(int a, int b) {
+	if (a) { while (b) { b--; } } else { switch (a) { case 1: a = 2; break; default: a = 3; } }
+	do { a++; } while (a < 10);
+	return;
+}`)
+	for n := range g.Reachable() {
+		if n != g.Exit && len(n.Succs) == 0 {
+			t.Errorf("dead-end node %v", n)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flashmc/internal/cc/parser"
+)
+
+// genStmt emits one random statement at the given nesting depth.
+func genStmt(rng *rand.Rand, b *strings.Builder, depth int) {
+	if depth <= 0 {
+		b.WriteString("x = x + 1;\n")
+		return
+	}
+	switch rng.Intn(8) {
+	case 0:
+		b.WriteString("x = x ^ 3;\n")
+	case 1:
+		b.WriteString("if (x > 1) {\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("} else {\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("}\n")
+	case 2:
+		b.WriteString("while (x < 9) {\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("x++;\n}\n")
+	case 3:
+		b.WriteString("do {\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("} while (x & 1);\n")
+	case 4:
+		b.WriteString("switch (x & 3) {\ncase 0:\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("break;\ncase 1:\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("default:\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("}\n")
+	case 5:
+		b.WriteString("for (x = 0; x < 4; x++) {\n")
+		genStmt(rng, b, depth-1)
+		b.WriteString("}\n")
+	case 6:
+		b.WriteString("if (x == 7) { return; }\n")
+	case 7:
+		b.WriteString("if (x == 5) { break_guard(); }\n")
+	}
+}
+
+func genRandomFn(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("void f(int x) {\n")
+	n := 1 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		genStmt(rng, &b, 3)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TestCFGInvariantsProperty checks structural invariants over random
+// functions: edges are mirrored in pred/succ lists, reachable non-exit
+// nodes have successors, the exit has none, and back-edge removal
+// leaves an acyclic graph.
+func TestCFGInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genRandomFn(rng)
+		file, errs := parser.ParseText("r.c", src)
+		if len(errs) != 0 {
+			t.Logf("parse errors in generated source:\n%s", src)
+			return false
+		}
+		g := Build(file.Funcs()[0])
+
+		// Mirrored adjacency.
+		for _, n := range g.Nodes {
+			for _, e := range n.Succs {
+				if e.From != n {
+					return false
+				}
+				found := false
+				for _, p := range e.To.Preds {
+					if p == e {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		// Exit is a sink; reachable non-exit nodes flow somewhere.
+		if len(g.Exit.Succs) != 0 {
+			return false
+		}
+		for n := range g.Reachable() {
+			if n != g.Exit && len(n.Succs) == 0 {
+				t.Logf("dead end %v in:\n%s", n, src)
+				return false
+			}
+		}
+		// Removing back edges yields a DAG (topological order exists).
+		back := g.BackEdges()
+		indeg := map[*Node]int{}
+		for _, n := range g.Nodes {
+			for _, e := range n.Succs {
+				if !back[e] {
+					indeg[e.To]++
+				}
+			}
+		}
+		queue := []*Node{}
+		for _, n := range g.Nodes {
+			if indeg[n] == 0 {
+				queue = append(queue, n)
+			}
+		}
+		visited := 0
+		for len(queue) > 0 {
+			n := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			visited++
+			for _, e := range n.Succs {
+				if back[e] {
+					continue
+				}
+				indeg[e.To]--
+				if indeg[e.To] == 0 {
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		return visited == len(g.Nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

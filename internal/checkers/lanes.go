@@ -1,0 +1,257 @@
+package checkers
+
+import (
+	_ "embed"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/cfg"
+	"flashmc/internal/core"
+	"flashmc/internal/engine"
+	"flashmc/internal/flash"
+	"flashmc/internal/global"
+)
+
+//go:embed lanes.go
+var lanesSource string
+
+// lanes is the §7 deadlock-avoidance checker. FLASH divides the
+// network into four virtual lanes; the hardware only dispatches a
+// handler once that handler's declared lane allowance is free, so a
+// handler whose worst-case path sends more than its allowance on any
+// lane can deadlock the machine. The check is inter-procedural: a
+// local pass annotates every send with its lane and emits per-function
+// flow-graph summaries (package global); the global pass links them
+// and walks the call graph computing the maximum sends per lane on any
+// path. The paper's fixed-point rule handles loops and recursion:
+// re-entering a function (or revisiting a node) with an unchanged lane
+// vector is a fixed point and that path stops; with sends inside the
+// cycle the count grows until it exceeds the allowance and is
+// reported.
+type lanes struct{}
+
+// NewLanes returns the lane-allowance checker.
+func NewLanes() Checker { return &lanes{} }
+
+func (*lanes) Name() string { return "lanes" }
+
+func (*lanes) LOC() int { return coreLOC(lanesSource) }
+
+func (*lanes) Applied(p *core.Program) int {
+	total := 0
+	for _, pat := range sendPatterns() {
+		total += p.Count(pat)
+	}
+	return total
+}
+
+// LaneAnnotator is the local pass: it labels each CFG node with the
+// sends ("send:<lane>") and space checks ("space:<lane>") it contains.
+func LaneAnnotator(n *cfg.Node) []string {
+	var root ast.Node
+	switch n.Kind {
+	case cfg.KindStmt:
+		root = n.Stmt
+	case cfg.KindBranch:
+		root = n.Cond
+	default:
+		return nil
+	}
+	var anns []string
+	ast.Inspect(root, func(x ast.Node) bool {
+		call, ok := x.(*ast.Call)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if lane := flash.LaneOfSend(id.Name); lane >= 0 {
+			anns = append(anns, "send:"+strconv.Itoa(lane))
+		}
+		if id.Name == flash.MacroWaitForSpace && len(call.Args) == 1 {
+			if lit, ok := call.Args[0].(*ast.IntLit); ok {
+				anns = append(anns, "space:"+strconv.Itoa(int(lit.Value)))
+			}
+		}
+		return true
+	})
+	return anns
+}
+
+// Summarize runs the local pass over a program.
+func Summarize(p *core.Program) []*global.Summary {
+	out := make([]*global.Summary, 0, len(p.Graphs))
+	for _, g := range p.Graphs {
+		out = append(out, global.FromCFG(g, LaneAnnotator))
+	}
+	return out
+}
+
+func (*lanes) Check(p *core.Program, spec *flash.Spec) []engine.Report {
+	prog, linkErrs := global.Link(Summarize(p))
+	reports := CheckLanes(prog, spec)
+	for _, e := range linkErrs {
+		reports = append(reports, engine.Report{SM: "lanes", Rule: "link", Msg: e.Error()})
+	}
+	return reports
+}
+
+// checker-core: begin
+
+// defaultAllowance is used for handlers the spec does not list.
+var defaultAllowance = flash.LaneVector{1, 1, 1, 1}
+
+// laneWalker carries the global traversal state for one handler.
+type laneWalker struct {
+	prog    *global.Program
+	allow   flash.LaneVector
+	handler string
+	reports *[]engine.Report
+	memo    map[string][]flash.LaneVector
+	inProg  map[string]bool
+	trace   []string
+	warned  map[string]bool
+}
+
+// CheckLanes runs the global pass over a linked program.
+func CheckLanes(prog *global.Program, spec *flash.Spec) []engine.Report {
+	var reports []engine.Report
+	for _, h := range append(append([]string{}, spec.Hardware...), spec.Software...) {
+		s := prog.Funcs[h]
+		if s == nil {
+			continue
+		}
+		allow, ok := spec.Allowance[h]
+		if !ok {
+			allow = defaultAllowance
+		}
+		w := &laneWalker{
+			prog: prog, allow: allow, handler: h, reports: &reports,
+			memo:   map[string][]flash.LaneVector{},
+			inProg: map[string]bool{},
+			warned: map[string]bool{},
+		}
+		w.fnExits(h, flash.LaneVector{})
+	}
+	return reports
+}
+
+// fnExits returns the possible lane vectors at fn's exit when entered
+// with vec. Re-entry with the same vector is the paper's fixed point.
+func (w *laneWalker) fnExits(fn string, vec flash.LaneVector) []flash.LaneVector {
+	s := w.prog.Funcs[fn]
+	if s == nil {
+		return []flash.LaneVector{vec} // external/macro: no sends
+	}
+	key := fmt.Sprintf("F|%s|%v", fn, vec)
+	if w.inProg[key] {
+		return nil // fixed point: cycle added no sends; stop this path
+	}
+	if m, ok := w.memo[key]; ok {
+		return m
+	}
+	w.inProg[key] = true
+	w.trace = append(w.trace, fn)
+	exits := w.nodeExits(s, s.Entry, vec)
+	w.trace = w.trace[:len(w.trace)-1]
+	w.inProg[key] = false
+	w.memo[key] = exits
+	return exits
+}
+
+// nodeExits returns exit vectors reachable from node id of s with vec.
+func (w *laneWalker) nodeExits(s *global.Summary, id int, vec flash.LaneVector) []flash.LaneVector {
+	key := fmt.Sprintf("N|%s|%d|%v", s.Fn, id, vec)
+	if w.inProg[key] {
+		return nil // loop fixed point (no sends since last visit)
+	}
+	if m, ok := w.memo[key]; ok {
+		return m
+	}
+	w.inProg[key] = true
+	defer func() { w.inProg[key] = false }()
+
+	n := &s.Nodes[id]
+	// Apply this node's annotations in order.
+	for _, ann := range n.Anns {
+		switch {
+		case strings.HasPrefix(ann, "send:"):
+			lane, _ := strconv.Atoi(ann[len("send:"):])
+			vec = vec.Add(lane)
+			if vec[lane] > w.allow[lane] {
+				w.reportExceed(s, n, lane, vec[lane])
+				w.memo[key] = nil
+				return nil // cap: stop exploring past the violation
+			}
+		case strings.HasPrefix(ann, "space:"):
+			lane, _ := strconv.Atoi(ann[len("space:"):])
+			vec[lane] = 0 // handler suspended until space is available
+		}
+	}
+	// Descend into callees, composing their exit-vector sets.
+	vecs := []flash.LaneVector{vec}
+	for _, callee := range n.Calls {
+		var next []flash.LaneVector
+		for _, v := range vecs {
+			next = append(next, w.fnExits(callee, v)...)
+		}
+		vecs = dedupVecs(next)
+		if len(vecs) == 0 {
+			w.memo[key] = nil
+			return nil
+		}
+	}
+	if id == s.Exit {
+		w.memo[key] = vecs
+		return vecs
+	}
+	var out []flash.LaneVector
+	for i, succ := range n.Succs {
+		_ = i
+		for _, v := range vecs {
+			out = append(out, w.nodeExits(s, succ, v)...)
+		}
+	}
+	out = dedupVecs(out)
+	w.memo[key] = out
+	return out
+}
+
+// reportExceed emits one violation with an inter-procedural backtrace.
+func (w *laneWalker) reportExceed(s *global.Summary, n *global.Node, lane, count int) {
+	site := fmt.Sprintf("%s:%d", n.File, n.Line)
+	if w.warned[site+w.handler] {
+		return
+	}
+	w.warned[site+w.handler] = true
+	bt := strings.Join(w.trace, " -> ")
+	*w.reports = append(*w.reports, engine.Report{
+		SM: "lanes", Rule: "exceed", Fn: w.handler,
+		Pos: token.Pos{File: n.File, Line: n.Line, Col: 1},
+		Msg: fmt.Sprintf("handler %s exceeds lane %d allowance (%d > %d) via %s",
+			w.handler, lane, count, w.allow[lane], bt),
+	})
+}
+
+// checker-core: end
+
+// dedupVecs removes duplicate lane vectors.
+func dedupVecs(in []flash.LaneVector) []flash.LaneVector {
+	if len(in) <= 1 {
+		return in
+	}
+	seen := map[flash.LaneVector]bool{}
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

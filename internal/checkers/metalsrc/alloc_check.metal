@@ -1,0 +1,20 @@
+/* Buffer allocation failure checker (paper §9): every ALLOC_DB result
+ * must be checked against BUFFER_ERROR before it is used. The buffer
+ * variable is tracked so the comparison and uses must name the same
+ * object. */
+{ #include "flash-includes.h" }
+sm alloc_check {
+	decl { scalar } buf, x;
+	track buf;
+	start:
+	{ buf = ALLOC_DB(); } ==> unchecked
+	;
+	unchecked:
+	{ buf == BUFFER_ERROR } ==> start
+	| { buf != BUFFER_ERROR } ==> start
+	| { MISCBUS_WRITE_DB(buf, x); } ==>
+		{ err("buffer used before allocation error check"); }
+	| { DEBUG_PRINT(buf); } ==>
+		{ err("buffer used before allocation error check"); }
+	;
+}

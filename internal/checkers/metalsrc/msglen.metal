@@ -1,0 +1,32 @@
+/* Message length / has-data consistency checker (paper §5, Figure 3):
+ * data sends need a non-zero length field, no-data sends a zero one.
+ * Extended with the reply-lane network send macro. */
+{ #include "flash-includes.h" }
+sm msglen_check {
+	pat zero_assign =
+		{ HANDLER_GLOBALS(header.nh.len) = LEN_NODATA } ;
+	pat nonzero_assign =
+		{ HANDLER_GLOBALS(header.nh.len) = LEN_WORD }
+	| { HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE } ;
+	decl { unsigned } keep, swap, wait, dec, null, type;
+	pat send_data =
+		{ PI_SEND(F_DATA, keep, swap, wait, dec, null) }
+	| { IO_SEND(F_DATA, keep, swap, wait, dec, null) }
+	| { NI_SEND(type, F_DATA, keep, wait, dec, null) }
+	| { NI_SEND_RPLY(type, F_DATA, keep, wait, dec, null) } ;
+	pat send_nodata =
+		{ PI_SEND(F_NODATA, keep, swap, wait, dec, null) }
+	| { IO_SEND(F_NODATA, keep, swap, wait, dec, null) }
+	| { NI_SEND(type, F_NODATA, keep, wait, dec, null) }
+	| { NI_SEND_RPLY(type, F_NODATA, keep, wait, dec, null) } ;
+	all:
+		zero_assign ==> zero_len
+	| nonzero_assign ==> nonzero_len
+	;
+	zero_len:
+		send_data ==> { err("data send, zero len"); }
+	;
+	nonzero_len:
+		send_nodata ==> { err("nodata send, nonzero len"); }
+	;
+}

@@ -1,0 +1,15 @@
+/* Buffer fill race-condition checker (paper §4, Figure 2).
+ * "WAIT_FOR_DB_FULL must come before MISCBUS_READ_DB."
+ * The deployed version (used for Table 2) also recognizes the
+ * older-style read macro. */
+{ #include "flash-includes.h" }
+sm wait_for_db {
+	decl { scalar } addr, buf;
+	start:
+	{ WAIT_FOR_DB_FULL(addr); } ==> stop
+	| { MISCBUS_READ_DB(addr, buf); } ==>
+		{ err("Buffer not synchronized"); }
+	| { OLD_MISCBUS_READ(addr); } ==>
+		{ err("Buffer not synchronized"); }
+	;
+}

@@ -1,0 +1,49 @@
+package checkers
+
+import (
+	_ "embed"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/types"
+	"flashmc/internal/core"
+	"flashmc/internal/engine"
+	"flashmc/internal/flash"
+)
+
+//go:embed nofloat.go
+var nofloatSource string
+
+// noFloat is the §8 floating-point restriction: MAGIC's protocol
+// processor has no FPU, so no expression in protocol code may have
+// floating-point type. Like the paper's version it "registers a
+// function ... invoked on every tree node and checks that no tree node
+// has a floating point type" — seven lines of checker core.
+type noFloat struct{}
+
+// NewNoFloat returns the no-floating-point checker.
+func NewNoFloat() Checker { return &noFloat{} }
+
+func (*noFloat) Name() string { return "nofloat" }
+
+func (*noFloat) LOC() int { return coreLOC(nofloatSource) }
+
+func (*noFloat) Applied(p *core.Program) int { return -1 }
+
+// checker-core: begin
+
+func (*noFloat) Check(p *core.Program, spec *flash.Spec) []engine.Report {
+	var out []engine.Report
+	for _, fn := range p.Fns {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && e.Type() != nil && types.IsFloat(e.Type()) {
+				out = append(out, engine.Report{SM: "nofloat", Rule: "float",
+					Fn: fn.Name, Pos: e.Pos(), Msg: "floating point operation in protocol code"})
+				return false // one report per float subtree
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checker-core: end

@@ -1,0 +1,544 @@
+// Package engine executes metal state machines over control-flow
+// graphs. It is the analogue of xg++'s extension driver: an SM is
+// applied "down every path in each function" (paper §3.2).
+//
+// Rather than literally enumerating the (exponentially many) paths,
+// the default executor propagates sets of SM configurations — a
+// (state, bindings) pair — over the CFG to a fixed point. For err()
+// style idempotent actions this produces exactly the reports the
+// every-path walk would, while always terminating; a bounded
+// every-path executor (RunPaths) is kept for differential testing and
+// for the ablation benchmark quantifying the difference.
+//
+// Two refinements the paper calls out are supported directly:
+//
+//   - Branch-condition rules (CondRule) let a checker move to
+//     different states on the true and false edges of a branch whose
+//     condition matches a pattern — the paper's "twelve lines ...
+//     sensitive to the value of four routines that returned a 0 or 1
+//     depending on whether or not they freed a buffer" (§6).
+//   - At-exit hooks let a checker flag configurations that reach the
+//     function exit in a bad state (buffer leaks).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/cfg"
+	"flashmc/internal/match"
+)
+
+// Stop is the reserved target state that kills a configuration (stops
+// checking along the current path).
+const Stop = "stop"
+
+// All is the reserved rule-owner state whose rules apply in every
+// state (paper §5: "rules in the special 'all' state are always run").
+const All = "all"
+
+// Pattern is one code pattern: either a statement pattern or an
+// expression pattern. Expression patterns (and the expressions inside
+// expression-statement patterns) match any sub-expression of the event
+// so that e.g. a read macro inside a larger assignment still triggers.
+type Pattern struct {
+	Stmt ast.Stmt
+	Expr ast.Expr
+}
+
+// Ctx is passed to rule actions.
+type Ctx struct {
+	// Env holds the wildcard bindings of the match.
+	Env match.Env
+	// Node is the CFG node at which the rule fired.
+	Node *cfg.Node
+	// MatchPos is the position of the matched construct.
+	MatchPos token.Pos
+	// State is the SM state the configuration was in.
+	State string
+
+	eng     *runner
+	ruleTag string
+}
+
+// Report emits a diagnostic attributed to the matched construct.
+// Repeated firings of the same rule at the same position with the same
+// message are deduplicated.
+func (c *Ctx) Report(format string, args ...any) {
+	c.eng.report(c.ruleTag, c.MatchPos, c.State, fmt.Sprintf(format, args...))
+}
+
+// FnName returns the name of the function being checked.
+func (c *Ctx) FnName() string { return c.eng.g.Fn.Name }
+
+// Bound renders a wildcard binding as source text ("" if unbound).
+func (c *Ctx) Bound(name string) string {
+	if e, ok := c.Env[name]; ok {
+		return ast.ExprString(e)
+	}
+	return ""
+}
+
+// Rule is one SM transition rule.
+type Rule struct {
+	// State owns the rule; All applies in every state.
+	State string
+	// Patterns are alternatives; the rule fires on the first that
+	// matches the event.
+	Patterns []Pattern
+	// Target is the destination state; "" stays, Stop kills the
+	// configuration.
+	Target string
+	// Action runs when the rule fires (may be nil).
+	Action func(*Ctx)
+	// Tag labels the rule in reports (defaults to the rule index).
+	Tag string
+}
+
+// CondRule refines configurations across branch edges: when a branch
+// node's condition contains a sub-expression matching Pattern, the
+// configuration's state becomes TrueTarget on the true edge and
+// FalseTarget on the false edge ("" keeps the state, Stop prunes).
+type CondRule struct {
+	State       string
+	Pattern     ast.Expr
+	TrueTarget  string
+	FalseTarget string
+	// Negated marks patterns that appear under an odd number of
+	// logical negations; the engine swaps the targets then.
+	// (Handled automatically for top-level '!'.)
+}
+
+// SM is a compiled state machine.
+type SM struct {
+	Name string
+	// Start is the initial state. StartFor (if non-nil) overrides it
+	// per function and may return "" to skip the function entirely.
+	Start    string
+	StartFor func(fn *ast.FuncDecl) string
+	Rules    []*Rule
+	Cond     []*CondRule
+	// AtExit runs for every configuration that reaches the function
+	// exit node (after all statements and returns).
+	AtExit func(*Ctx)
+	// Track names the wildcard variables whose bindings persist in the
+	// configuration across rules (the checker "tracks" that object,
+	// e.g. a specific buffer variable). All other wildcards bind fresh
+	// at every rule match, which is the paper's semantics — in Figure
+	// 2 each read re-binds addr/buf independently.
+	Track []string
+	// CorrelateBranches enables the infeasible-path pruner the paper
+	// deliberately omitted (§6: "we do not prune simple impossible
+	// paths. The most common case was protocol code that had an
+	// 'if-else' branch on a condition ... and then did another
+	// 'if-else' branch on the same condition"). When on, outcomes of
+	// bare-identifier branch conditions are remembered per
+	// configuration and contradictory paths are dropped. It exists for
+	// the ablation quantifying how many useless annotations it removes.
+	CorrelateBranches bool
+}
+
+// keepTracked filters a match environment down to the SM's tracked
+// variables; with no Track list configurations carry no bindings.
+func (sm *SM) keepTracked(env match.Env) match.Env {
+	if len(sm.Track) == 0 || len(env) == 0 {
+		return match.Env{}
+	}
+	out := match.Env{}
+	for _, name := range sm.Track {
+		if e, ok := env[name]; ok {
+			out[name] = e
+		}
+	}
+	return out
+}
+
+// envFor computes the configuration environment after a transition to
+// target. Re-entering the SM's start state resets tracking: the
+// checked object's lifetime is over and the next creation site must
+// bind fresh.
+func (sm *SM) envFor(target string, env match.Env) match.Env {
+	if target == sm.Start {
+		return match.Env{}
+	}
+	return sm.keepTracked(env)
+}
+
+// Report is one diagnostic produced by a run.
+type Report struct {
+	SM    string
+	Rule  string
+	Fn    string
+	Pos   token.Pos
+	State string
+	Msg   string
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: [%s] %s (fn %s, state %s)", r.Pos, r.SM, r.Msg, r.Fn, r.State)
+}
+
+// config is one SM configuration.
+type config struct {
+	state string
+	env   match.Env
+	// conds remembers branch outcomes of bare-identifier conditions
+	// when the SM's CorrelateBranches pruner is on.
+	conds map[string]bool
+}
+
+func (c config) key() string {
+	if len(c.env) == 0 && len(c.conds) == 0 {
+		return c.state
+	}
+	names := make([]string, 0, len(c.env))
+	for k := range c.env {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(c.state)
+	for _, n := range names {
+		b.WriteByte('|')
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(ast.ExprString(c.env[n]))
+	}
+	if len(c.conds) > 0 {
+		cnames := make([]string, 0, len(c.conds))
+		for k := range c.conds {
+			cnames = append(cnames, k)
+		}
+		sort.Strings(cnames)
+		for _, n := range cnames {
+			b.WriteByte('|')
+			b.WriteByte('?')
+			b.WriteString(n)
+			if c.conds[n] {
+				b.WriteString("=T")
+			} else {
+				b.WriteString("=F")
+			}
+		}
+	}
+	return b.String()
+}
+
+// withCond returns a copy of c recording cond name=outcome.
+func (c config) withCond(name string, outcome bool) config {
+	nc := config{state: c.state, env: c.env, conds: make(map[string]bool, len(c.conds)+1)}
+	for k, v := range c.conds {
+		nc.conds[k] = v
+	}
+	nc.conds[name] = outcome
+	return nc
+}
+
+// withoutCond drops a recorded condition (its variable was written).
+func (c config) withoutCond(name string) config {
+	if _, ok := c.conds[name]; !ok {
+		return c
+	}
+	nc := config{state: c.state, env: c.env, conds: make(map[string]bool, len(c.conds))}
+	for k, v := range c.conds {
+		if k != name {
+			nc.conds[k] = v
+		}
+	}
+	return nc
+}
+
+type configSet map[string]config
+
+func (s configSet) add(c config) bool {
+	k := c.key()
+	if _, ok := s[k]; ok {
+		return false
+	}
+	s[k] = c
+	return true
+}
+
+// runner executes one SM over one graph.
+type runner struct {
+	sm      *SM
+	g       *cfg.Graph
+	reports []Report
+	seen    map[string]bool
+}
+
+func (r *runner) report(rule string, pos token.Pos, state, msg string) {
+	key := rule + "|" + pos.String() + "|" + msg
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.reports = append(r.reports, Report{
+		SM: r.sm.Name, Rule: rule, Fn: r.g.Fn.Name,
+		Pos: pos, State: state, Msg: msg,
+	})
+}
+
+// Run executes sm over g and returns its reports.
+func Run(g *cfg.Graph, sm *SM) []Report {
+	start := sm.Start
+	if sm.StartFor != nil {
+		start = sm.StartFor(g.Fn)
+	}
+	if start == "" {
+		return nil
+	}
+	r := &runner{sm: sm, g: g, seen: map[string]bool{}}
+
+	// out[n] = configurations holding immediately after n's event.
+	out := make([]configSet, len(g.Nodes))
+	for i := range out {
+		out[i] = configSet{}
+	}
+
+	work := []*cfg.Node{g.Entry}
+	inWork := make([]bool, len(g.Nodes))
+	inWork[g.Entry.ID] = true
+
+	// Seed: entry's transfer on the start configuration.
+	seed := config{state: start, env: match.Env{}}
+	for _, c := range r.transfer(g.Entry, seed) {
+		out[g.Entry.ID].add(c)
+	}
+	inWork[g.Entry.ID] = false
+	for _, e := range g.Entry.Succs {
+		if !inWork[e.To.ID] {
+			inWork[e.To.ID] = true
+			work = append(work, e.To)
+		}
+	}
+
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n.ID] = false
+		if n == g.Entry {
+			continue
+		}
+		// Gather input configs across incoming edges, applying branch
+		// refinement when the predecessor is a branch node.
+		in := configSet{}
+		for _, e := range n.Preds {
+			for _, c := range out[e.From.ID] {
+				rc, keep := r.refine(c, e)
+				if keep {
+					in.add(rc)
+				}
+			}
+		}
+		changed := false
+		for _, c := range in {
+			for _, nc := range r.transfer(n, c) {
+				if out[n.ID].add(nc) {
+					changed = true
+				}
+			}
+		}
+		if changed {
+			for _, e := range n.Succs {
+				if !inWork[e.To.ID] {
+					inWork[e.To.ID] = true
+					work = append(work, e.To)
+				}
+			}
+		}
+	}
+
+	if sm.AtExit != nil {
+		for _, c := range out[g.Exit.ID] {
+			ctx := &Ctx{Env: c.env, Node: g.Exit, MatchPos: g.Exit.Pos(),
+				State: c.state, eng: r, ruleTag: "at-exit"}
+			sm.AtExit(ctx)
+		}
+	}
+	return r.reports
+}
+
+// refine applies branch-correlation pruning and CondRules to a
+// configuration crossing edge e.
+func (r *runner) refine(c config, e *cfg.Edge) (config, bool) {
+	if e.From.Kind != cfg.KindBranch || (e.Label != cfg.True && e.Label != cfg.False) {
+		return c, true
+	}
+	cond, negated := stripNot(e.From.Cond)
+	if r.sm.CorrelateBranches {
+		if id, ok := cond.(*ast.Ident); ok {
+			outcome := (e.Label == cfg.True) != negated
+			if prev, known := c.conds[id.Name]; known {
+				if prev != outcome {
+					return c, false // contradictory branch: infeasible path
+				}
+			} else {
+				c = c.withCond(id.Name, outcome)
+			}
+		}
+	}
+	for _, cr := range r.sm.Cond {
+		if cr.State != c.state && cr.State != All {
+			continue
+		}
+		results := match.Find(cr.Pattern, cond, c.env)
+		if len(results) == 0 {
+			continue
+		}
+		isTrue := e.Label == cfg.True
+		if negated {
+			isTrue = !isTrue
+		}
+		target := cr.FalseTarget
+		if isTrue {
+			target = cr.TrueTarget
+		}
+		switch target {
+		case "":
+			return c, true
+		case Stop:
+			return c, false
+		default:
+			return config{state: target, env: r.sm.envFor(target, results[0].Env), conds: c.conds}, true
+		}
+	}
+	return c, true
+}
+
+// stripNot removes parens and counts top-level logical negations, so
+// CondRules treat "if (!freed(b))" as the negation of "if (freed(b))".
+func stripNot(e ast.Expr) (ast.Expr, bool) {
+	neg := false
+	for {
+		switch x := e.(type) {
+		case *ast.Paren:
+			e = x.X
+		case *ast.Unary:
+			if x.Op == token.Not && !x.Postfix {
+				neg = !neg
+				e = x.X
+				continue
+			}
+			return e, neg
+		default:
+			return e, neg
+		}
+	}
+}
+
+// transfer processes node n's event for configuration c.
+func (r *runner) transfer(n *cfg.Node, c config) []config {
+	var event ast.Node
+	switch n.Kind {
+	case cfg.KindStmt:
+		event = n.Stmt
+	case cfg.KindBranch:
+		event = n.Cond
+	default:
+		return []config{c}
+	}
+
+	// Writes to a variable whose branch outcome was recorded
+	// invalidate the recorded fact.
+	if len(c.conds) > 0 {
+		ast.Inspect(event, func(x ast.Node) bool {
+			switch a := x.(type) {
+			case *ast.Assign:
+				if id, ok := a.LHS.(*ast.Ident); ok {
+					c = c.withoutCond(id.Name)
+				}
+			case *ast.Unary:
+				if a.Op == token.Inc || a.Op == token.Dec {
+					if id, ok := a.X.(*ast.Ident); ok {
+						c = c.withoutCond(id.Name)
+					}
+				}
+			case *ast.DeclStmt:
+				c = c.withoutCond(a.Decl.Name)
+			}
+			return true
+		})
+	}
+
+	// State-specific rules first, then all-state rules (paper §5).
+	fire := func(rules []*Rule) ([]config, bool) {
+		for _, rule := range rules {
+			env, pos, ok := matchRule(rule, event, c.env)
+			if !ok {
+				continue
+			}
+			ctx := &Ctx{Env: env, Node: n, MatchPos: pos, State: c.state,
+				eng: r, ruleTag: rule.Tag}
+			if rule.Action != nil {
+				rule.Action(ctx)
+			}
+			switch rule.Target {
+			case "":
+				return []config{{state: c.state, env: r.sm.keepTracked(env), conds: c.conds}}, true
+			case Stop:
+				return nil, true
+			default:
+				return []config{{state: rule.Target, env: r.sm.envFor(rule.Target, env), conds: c.conds}}, true
+			}
+		}
+		return nil, false
+	}
+
+	var stateRules, allRules []*Rule
+	for _, rule := range r.sm.Rules {
+		switch rule.State {
+		case c.state:
+			stateRules = append(stateRules, rule)
+		case All:
+			allRules = append(allRules, rule)
+		}
+	}
+	if out, fired := fire(stateRules); fired {
+		return out
+	}
+	if out, fired := fire(allRules); fired {
+		return out
+	}
+	return []config{c}
+}
+
+// matchRule tries each alternative of a rule against the event.
+func matchRule(rule *Rule, event ast.Node, env match.Env) (match.Env, token.Pos, bool) {
+	for _, p := range rule.Patterns {
+		if p.Stmt != nil {
+			if s, ok := event.(ast.Stmt); ok {
+				if got, ok2 := match.Stmt(p.Stmt, s, env); ok2 {
+					return got, s.Pos(), true
+				}
+			}
+			// Expression-statement patterns also match as
+			// sub-expressions of any event.
+			if es, ok := p.Stmt.(*ast.ExprStmt); ok {
+				if results := match.Find(es.X, event, env); len(results) > 0 {
+					return results[0].Env, results[0].Expr.Pos(), true
+				}
+			}
+			continue
+		}
+		if p.Expr != nil {
+			if results := match.Find(p.Expr, event, env); len(results) > 0 {
+				return results[0].Env, results[0].Expr.Pos(), true
+			}
+		}
+	}
+	return nil, token.Pos{}, false
+}
+
+// Count returns how many sub-expressions across fn bodies match pat —
+// the "Applied" columns of the paper's tables.
+func Count(fns []*ast.FuncDecl, pat ast.Expr) int {
+	total := 0
+	for _, fn := range fns {
+		total += len(match.Find(pat, fn, nil))
+	}
+	return total
+}

@@ -1,0 +1,126 @@
+package flash
+
+import "flashmc/internal/cc/cpp"
+
+// IncludesH is the flash-includes.h header every protocol file and
+// metal prologue includes. It declares the MAGIC programming
+// environment. Two deliberate choices mirror the paper's §11
+// workarounds:
+//
+//   - message-length and has-data constants are extern const
+//     *variables*, not #defines, so they survive to the AST where
+//     patterns can see them ("we redefined the relevant macro
+//     constants as variables");
+//   - the handler macros are declared as function prototypes, so
+//     invocations stay visible as calls instead of expanding.
+const IncludesH = `#ifndef FLASH_INCLUDES_H
+#define FLASH_INCLUDES_H
+
+/* ---- basic protocol types ---- */
+typedef unsigned long addr_t;
+typedef unsigned long nodeid_t;
+
+struct nh_s {
+	unsigned len;
+	unsigned type;
+	unsigned dest;
+	unsigned src;
+};
+
+struct header_s {
+	struct nh_s nh;
+	unsigned misc;
+	unsigned swap;
+};
+
+extern struct header_s header;
+
+/* Directory entry image loaded into MAGIC registers. */
+struct dir_entry_s {
+	unsigned state;
+	unsigned vector;
+	unsigned ptr;
+	unsigned pending;
+};
+
+extern struct dir_entry_s dirent;
+
+/* ---- message length / has-data constants (variables: see above) ---- */
+extern const unsigned LEN_NODATA;
+extern const unsigned LEN_WORD;
+extern const unsigned LEN_CACHELINE;
+extern const unsigned F_DATA;
+extern const unsigned F_NODATA;
+extern const unsigned MSG_NAK;
+extern const unsigned BUFFER_ERROR;
+
+/* ---- handler globals accessor ---- */
+unsigned HANDLER_GLOBALS(unsigned field);
+
+/* ---- data buffer interface ---- */
+void WAIT_FOR_DB_FULL(unsigned addr);
+unsigned MISCBUS_READ_DB(unsigned addr, unsigned buf);
+unsigned OLD_MISCBUS_READ(unsigned addr);
+unsigned MISCBUS_WRITE_DB(unsigned buf, unsigned val);
+unsigned ALLOC_DB(void);
+void DEC_DB_REF(unsigned buf);
+void INC_DB_REF(unsigned buf); /* manual refcount bump: one legitimate
+                                * use in all of FLASH (paper §11) */
+void DEBUG_PRINT(unsigned val);
+
+/* checker annotation functions (paper: has_buffer/no_free_needed) */
+void has_buffer(void);
+void no_free_needed(void);
+
+/* ---- message sends ----
+ * PI_SEND(hasdata, keep, swap, wait, dec, nofree)   lane 0
+ * IO_SEND(hasdata, keep, swap, wait, dec, nofree)   lane 1
+ * NI_SEND(type, hasdata, keep, wait, dec, nofree)   lane 2
+ * NI_SEND_RPLY(type, hasdata, keep, wait, dec, nofree) lane 3
+ */
+void PI_SEND(unsigned hasdata, unsigned keep, unsigned swap,
+             unsigned wait, unsigned dec, unsigned nofree);
+void IO_SEND(unsigned hasdata, unsigned keep, unsigned swap,
+             unsigned wait, unsigned dec, unsigned nofree);
+void NI_SEND(unsigned type, unsigned hasdata, unsigned keep,
+             unsigned wait, unsigned dec, unsigned nofree);
+void NI_SEND_RPLY(unsigned type, unsigned hasdata, unsigned keep,
+                  unsigned wait, unsigned dec, unsigned nofree);
+
+/* lane space check: suspends until the lane has queue space */
+void WAIT_FOR_SPACE(unsigned lane);
+
+/* ---- send-wait pairing ---- */
+void WAIT_FOR_PI_REPLY(void);
+void WAIT_FOR_IO_REPLY(void);
+
+/* ---- send-wait status registers (direct access breaks the
+ * interface abstraction; the send-wait checker cannot see it) ---- */
+extern volatile unsigned PI_STATUS_REG;
+extern volatile unsigned IO_STATUS_REG;
+
+/* ---- directory interface ---- */
+extern unsigned dir_base; /* raw directory base: address arithmetic on
+                           * it bypasses DIR_ADDR (abstraction error) */
+unsigned DIR_ADDR(unsigned addr);
+void DIR_LOAD(unsigned addr);
+unsigned DIR_READ_STATE(void);
+void DIR_SET_STATE(unsigned state);
+void DIR_SET_VECTOR(unsigned vec);
+void DIR_WRITEBACK(unsigned addr);
+
+/* ---- simulation hooks and execution environment ---- */
+void HANDLER_DEFS(void);
+void HANDLER_PROLOGUE(unsigned id);
+void SUBROUTINE_PROLOGUE(void);
+void SET_STACKPTR(void);
+void NO_STACK_DECL(void);
+
+#endif /* FLASH_INCLUDES_H */
+`
+
+// HeaderSource returns a cpp.Source serving flash-includes.h, suitable
+// for both metal prologues and protocol compilation.
+func HeaderSource() cpp.MapSource {
+	return cpp.MapSource{"flash-includes.h": IncludesH}
+}

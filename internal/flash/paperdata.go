@@ -1,0 +1,147 @@
+package flash
+
+// This file transcribes the paper's published results (Tables 1-7 and
+// the §7 lane-checker results) as machine-readable data. The corpus
+// generator seeds defects to these counts and the reproduction harness
+// asserts the checkers recover them exactly; EXPERIMENTS.md records
+// paper-vs-measured for every row.
+
+// Counts maps protocol name -> count.
+type Counts map[string]int
+
+// Total sums a Counts row.
+func (c Counts) Total() int {
+	t := 0
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Table1Row holds one protocol's size statistics.
+type Table1Row struct {
+	LOC    int
+	Paths  int
+	AvgLen int
+	MaxLen int
+}
+
+// Table1 is "Protocol size as measured by lines of code (LOC), the
+// number of unique paths ... average length of all paths ... and the
+// maximum length of any path."
+var Table1 = map[string]Table1Row{
+	"bitvector": {LOC: 10386, Paths: 486, AvgLen: 87, MaxLen: 563},
+	"dyn_ptr":   {LOC: 18438, Paths: 2322, AvgLen: 135, MaxLen: 399},
+	"sci":       {LOC: 11473, Paths: 1051, AvgLen: 73, MaxLen: 330},
+	"coma":      {LOC: 17031, Paths: 1131, AvgLen: 135, MaxLen: 244},
+	"rac":       {LOC: 14396, Paths: 1364, AvgLen: 133, MaxLen: 516},
+	"common":    {LOC: 8783, Paths: 1165, AvgLen: 183, MaxLen: 461},
+}
+
+// CheckTable groups the three standard columns of a per-checker table.
+type CheckTable struct {
+	Errors   Counts
+	FalsePos Counts
+	Applied  Counts
+}
+
+// Table2 is the buffer fill race-condition checker (paper §4).
+var Table2 = CheckTable{
+	Errors:   Counts{"bitvector": 4, "dyn_ptr": 0, "sci": 0, "coma": 0, "rac": 0, "common": 0},
+	FalsePos: Counts{"bitvector": 0, "dyn_ptr": 0, "sci": 0, "coma": 0, "rac": 0, "common": 1},
+	Applied:  Counts{"bitvector": 14, "dyn_ptr": 16, "sci": 2, "coma": 0, "rac": 10, "common": 17},
+}
+
+// Table3 is the message-length consistency checker (paper §5).
+var Table3 = CheckTable{
+	Errors:   Counts{"bitvector": 3, "dyn_ptr": 7, "sci": 0, "coma": 0, "rac": 8, "common": 0},
+	FalsePos: Counts{"bitvector": 0, "dyn_ptr": 0, "sci": 0, "coma": 2, "rac": 0, "common": 0},
+	Applied:  Counts{"bitvector": 205, "dyn_ptr": 316, "sci": 308, "coma": 302, "rac": 346, "common": 73},
+}
+
+// Table4 is the buffer-management checker (paper §6). Minor counts
+// abstraction errors / unreachable-handler bugs / harmless violations;
+// Useful and Useless count annotations.
+var Table4 = struct {
+	Errors  Counts
+	Minor   Counts
+	Useful  Counts
+	Useless Counts
+}{
+	Errors:  Counts{"dyn_ptr": 2, "bitvector": 2, "sci": 3, "coma": 0, "rac": 2, "common": 0},
+	Minor:   Counts{"dyn_ptr": 2, "bitvector": 1, "sci": 2, "coma": 0, "rac": 0, "common": 1},
+	Useful:  Counts{"dyn_ptr": 3, "bitvector": 0, "sci": 10, "coma": 0, "rac": 2, "common": 3},
+	Useless: Counts{"dyn_ptr": 3, "bitvector": 1, "sci": 10, "coma": 0, "rac": 4, "common": 7},
+}
+
+// LanesResults is the §7 deadlock-lane checker: one serious bug each
+// in dyn_ptr and bitvector, no false positives.
+var LanesResults = struct {
+	Errors   Counts
+	FalsePos Counts
+}{
+	Errors:   Counts{"dyn_ptr": 1, "bitvector": 1, "sci": 0, "coma": 0, "rac": 0, "common": 0},
+	FalsePos: Counts{"dyn_ptr": 0, "bitvector": 0, "sci": 0, "coma": 0, "rac": 0, "common": 0},
+}
+
+// Table5 is the execution-restriction checker (paper §8): violations
+// are simulator-hook omissions; Handlers/Vars give the number of
+// routines and variables examined.
+var Table5 = struct {
+	Violations Counts
+	Handlers   Counts
+	Vars       Counts
+}{
+	Violations: Counts{"dyn_ptr": 4, "bitvector": 2, "sci": 0, "coma": 3, "rac": 2, "common": 0},
+	Handlers:   Counts{"dyn_ptr": 227, "bitvector": 168, "sci": 214, "coma": 193, "rac": 200, "common": 62},
+	Vars:       Counts{"dyn_ptr": 768, "bitvector": 489, "sci": 794, "coma": 648, "rac": 668, "common": 398},
+}
+
+// Table6 covers the three less effective checks (paper §9).
+var Table6 = struct {
+	BufferAlloc CheckTable
+	Directory   CheckTable
+	SendWait    CheckTable
+}{
+	BufferAlloc: CheckTable{
+		Errors:   Counts{"bitvector": 0, "dyn_ptr": 0, "sci": 0, "coma": 0, "rac": 0, "common": 0},
+		FalsePos: Counts{"bitvector": 0, "dyn_ptr": 2, "sci": 0, "coma": 0, "rac": 0, "common": 0},
+		Applied:  Counts{"bitvector": 17, "dyn_ptr": 19, "sci": 5, "coma": 32, "rac": 20, "common": 4},
+	},
+	Directory: CheckTable{
+		// "The directory entry check found 1 bug in bitvector."
+		Errors:   Counts{"bitvector": 1, "dyn_ptr": 0, "sci": 0, "coma": 0, "rac": 0, "common": 0},
+		FalsePos: Counts{"bitvector": 3, "dyn_ptr": 13, "sci": 1, "coma": 5, "rac": 9, "common": 0},
+		Applied:  Counts{"bitvector": 214, "dyn_ptr": 382, "sci": 88, "coma": 659, "rac": 424, "common": 1},
+	},
+	SendWait: CheckTable{
+		Errors:   Counts{"bitvector": 0, "dyn_ptr": 0, "sci": 0, "coma": 0, "rac": 0, "common": 0},
+		FalsePos: Counts{"bitvector": 2, "dyn_ptr": 2, "sci": 0, "coma": 0, "rac": 2, "common": 2},
+		Applied:  Counts{"bitvector": 32, "dyn_ptr": 38, "sci": 11, "coma": 7, "rac": 35, "common": 2},
+	},
+}
+
+// Table7Row is one summary line of Table 7.
+type Table7Row struct {
+	Checker  string
+	LOC      int
+	Err      int
+	FalsePos int
+}
+
+// Table7 is the whole-paper summary.
+var Table7 = []Table7Row{
+	{"Buffer management", 94, 9, 25},
+	{"Message length", 29, 18, 2},
+	{"Lanes", 220, 2, 0},
+	{"Buffer race", 12, 4, 1},
+	{"Buffer allocation", 16, 0, 2},
+	{"Directory management", 51, 1, 31},
+	{"Send-wait", 40, 0, 8},
+	{"Execution-restriction", 84, 0, 0},
+	{"No-float", 7, 0, 0},
+}
+
+// Table7Totals are the published totals: 553 LOC of checkers, 34
+// errors, 69 false positives.
+var Table7Totals = Table7Row{"Total", 553, 34, 69}

@@ -1,0 +1,271 @@
+package flashgen
+
+import (
+	"fmt"
+	"strings"
+
+	"flashmc/internal/flash"
+)
+
+// fileBuilder accumulates one C source file, tracking line numbers so
+// snippet emitters can record exact manifest positions.
+type fileBuilder struct {
+	name  string
+	lines []string
+}
+
+// add appends one line and returns its 1-based line number.
+func (b *fileBuilder) add(line string) int {
+	b.lines = append(b.lines, line)
+	return len(b.lines)
+}
+
+func (b *fileBuilder) addf(format string, args ...any) int {
+	return b.add(fmt.Sprintf(format, args...))
+}
+
+func (b *fileBuilder) text() string { return strings.Join(b.lines, "\n") + "\n" }
+
+// loc counts non-blank lines emitted so far.
+func (b *fileBuilder) loc() int {
+	n := 0
+	for _, l := range b.lines {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// fnEmitter writes one function body, tracking the resource counters
+// the protocol plan audits (sends per lane, reads, allocations,
+// directory ops, declared variables).
+type fnEmitter struct {
+	g      *protoGen
+	b      *fileBuilder
+	name   string
+	kind   flash.HandlerKind
+	params []string // rendered parameter declarations
+	ret    string   // return type; "" means void
+
+	declLine int
+	closed   bool
+
+	lanes     flash.LaneVector // total sends per lane in this body
+	scratch   int              // scratch variables declared (t0..tn)
+	hasHooks  bool
+	allocOpen bool // inside the alloc success branch
+
+	// exitSites defers manifest entries whose report position is the
+	// function's closing brace (AtExit reports).
+	exitSites []Site
+}
+
+// open emits the function header and simulator hooks. omitHook skips
+// the prologue hook (seeded Table 5 violations).
+func (f *fnEmitter) open(omitHook bool) {
+	f.b.add("")
+	sig := f.ret
+	if sig == "" {
+		sig = "void"
+	}
+	f.declLine = f.b.addf("%s %s(%s)", sig, f.name, strings.Join(f.paramsOrVoid(), ", "))
+	f.b.add("{")
+	f.b.add("\tHANDLER_DEFS();")
+	if !omitHook {
+		switch f.kind {
+		case flash.Subroutine:
+			f.b.add("\tSUBROUTINE_PROLOGUE();")
+		default:
+			f.b.addf("\tHANDLER_PROLOGUE(%d);", f.g.nextHandlerID())
+		}
+	}
+	f.hasHooks = !omitHook
+	f.g.countFn(f)
+}
+
+func (f *fnEmitter) paramsOrVoid() []string {
+	if len(f.params) == 0 {
+		return []string{"void"}
+	}
+	return f.params
+}
+
+// declScratch declares n scratch unsigned locals (t<i>), counting them
+// against the protocol's variable budget.
+func (f *fnEmitter) declScratch(n int) {
+	for i := 0; i < n; i++ {
+		f.b.addf("\tunsigned t%d;", f.scratch)
+		f.scratch++
+		f.g.vars++
+	}
+}
+
+// stmt emits one indented statement line and returns its line number.
+func (f *fnEmitter) stmt(format string, args ...any) int {
+	return f.b.addf("\t"+format, args...)
+}
+
+// send emits a message send with a consistent preceding length
+// assignment. macro selects the interface; data selects F_DATA (with a
+// nonzero length) or F_NODATA (zero length); wait sets the wait bit.
+// Returns the send's line number.
+func (f *fnEmitter) send(macro string, data bool, wait bool) int {
+	lenConst, dataConst := "LEN_NODATA", "F_NODATA"
+	if data {
+		dataConst = "F_DATA"
+		lenConst = "LEN_WORD"
+		if f.g.rng.Intn(2) == 0 {
+			lenConst = "LEN_CACHELINE"
+		}
+	}
+	f.stmt("HANDLER_GLOBALS(header.nh.len) = %s;", lenConst)
+	return f.rawSend(macro, dataConst, wait)
+}
+
+// rawSend emits the send call only (no length assignment).
+func (f *fnEmitter) rawSend(macro, dataConst string, wait bool) int {
+	w := 0
+	if wait {
+		w = 1
+	}
+	lane := flash.LaneOfSend(macro)
+	f.lanes = f.lanes.Add(lane)
+	f.g.sends++
+	if wait {
+		f.g.waitSends++
+	}
+	var line int
+	switch macro {
+	case flash.MacroNISend, flash.MacroNISendRply:
+		line = f.stmt("%s(%d, %s, 1, %d, 1, 0);", macro, 2+f.g.rng.Intn(6), dataConst, w)
+	default:
+		line = f.stmt("%s(%s, 1, 0, %d, 1, 0);", macro, dataConst, w)
+	}
+	return line
+}
+
+// cleanSendMacro rotates through the send interfaces.
+func (f *fnEmitter) cleanSendMacro() string {
+	macros := flash.SendMacros
+	return macros[f.g.rng.Intn(len(macros))]
+}
+
+// readBlock emits one synchronizing wait plus k data-buffer reads.
+func (f *fnEmitter) readBlock(k int) {
+	f.declScratch(1)
+	v := f.scratch - 1
+	f.stmt("WAIT_FOR_DB_FULL(t%d);", v)
+	for i := 0; i < k; i++ {
+		f.stmt("t%d = MISCBUS_READ_DB(t%d, %d);", v, v, i)
+		f.g.reads++
+	}
+}
+
+// dirLifecycle emits a full load/read/modify/writeback cycle (4 ops).
+func (f *fnEmitter) dirLifecycle() {
+	f.declScratch(1)
+	v := f.scratch - 1
+	f.stmt("DIR_LOAD(DIR_ADDR(t%d));", v)
+	f.stmt("t%d = DIR_READ_STATE();", v)
+	f.stmt("DIR_SET_STATE(t%d + 1);", v)
+	f.stmt("DIR_WRITEBACK(DIR_ADDR(t%d));", v)
+	f.g.dirOps += 4
+}
+
+// dirPair emits a read-only load+read (2 ops).
+func (f *fnEmitter) dirPair() {
+	f.declScratch(1)
+	v := f.scratch - 1
+	f.stmt("DIR_LOAD(DIR_ADDR(t%d));", v)
+	f.stmt("t%d = DIR_READ_STATE();", v)
+	f.g.dirOps += 2
+}
+
+// dirLone emits a bare load (1 op).
+func (f *fnEmitter) dirLone() {
+	f.declScratch(1)
+	f.stmt("DIR_LOAD(DIR_ADDR(t%d));", f.scratch-1)
+	f.g.dirOps++
+}
+
+// alloc emits the standard software-handler allocation prologue: the
+// buffer is allocated, checked against BUFFER_ERROR, and the rest of
+// the body runs inside the success branch (so the failure path holds
+// no usable buffer yet still reaches the single free emitted by
+// close). If debugBeforeCheck, a DEBUG_PRINT of the buffer precedes
+// the check (the paper's §9 false positive); the returned line is the
+// site the alloc checker reports (the debug print) or the alloc line.
+func (f *fnEmitter) alloc(debugBeforeCheck bool) (siteLine int) {
+	f.b.add("\tunsigned db;")
+	f.g.vars++
+	line := f.stmt("db = ALLOC_DB();")
+	f.g.allocs++
+	siteLine = line
+	if debugBeforeCheck {
+		siteLine = f.stmt("DEBUG_PRINT(db);")
+	}
+	f.stmt("if (db != BUFFER_ERROR) {")
+	f.allocOpen = true
+	return siteLine
+}
+
+// filler emits n lines of checker-neutral computation, inserting
+// branchy blocks to shape path counts. branches is how many if/else
+// blocks to include among the n lines.
+func (f *fnEmitter) filler(n, branches int) {
+	if f.scratch == 0 {
+		f.declScratch(1)
+		n--
+	}
+	v := func() int { return f.g.rng.Intn(f.scratch) }
+	emitted := 0
+	for b := 0; b < branches && emitted+5 <= n; b++ {
+		a, c := v(), v()
+		f.stmt("if (t%d > %d) {", a, f.g.rng.Intn(8))
+		f.stmt("\tt%d = t%d + %d;", c, c, f.g.rng.Intn(16)+1)
+		f.stmt("} else {")
+		f.stmt("\tt%d = t%d ^ %d;", c, a, f.g.rng.Intn(16)+1)
+		f.stmt("}")
+		emitted += 5
+	}
+	ops := []string{"t%d = t%d + %d;", "t%d = t%d ^ %d;", "t%d = (t%d << 1) | %d;", "t%d = t%d & %d;"}
+	for emitted < n {
+		op := ops[f.g.rng.Intn(len(ops))]
+		f.stmt(op, v(), v(), f.g.rng.Intn(32))
+		emitted++
+	}
+}
+
+// deferExitSite registers a manifest site whose line is this
+// function's closing brace.
+func (f *fnEmitter) deferExitSite(checker string, class Class, note string) {
+	f.exitSites = append(f.exitSites, Site{Checker: checker, Class: class, Note: note})
+}
+
+// close terminates the function. With freeBuffer set, the current
+// buffer is freed first (hardware handlers' incoming buffer, or the
+// software handler's allocation; seeded leak shapes pass false and
+// manage frees themselves).
+func (f *fnEmitter) close(freeBuffer bool) {
+	if f.allocOpen {
+		f.stmt("}")
+		f.allocOpen = false
+		if freeBuffer {
+			f.stmt("DEC_DB_REF(db);")
+			freeBuffer = false
+		}
+	}
+	if freeBuffer {
+		f.stmt("DEC_DB_REF(0);")
+	}
+	closing := f.b.add("}")
+	for _, s := range f.exitSites {
+		s.File = f.b.name
+		s.Line = closing
+		f.g.manifest = append(f.g.manifest, s)
+	}
+	f.exitSites = nil
+	f.closed = true
+	f.g.recordAllowance(f)
+}

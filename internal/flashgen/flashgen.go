@@ -1,0 +1,266 @@
+// Package flashgen synthesizes the FLASH protocol corpus the
+// reproduction checks: five cache-coherence protocols plus common
+// code, written in protocol C against the flash-includes.h programming
+// environment. The real FLASH sources are proprietary; the generator
+// reproduces the properties the checkers observe — the per-protocol
+// macro-usage counts ("Applied" columns) and the exact defect and
+// false-positive distribution of the paper's Tables 2-7 — inside
+// realistically sized and shaped handler bodies (Table 1).
+//
+// Every seeded site is recorded in a ground-truth manifest
+// (checker, class, file, line), which package paper joins against
+// checker reports: a report with no site or a site with no report is a
+// reproduction failure, so the tables cannot drift silently.
+package flashgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/flash"
+)
+
+// Class classifies a manifest site the way the paper's tables do.
+type Class string
+
+// Site classes.
+const (
+	ClassError     Class = "error"     // real bug (Err columns)
+	ClassFalsePos  Class = "falsepos"  // reported but judged false
+	ClassMinor     Class = "minor"     // Table 4 "Minor": reported, low impact
+	ClassUseful    Class = "useful"    // useful annotation (suppresses a report)
+	ClassUseless   Class = "useless"   // useless annotation (analysis imprecision)
+	ClassViolation Class = "violation" // Table 5 execution-restriction violation
+	ClassWarning   Class = "warning"   // advisory (deprecated macros)
+)
+
+// Site is one seeded ground-truth location.
+type Site struct {
+	Checker string
+	Class   Class
+	File    string
+	Line    int
+	Note    string
+}
+
+// Protocol is one generated protocol: its sources, spec, and manifest.
+type Protocol struct {
+	Name      string
+	Files     map[string]string
+	RootFiles []string
+	Spec      *flash.Spec
+	Manifest  []Site
+}
+
+// Source returns a cpp.Source serving the protocol files plus the
+// flash header.
+func (p *Protocol) Source() cpp.MapSource {
+	m := cpp.MapSource{"flash-includes.h": flash.IncludesH}
+	for k, v := range p.Files {
+		m[k] = v
+	}
+	return m
+}
+
+// Corpus is the full generated code base.
+type Corpus struct {
+	Protocols []*Protocol
+}
+
+// Protocol returns the named protocol, or nil.
+func (c *Corpus) Protocol(name string) *Protocol {
+	for _, p := range c.Protocols {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Options configures generation.
+type Options struct {
+	// Seed drives all randomized shaping; the default 0 means seed 1.
+	Seed int64
+	// StripAnnotations replaces the has_buffer()/no_free_needed()
+	// annotation calls with plain statements, for the ablation that
+	// verifies annotations suppress exactly the useful+useless sites.
+	StripAnnotations bool
+}
+
+// Generate produces the corpus for the five protocols and common code.
+func Generate(opts Options) *Corpus {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Corpus{}
+	for i, name := range flash.ProtocolNames {
+		g := newProtoGen(name, seed+int64(i)*7919, opts)
+		c.Protocols = append(c.Protocols, g.generate())
+	}
+	return c
+}
+
+// quotas are the per-protocol targets derived from the paper tables.
+type quotas struct {
+	fns       int // Table 5 Handlers
+	vars      int // Table 5 Vars
+	loc       int // Table 1 LOC (approximate target)
+	reads     int // Table 2 Applied
+	sends     int // Table 3 Applied
+	allocs    int // Table 6 buffer-alloc Applied
+	dirOps    int // Table 6 directory Applied
+	waitSends int // Table 6 send-wait Applied
+}
+
+func quotasFor(name string) quotas {
+	return quotas{
+		fns:       flash.Table5.Handlers[name],
+		vars:      flash.Table5.Vars[name],
+		loc:       flash.Table1[name].LOC,
+		reads:     flash.Table2.Applied[name],
+		sends:     flash.Table3.Applied[name],
+		allocs:    flash.Table6.BufferAlloc.Applied[name],
+		dirOps:    flash.Table6.Directory.Applied[name],
+		waitSends: flash.Table6.SendWait.Applied[name],
+	}
+}
+
+// protoGen generates one protocol.
+type protoGen struct {
+	name string
+	rng  *rand.Rand
+	opts Options
+	q    quotas
+
+	files    []*fileBuilder
+	manifest []Site
+	spec     *flash.Spec
+
+	// resource counters (audited against q at the end)
+	fnCount   int
+	vars      int
+	reads     int
+	sends     int
+	allocs    int
+	dirOps    int
+	waitSends int
+
+	handlerID int
+	fnSeq     int
+}
+
+func newProtoGen(name string, seed int64, opts Options) *protoGen {
+	return &protoGen{
+		name: name,
+		rng:  rand.New(rand.NewSource(seed)),
+		opts: opts,
+		q:    quotasFor(name),
+		spec: &flash.Spec{
+			Protocol:        name,
+			Allowance:       map[string]flash.LaneVector{},
+			NoStack:         map[string]bool{},
+			BufferFreeFns:   map[string]bool{"free_and_nak": true},
+			BufferUseFns:    map[string]bool{"forward_data": true},
+			CondFreeFns:     map[string]bool{"maybe_free_buf": true},
+			DirWritebackFns: map[string]bool{},
+		},
+	}
+}
+
+func (g *protoGen) nextHandlerID() int {
+	g.handlerID++
+	return g.handlerID
+}
+
+// countFn registers a newly opened function with the spec.
+func (g *protoGen) countFn(f *fnEmitter) {
+	g.fnCount++
+	switch f.kind {
+	case flash.HardwareHandler:
+		g.spec.Hardware = append(g.spec.Hardware, f.name)
+	case flash.SoftwareHandler:
+		g.spec.Software = append(g.spec.Software, f.name)
+	}
+}
+
+// recordAllowance sets the handler's lane allowance to the sends the
+// generator emitted (the protocol designer's declared quota). Seeded
+// lane bugs lower one lane afterwards.
+func (g *protoGen) recordAllowance(f *fnEmitter) {
+	if f.kind == flash.Subroutine {
+		return
+	}
+	g.spec.Allowance[f.name] = f.lanes
+}
+
+// site records one manifest entry.
+func (g *protoGen) site(checker string, class Class, file string, line int, note string) {
+	g.manifest = append(g.manifest, Site{Checker: checker, Class: class,
+		File: file, Line: line, Note: note})
+}
+
+// newFile opens a new source file for this protocol.
+func (g *protoGen) newFile(suffix string) *fileBuilder {
+	b := &fileBuilder{name: fmt.Sprintf("%s_%s.c", g.name, suffix)}
+	b.add("/* Synthetic FLASH protocol code: " + g.name + " (" + suffix + ") */")
+	b.add(`#include "flash-includes.h"`)
+	g.files = append(g.files, b)
+	return b
+}
+
+// fn opens a function emitter.
+func (g *protoGen) fn(b *fileBuilder, name string, kind flash.HandlerKind, params ...string) *fnEmitter {
+	f := &fnEmitter{g: g, b: b, name: name, kind: kind, params: params}
+	g.vars += len(params)
+	return f
+}
+
+// uniqueName generates a function name with the protocol prefix.
+func (g *protoGen) uniqueName(prefix string) string {
+	g.fnSeq++
+	return fmt.Sprintf("%s_%s_%d", prefix, g.name, g.fnSeq)
+}
+
+// annotation emits an annotation call, or a neutral placeholder when
+// annotations are stripped (line counts stay identical either way).
+func (g *protoGen) annotation(f *fnEmitter, call string, indent string) int {
+	if g.opts.StripAnnotations {
+		return f.b.add("\t" + indent + "; /* annotation stripped */")
+	}
+	return f.b.add("\t" + indent + call + ";")
+}
+
+// generate builds all files of the protocol.
+func (g *protoGen) generate() *Protocol {
+	g.emitTableFns()
+	g.emitSeededSites()
+	g.emitCleanCode()
+	g.audit()
+
+	p := &Protocol{Name: g.name, Spec: g.spec, Manifest: g.manifest,
+		Files: map[string]string{}}
+	for _, b := range g.files {
+		p.Files[b.name] = b.text()
+		p.RootFiles = append(p.RootFiles, b.name)
+	}
+	return p
+}
+
+// audit panics if any quota was overshot or could not be met; the
+// tables are configuration, and a mismatch is a generator bug.
+func (g *protoGen) audit() {
+	check := func(what string, got, want int) {
+		if got != want {
+			panic(fmt.Sprintf("flashgen %s: %s = %d, want %d", g.name, what, got, want))
+		}
+	}
+	check("functions", g.fnCount, g.q.fns)
+	check("vars", g.vars, g.q.vars)
+	check("reads", g.reads, g.q.reads)
+	check("sends", g.sends, g.q.sends)
+	check("allocs", g.allocs, g.q.allocs)
+	check("dirOps", g.dirOps, g.q.dirOps)
+	check("waitSends", g.waitSends, g.q.waitSends)
+}

@@ -1,0 +1,277 @@
+package flashgen
+
+import (
+	"strings"
+	"testing"
+
+	"flashmc/internal/core"
+	"flashmc/internal/flash"
+)
+
+func generate(t *testing.T) *Corpus {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("generation panicked: %v", r)
+		}
+	}()
+	return Generate(Options{Seed: 1})
+}
+
+func TestGenerateAllProtocols(t *testing.T) {
+	c := generate(t)
+	if len(c.Protocols) != len(flash.ProtocolNames) {
+		t.Fatalf("protocols %d", len(c.Protocols))
+	}
+	for _, p := range c.Protocols {
+		if len(p.Files) == 0 || len(p.RootFiles) == 0 {
+			t.Errorf("%s: no files", p.Name)
+		}
+		if p.Spec == nil || len(p.Spec.Hardware) == 0 {
+			t.Errorf("%s: empty spec", p.Name)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Options{Seed: 42})
+	b := Generate(Options{Seed: 42})
+	for i, p := range a.Protocols {
+		q := b.Protocols[i]
+		for name, text := range p.Files {
+			if q.Files[name] != text {
+				t.Fatalf("%s/%s differs between runs", p.Name, name)
+			}
+		}
+		if len(p.Manifest) != len(q.Manifest) {
+			t.Fatalf("%s manifest differs", p.Name)
+		}
+	}
+}
+
+func TestSeedChangesShape(t *testing.T) {
+	a := Generate(Options{Seed: 1})
+	b := Generate(Options{Seed: 2})
+	same := true
+	for name, text := range a.Protocols[0].Files {
+		if b.Protocols[0].Files[name] != text {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestCorpusParsesClean(t *testing.T) {
+	c := generate(t)
+	for _, p := range c.Protocols {
+		prog, err := core.Load(p.Name, p.Source(), p.RootFiles)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(prog.ParseErrors) != 0 {
+			t.Fatalf("%s: parse errors: %v", p.Name, prog.ParseErrors[:min(3, len(prog.ParseErrors))])
+		}
+		if len(prog.Fns) != flash.Table5.Handlers[p.Name] {
+			t.Errorf("%s: %d functions, want %d", p.Name, len(prog.Fns), flash.Table5.Handlers[p.Name])
+		}
+	}
+}
+
+func TestNoSemWarnings(t *testing.T) {
+	c := generate(t)
+	p := c.Protocol("bitvector")
+	prog, err := core.Load(p.Name, p.Source(), p.RootFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range prog.Warnings {
+		if strings.Contains(w.Error(), "undeclared") {
+			t.Errorf("undeclared identifier in corpus: %v", w)
+		}
+	}
+}
+
+func TestManifestCountsMatchTables(t *testing.T) {
+	c := generate(t)
+	for _, p := range c.Protocols {
+		count := func(checker string, class Class) int {
+			n := 0
+			for _, s := range p.Manifest {
+				if s.Checker == checker && s.Class == class {
+					n++
+				}
+			}
+			return n
+		}
+		name := p.Name
+		if got := count("buffer_race", ClassError); got != flash.Table2.Errors[name] {
+			t.Errorf("%s race errors %d", name, got)
+		}
+		if got := count("buffer_race", ClassFalsePos); got != flash.Table2.FalsePos[name] {
+			t.Errorf("%s race FPs %d", name, got)
+		}
+		if got := count("msglen", ClassError); got != flash.Table3.Errors[name] {
+			t.Errorf("%s msglen errors %d", name, got)
+		}
+		if got := count("msglen", ClassFalsePos); got != flash.Table3.FalsePos[name] {
+			t.Errorf("%s msglen FPs %d", name, got)
+		}
+		if got := count("buffer_mgmt", ClassError); got != flash.Table4.Errors[name] {
+			t.Errorf("%s bufmgmt errors %d", name, got)
+		}
+		if got := count("buffer_mgmt", ClassMinor); got != flash.Table4.Minor[name] {
+			t.Errorf("%s bufmgmt minor %d", name, got)
+		}
+		if got := count("buffer_mgmt", ClassUseful); got != flash.Table4.Useful[name] {
+			t.Errorf("%s bufmgmt useful %d", name, got)
+		}
+		if got := count("buffer_mgmt", ClassUseless); got != flash.Table4.Useless[name] {
+			t.Errorf("%s bufmgmt useless %d", name, got)
+		}
+		if got := count("lanes", ClassError); got != flash.LanesResults.Errors[name] {
+			t.Errorf("%s lanes errors %d", name, got)
+		}
+		if got := count("alloc", ClassFalsePos); got != flash.Table6.BufferAlloc.FalsePos[name] {
+			t.Errorf("%s alloc FPs %d", name, got)
+		}
+		if got := count("directory", ClassError); got != flash.Table6.Directory.Errors[name] {
+			t.Errorf("%s directory errors %d", name, got)
+		}
+		if got := count("directory", ClassFalsePos); got != flash.Table6.Directory.FalsePos[name] {
+			t.Errorf("%s directory FPs %d", name, got)
+		}
+		if got := count("sendwait", ClassFalsePos); got != flash.Table6.SendWait.FalsePos[name] {
+			t.Errorf("%s sendwait FPs %d", name, got)
+		}
+		if got := count("exec", ClassViolation); got != flash.Table5.Violations[name] {
+			t.Errorf("%s exec violations %d", name, got)
+		}
+	}
+}
+
+func TestSpecTablesResolve(t *testing.T) {
+	c := generate(t)
+	for _, p := range c.Protocols {
+		prog, err := core.Load(p.Name, p.Source(), p.RootFiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every handler and table function the spec names must exist.
+		for _, h := range append(append([]string{}, p.Spec.Hardware...), p.Spec.Software...) {
+			if prog.Fn(h) == nil {
+				t.Errorf("%s: spec handler %s undefined", p.Name, h)
+			}
+		}
+		for _, tbl := range []map[string]bool{p.Spec.BufferFreeFns,
+			p.Spec.BufferUseFns, p.Spec.CondFreeFns} {
+			for fn := range tbl {
+				if prog.Fn(fn) == nil {
+					t.Errorf("%s: spec table fn %s undefined", p.Name, fn)
+				}
+			}
+		}
+		for fn := range p.Spec.NoStack {
+			if prog.Fn(fn) == nil {
+				t.Errorf("%s: no-stack handler %s undefined", p.Name, fn)
+			}
+		}
+		// Every handler has a lane allowance entry.
+		for _, h := range p.Spec.Hardware {
+			if _, ok := p.Spec.Allowance[h]; !ok {
+				t.Errorf("%s: handler %s without allowance", p.Name, h)
+			}
+		}
+	}
+}
+
+func TestHandlerPrologueIDsUnique(t *testing.T) {
+	c := generate(t)
+	for _, p := range c.Protocols {
+		seen := map[string]bool{}
+		for _, text := range p.Files {
+			for _, line := range strings.Split(text, "\n") {
+				idx := strings.Index(line, "HANDLER_PROLOGUE(")
+				if idx < 0 {
+					continue
+				}
+				arg := line[idx+len("HANDLER_PROLOGUE("):]
+				if end := strings.Index(arg, ")"); end >= 0 {
+					arg = arg[:end]
+				}
+				if seen[arg] {
+					t.Errorf("%s: duplicate handler id %s", p.Name, arg)
+				}
+				seen[arg] = true
+			}
+		}
+	}
+}
+
+func TestManifestSitesPointAtRealLines(t *testing.T) {
+	c := generate(t)
+	for _, p := range c.Protocols {
+		for _, s := range p.Manifest {
+			text, ok := p.Files[s.File]
+			if !ok {
+				t.Errorf("%s: manifest file %s missing", p.Name, s.File)
+				continue
+			}
+			lines := strings.Split(text, "\n")
+			if s.Line < 1 || s.Line > len(lines) {
+				t.Errorf("%s: site %s:%d out of range", p.Name, s.File, s.Line)
+			}
+		}
+	}
+}
+
+func TestLOCWithinTolerance(t *testing.T) {
+	c := generate(t)
+	for _, p := range c.Protocols {
+		loc := 0
+		for _, text := range p.Files {
+			for _, ln := range strings.Split(text, "\n") {
+				if strings.TrimSpace(ln) != "" {
+					loc++
+				}
+			}
+		}
+		want := flash.Table1[p.Name].LOC
+		if loc < want*85/100 || loc > want*115/100 {
+			t.Errorf("%s: LOC %d vs target %d (>15%% off)", p.Name, loc, want)
+		}
+	}
+}
+
+func TestStripAnnotationsKeepsLineCounts(t *testing.T) {
+	a := Generate(Options{Seed: 7})
+	b := Generate(Options{Seed: 7, StripAnnotations: true})
+	for i, p := range a.Protocols {
+		q := b.Protocols[i]
+		for name, text := range p.Files {
+			if strings.Count(text, "\n") != strings.Count(q.Files[name], "\n") {
+				t.Errorf("%s/%s: line counts diverge when stripping annotations", p.Name, name)
+			}
+		}
+		if strings.Contains(allText(q), "no_free_needed()") ||
+			strings.Contains(allText(q), "has_buffer()") {
+			t.Errorf("%s: annotations survived stripping", p.Name)
+		}
+	}
+}
+
+func allText(p *Protocol) string {
+	var b strings.Builder
+	for _, t := range p.Files {
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

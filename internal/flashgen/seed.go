@@ -1,0 +1,422 @@
+package flashgen
+
+import (
+	"flashmc/internal/flash"
+)
+
+// emitTableFns emits the spec-table subroutines every protocol shares:
+// the buffer-freeing helper, the buffer-using forwarder, the
+// conditional free (value-sensitivity target), and a recursive helper
+// with no sends (the lanes fixed-point case).
+func (g *protoGen) emitTableFns() {
+	b := g.newFile("subs")
+
+	// free_and_nak: consumes the caller's buffer (BufferFreeFns).
+	f := g.fn(b, "free_and_nak", flash.Subroutine)
+	f.open(false)
+	f.stmt("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;")
+	f.rawSend(flash.MacroNISendRply, "F_NODATA", false)
+	f.close(true)
+
+	// forward_data: requires a live buffer and keeps it (BufferUseFns).
+	f = g.fn(b, "forward_data", flash.Subroutine)
+	f.open(false)
+	f.stmt("HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;")
+	f.rawSend(flash.MacroNISend, "F_DATA", false)
+	f.close(false)
+
+	// maybe_free_buf: returns 1 when it freed the buffer (CondFreeFns).
+	f = g.fn(b, "maybe_free_buf", flash.Subroutine)
+	f.ret = "unsigned"
+	f.open(false)
+	f.stmt("if (header.misc & 1) {")
+	f.stmt("\tDEC_DB_REF(0);")
+	f.stmt("\treturn 1;")
+	f.stmt("}")
+	f.stmt("return 0;")
+	f.close(false)
+
+	// spin: recursion with no sends (lane fixed point).
+	f = g.fn(b, "spin", flash.Subroutine, "unsigned n")
+	f.open(false)
+	f.stmt("if (n > 0) {")
+	f.stmt("\tspin(n - 1);")
+	f.stmt("}")
+	f.close(false)
+}
+
+// emitSeededSites plants every defect, false positive, annotation and
+// violation the paper's tables report for this protocol, one dedicated
+// function per site (or per shape), recording the manifest.
+func (g *protoGen) emitSeededSites() {
+	b := g.newFile("seeded")
+	name := g.name
+
+	// ---- §4 buffer fill races (Table 2) ----
+	for i := 0; i < flash.Table2.Errors[name]; i++ {
+		f := g.fn(b, g.uniqueName("h_race"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		// Only the rare fast path reads before synchronization — the
+		// paper's "only the first byte of the buffer was read" corner
+		// case, invisible to most dynamic testing.
+		f.stmt("if (t0 > 2) {")
+		line := f.stmt("\tt0 = MISCBUS_READ_DB(t0, 0);")
+		f.stmt("} else {")
+		f.stmt("\tWAIT_FOR_DB_FULL(t0);")
+		f.stmt("\tt0 = MISCBUS_READ_DB(t0, 0);")
+		f.stmt("}")
+		g.reads += 2
+		g.site("buffer_race", ClassError, b.name, line, "read before WAIT_FOR_DB_FULL on fast path")
+		f.close(true)
+	}
+	for i := 0; i < flash.Table2.FalsePos[name]; i++ {
+		f := g.fn(b, g.uniqueName("dbg_dump"), flash.Subroutine)
+		f.open(false)
+		f.declScratch(1)
+		line := f.stmt("t0 = MISCBUS_READ_DB(t0, 0);")
+		g.reads++
+		g.site("buffer_race", ClassFalsePos, b.name, line,
+			"intentional unsynchronized read in debugging code")
+		f.close(false)
+	}
+
+	// ---- §5 message length (Table 3) ----
+	for i := 0; i < flash.Table3.Errors[name]; i++ {
+		// The paper's shape: an uncached-read handler whose rarely
+		// exercised queue-full path assumes the wrong length value.
+		f := g.fn(b, g.uniqueName("h_uncached"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		var line int
+		f.stmt("if (t0 > 2) {")
+		if i%2 == 0 {
+			f.stmt("\tHANDLER_GLOBALS(header.nh.len) = LEN_NODATA;")
+			line = f.rawSend(flash.MacroNISend, "F_DATA", false)
+		} else {
+			f.stmt("\tHANDLER_GLOBALS(header.nh.len) = LEN_WORD;")
+			line = f.rawSend(flash.MacroPISend, "F_NODATA", false)
+		}
+		f.stmt("} else {")
+		f.stmt("\tHANDLER_GLOBALS(header.nh.len) = LEN_WORD;")
+		f.rawSend(flash.MacroNISend, "F_DATA", false)
+		f.stmt("}")
+		g.site("msglen", ClassError, b.name, line, "length inconsistent with has-data flag on queue-full path")
+		f.close(true)
+	}
+	if n := flash.Table3.FalsePos[name]; n > 0 {
+		// The coma shape: both reports come from one function whose
+		// send parameter is chosen by the same run-time condition as
+		// the length (two infeasible static paths).
+		f := g.fn(b, g.uniqueName("h_variant"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("if (t0 & 1) {")
+		f.stmt("\tHANDLER_GLOBALS(header.nh.len) = LEN_WORD;")
+		f.stmt("} else {")
+		f.stmt("\tHANDLER_GLOBALS(header.nh.len) = LEN_NODATA;")
+		f.stmt("}")
+		f.stmt("if (t0 & 1) {")
+		l1 := f.rawSend(flash.MacroPISend, "F_DATA", false)
+		f.stmt("} else {")
+		l2 := f.rawSend(flash.MacroPISend, "F_NODATA", false)
+		f.stmt("}")
+		g.site("msglen", ClassFalsePos, b.name, l1, "infeasible path: data send on zero-len path")
+		g.site("msglen", ClassFalsePos, b.name, l2, "infeasible path: nodata send on nonzero-len path")
+		if n != 2 {
+			panic("msglen false-positive quota must be 0 or 2 (one paired shape)")
+		}
+		f.close(true)
+	}
+
+	// ---- §6 buffer management (Table 4) ----
+	g.emitBufMgmtSites(b)
+
+	// ---- §7 lanes ----
+	g.emitLaneSites(b)
+
+	// ---- §9 allocation failure (Table 6) ----
+	for i := 0; i < flash.Table6.BufferAlloc.FalsePos[name]; i++ {
+		f := g.fn(b, g.uniqueName("sw_fill"), flash.SoftwareHandler)
+		f.open(false)
+		line := f.alloc(true)
+		g.site("alloc", ClassFalsePos, b.name, line, "debug print before error check")
+		f.declScratch(1)
+		f.stmt("MISCBUS_WRITE_DB(db, t0);")
+		f.close(true)
+	}
+
+	// ---- §9 directory (Table 6) ----
+	g.emitDirectorySites(b)
+
+	// ---- §9 send-wait (Table 6) ----
+	for i := 0; i < flash.Table6.SendWait.FalsePos[name]; i++ {
+		f := g.fn(b, g.uniqueName("h_intervene"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;")
+		if i%2 == 0 {
+			f.rawSend(flash.MacroPISend, "F_NODATA", true)
+			f.stmt("while (PI_STATUS_REG == 0) {")
+		} else {
+			f.rawSend(flash.MacroIOSend, "F_NODATA", true)
+			f.stmt("while (IO_STATUS_REG == 0) {")
+		}
+		f.stmt("\tt0 = t0 + 1;")
+		f.stmt("}")
+		f.deferExitSite("sendwait", ClassFalsePos,
+			"busy-waits on the status register instead of the interface macro")
+		f.close(true)
+	}
+
+	// ---- §8 execution restrictions (Table 5 violations) ----
+	for i := 0; i < flash.Table5.Violations[name]; i++ {
+		f := g.fn(b, g.uniqueName("h_nohook"), flash.HardwareHandler)
+		f.open(true) // omit the prologue hook
+		g.site("exec", ClassViolation, b.name, f.declLine, "simulator hook omitted")
+		f.declScratch(1)
+		f.filler(3, 0)
+		f.close(true)
+	}
+
+	// Deprecated-macro warnings live in common code only (advisory,
+	// not Table 5 violations).
+	if name == "common" {
+		f := g.fn(b, g.uniqueName("legacy_peek"), flash.Subroutine)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("WAIT_FOR_DB_FULL(t0);")
+		for i := 0; i < 2; i++ {
+			line := f.stmt("t0 = OLD_MISCBUS_READ(t0);")
+			g.reads++
+			g.site("exec", ClassWarning, b.name, line, "deprecated macro")
+		}
+		f.close(false)
+	}
+
+	// Handlers exercising the spec tables: free via subroutine, use
+	// via subroutine.
+	f := g.fn(b, g.uniqueName("h_reply_fwd"), flash.HardwareHandler)
+	f.open(false)
+	f.stmt("free_and_nak();")
+	f.close(false)
+	g.spec.Allowance[f.name] = flash.LaneVector{0, 0, 0, 1} // callee's NAK reply
+
+	f = g.fn(b, g.uniqueName("h_data_fwd"), flash.HardwareHandler)
+	f.open(false)
+	f.stmt("forward_data();")
+	f.close(true)
+	g.spec.Allowance[f.name] = flash.LaneVector{0, 0, 1, 0} // callee's data send
+
+	// A handler exercising the value-sensitive conditional free.
+	f = g.fn(b, g.uniqueName("h_cond_free"), flash.HardwareHandler)
+	f.open(false)
+	f.stmt("if (maybe_free_buf()) {")
+	f.stmt("\treturn;")
+	f.stmt("}")
+	f.close(true)
+}
+
+// emitBufMgmtSites seeds Table 4's errors, minor findings, and
+// useful/useless annotations.
+func (g *protoGen) emitBufMgmtSites(b *fileBuilder) {
+	name := g.name
+
+	doubleFree := func(fnName string, class Class, note string) {
+		f := g.fn(b, fnName, flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("DEC_DB_REF(0);")
+		f.stmt("if (t0 > 2) {")
+		line := f.stmt("\tDEC_DB_REF(0);")
+		f.stmt("}")
+		g.site("buffer_mgmt", class, b.name, line, note)
+		f.close(false)
+	}
+	leak := func(fnName string, class Class, note string) {
+		f := g.fn(b, fnName, flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("if (!(t0 > 2)) {")
+		f.stmt("\tDEC_DB_REF(0);")
+		f.stmt("}")
+		f.deferExitSite("buffer_mgmt", class, note)
+		f.close(false)
+	}
+
+	nErr := flash.Table4.Errors[name]
+	for i := 0; i < nErr; i++ {
+		// sci's three errors include one leak (paper: "two double
+		// frees and one leak").
+		if name == "sci" && i == nErr-1 {
+			leak(g.uniqueName("h_partial"), ClassError, "buffer leak in in-progress code")
+			continue
+		}
+		doubleFree(g.uniqueName("h_legacy"), ClassError, "double free inherited from parent protocol")
+	}
+	for i := 0; i < flash.Table4.Minor[name]; i++ {
+		doubleFree(g.uniqueName("h_unreachable"), ClassMinor,
+			"double free in an unreachable/partial handler")
+	}
+
+	// Useful annotations: a path intentionally hands the buffer to a
+	// subsequent handler.
+	for i := 0; i < flash.Table4.Useful[name]; i++ {
+		f := g.fn(b, g.uniqueName("h_handoff"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("if (t0 & 4) {")
+		line := g.annotation(f, "no_free_needed()", "\t")
+		f.stmt("\treturn;")
+		f.stmt("}")
+		g.site("buffer_mgmt", ClassUseful, b.name, line,
+			"buffer intentionally kept for the next handler")
+		f.close(true)
+	}
+
+	// Useless annotations: 2a + b decomposition (a duplicated-condition
+	// shapes worth two annotations, b data-dependent shapes worth one).
+	remaining := flash.Table4.Useless[name]
+	for remaining >= 2 {
+		f := g.fn(b, g.uniqueName("h_dupcond"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(2)
+		f.stmt("t1 = t0 & 1;")
+		f.stmt("if (t1) {")
+		f.stmt("\tDEC_DB_REF(0);")
+		f.stmt("}")
+		f.stmt("t0 = t0 + 1;")
+		f.stmt("if (!t1) {")
+		a1 := g.annotation(f, "has_buffer()", "\t")
+		f.stmt("\tDEC_DB_REF(0);")
+		f.stmt("} else {")
+		a2 := g.annotation(f, "no_free_needed()", "\t")
+		f.stmt("}")
+		g.site("buffer_mgmt", ClassUseless, b.name, a1, "duplicated branch condition (impossible path)")
+		g.site("buffer_mgmt", ClassUseless, b.name, a2, "duplicated branch condition (impossible path)")
+		f.close(false)
+		remaining -= 2
+	}
+	for ; remaining > 0; remaining-- {
+		f := g.fn(b, g.uniqueName("h_datadep"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("if (t0 & 2) {")
+		f.stmt("\tDEC_DB_REF(0);")
+		f.stmt("} else {")
+		a := g.annotation(f, "no_free_needed()", "\t")
+		f.stmt("}")
+		g.site("buffer_mgmt", ClassUseless, b.name, a, "data-dependent free")
+		f.close(false)
+	}
+}
+
+// emitLaneSites seeds the two §7 lane bugs: a workaround subroutine
+// whose extra send overflows the caller's quota (dyn_ptr) and a typo
+// duplicating a reply send (bitvector).
+func (g *protoGen) emitLaneSites(b *fileBuilder) {
+	switch g.name {
+	case "dyn_ptr":
+		sub := g.fn(b, "workaround_hw_bug", flash.Subroutine)
+		sub.open(false)
+		sub.stmt("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;")
+		subLine := sub.rawSend(flash.MacroNISend, "F_NODATA", false)
+		sub.close(false)
+
+		f := g.fn(b, g.uniqueName("h_getx"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.send(flash.MacroNISend, false, false)
+		f.stmt("if (t0 > 2) {")
+		f.stmt("\tworkaround_hw_bug();")
+		f.stmt("}")
+		f.close(true)
+		// The handler's declared allowance does not account for the
+		// workaround's extra send.
+		g.spec.Allowance[f.name] = flash.LaneVector{0, 0, 1, 0}
+		g.site("lanes", ClassError, b.name, subLine,
+			"workaround code sends beyond the handler's lane allowance")
+	case "bitvector":
+		f := g.fn(b, g.uniqueName("h_reply2"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.send(flash.MacroNISendRply, false, false)
+		f.stmt("if (t0 > 2) {")
+		line := f.send(flash.MacroNISendRply, false, false) // the typo: duplicated send
+		f.stmt("}")
+		f.close(true)
+		g.spec.Allowance[f.name] = flash.LaneVector{0, 0, 0, 1}
+		g.site("lanes", ClassError, b.name, line, "duplicated reply send (typo)")
+	}
+}
+
+// emitDirectorySites seeds the §9 directory findings.
+func (g *protoGen) emitDirectorySites(b *fileBuilder) {
+	name := g.name
+
+	// Per-protocol decomposition of Table 6's directory false
+	// positives into the paper's three causes.
+	subFP := map[string]int{"bitvector": 1, "dyn_ptr": 4, "coma": 5, "rac": 4}[name]
+	specFP := map[string]int{"dyn_ptr": 1, "rac": 2}[name]
+	explFP := flash.Table6.Directory.FalsePos[name] - subFP - specFP
+
+	// Subroutines that modify the entry and rely on the caller to
+	// write it back.
+	for i := 0; i < subFP; i++ {
+		f := g.fn(b, g.uniqueName("dir_update"), flash.Subroutine, "unsigned a")
+		f.open(false)
+		f.stmt("DIR_LOAD(DIR_ADDR(a));")
+		f.stmt("DIR_SET_STATE(3);")
+		g.dirOps += 2
+		f.deferExitSite("directory", ClassFalsePos, "caller writes the entry back")
+		f.close(false)
+	}
+
+	// Speculative handlers abandoning a modification without a NAK.
+	for i := 0; i < specFP; i++ {
+		f := g.fn(b, g.uniqueName("h_spec"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("DIR_LOAD(DIR_ADDR(t0));")
+		f.stmt("DIR_SET_STATE(2);")
+		f.stmt("if (t0 > 5) {")
+		f.stmt("\tDEC_DB_REF(0);")
+		f.stmt("\treturn;")
+		f.stmt("}")
+		f.stmt("DIR_WRITEBACK(DIR_ADDR(t0));")
+		g.dirOps += 3
+		f.deferExitSite("directory", ClassFalsePos, "speculative back-out without NAK pattern")
+		f.close(true)
+	}
+
+	// Explicit address computation instead of DIR_ADDR.
+	for i := 0; i < explFP; i++ {
+		f := g.fn(b, g.uniqueName("h_rawaddr"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		line := f.stmt("DIR_LOAD(dir_base + (t0 << 4));")
+		f.stmt("t0 = DIR_READ_STATE();")
+		g.dirOps += 2
+		g.site("directory", ClassFalsePos, b.name, line,
+			"directory address computed explicitly")
+		f.close(true)
+	}
+
+	// The one real directory bug (bitvector): a rare path modifies the
+	// entry and forgets the writeback.
+	for i := 0; i < flash.Table6.Directory.Errors[name]; i++ {
+		f := g.fn(b, g.uniqueName("h_dirbug"), flash.HardwareHandler)
+		f.open(false)
+		f.declScratch(1)
+		f.stmt("DIR_LOAD(DIR_ADDR(t0));")
+		f.stmt("if (t0 > 2) {")
+		f.stmt("\tDIR_SET_STATE(2);")
+		f.stmt("} else {")
+		f.stmt("\tDIR_SET_STATE(3);")
+		f.stmt("\tDIR_WRITEBACK(DIR_ADDR(t0));")
+		f.stmt("}")
+		g.dirOps += 4
+		f.deferExitSite("directory", ClassError, "modified entry not written back on rare path")
+		f.close(true)
+	}
+}

@@ -1,0 +1,430 @@
+package flashsim
+
+import (
+	"strings"
+	"testing"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/core"
+	"flashmc/internal/flash"
+)
+
+func loadSim(t *testing.T, body string) (*core.Program, *flash.Spec) {
+	t.Helper()
+	src := cpp.MapSource{
+		"flash-includes.h": flash.IncludesH,
+		"proto.c":          "#include \"flash-includes.h\"\n" + body,
+	}
+	p, err := core.Load("simtest", src, []string{"proto.c"})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(p.ParseErrors) != 0 {
+		t.Fatalf("parse: %v", p.ParseErrors)
+	}
+	spec := &flash.Spec{
+		Protocol:      "simtest",
+		Allowance:     map[string]flash.LaneVector{},
+		NoStack:       map[string]bool{},
+		BufferFreeFns: map[string]bool{},
+		BufferUseFns:  map[string]bool{},
+		CondFreeFns:   map[string]bool{},
+	}
+	for _, fn := range p.Fns {
+		if flash.ClassifyName(fn.Name) == flash.HardwareHandler {
+			spec.Hardware = append(spec.Hardware, fn.Name)
+			spec.Allowance[fn.Name] = flash.LaneVector{4, 4, 4, 4}
+		}
+	}
+	return p, spec
+}
+
+// runOnce executes one handler with a fixed seed and returns findings.
+func runOnce(t *testing.T, body, handler string, seed int64) []Finding {
+	t.Helper()
+	p, spec := loadSim(t, body)
+	m := NewMachine(p, spec, seed)
+	f, err := m.RunHandler(handler)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return f
+}
+
+func kinds(fs []Finding) string {
+	var parts []string
+	for _, f := range fs {
+		parts = append(parts, f.Kind)
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestCleanHandlerNoFindings(t *testing.T) {
+	body := `
+void h_clean(void) {
+	HANDLER_DEFS();
+	HANDLER_PROLOGUE(1);
+	unsigned t0;
+	t0 = 1;
+	HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+	NI_SEND(2, F_DATA, 1, 0, 1, 0);
+	DEC_DB_REF(0);
+}`
+	for seed := int64(1); seed <= 20; seed++ {
+		if f := runOnce(t, body, "h_clean", seed); len(f) != 0 {
+			t.Fatalf("seed %d: findings %s", seed, kinds(f))
+		}
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	body := `
+void h_df(void) {
+	DEC_DB_REF(0);
+	DEC_DB_REF(0);
+}`
+	f := runOnce(t, body, "h_df", 1)
+	if kinds(f) != "double-free" {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestLeakDetected(t *testing.T) {
+	body := `
+void h_leak(void) {
+	unsigned x;
+	x = 1;
+}`
+	f := runOnce(t, body, "h_leak", 1)
+	if kinds(f) != "buffer-leak" {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestLenMismatchDetected(t *testing.T) {
+	body := `
+void h_len(void) {
+	HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+	NI_SEND(2, F_DATA, 1, 0, 1, 0);
+	DEC_DB_REF(0);
+}`
+	f := runOnce(t, body, "h_len", 1)
+	if kinds(f) != "len-mismatch" {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestUnsyncReadDetected(t *testing.T) {
+	body := `
+void h_read(void) {
+	unsigned v;
+	v = MISCBUS_READ_DB(0, 0);
+	DEC_DB_REF(0);
+}`
+	f := runOnce(t, body, "h_read", 1)
+	if kinds(f) != "unsync-read" {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestSyncReadClean(t *testing.T) {
+	body := `
+void h_read(void) {
+	unsigned v;
+	WAIT_FOR_DB_FULL(0);
+	v = MISCBUS_READ_DB(0, 0);
+	DEC_DB_REF(0);
+}`
+	if f := runOnce(t, body, "h_read", 1); len(f) != 0 {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestUnwaitedSendDetected(t *testing.T) {
+	body := `
+void h_w(void) {
+	HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+	PI_SEND(F_NODATA, 1, 0, 1, 1, 0);
+	DEC_DB_REF(0);
+}`
+	f := runOnce(t, body, "h_w", 1)
+	if kinds(f) != "unwaited-send" {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestRawStatusPollingActuallyWaits(t *testing.T) {
+	// The send-wait checker's false-positive shape must NOT be a
+	// dynamic bug: busy-waiting on the status register is a real wait.
+	body := `
+void h_poll(void) {
+	unsigned t0;
+	HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+	PI_SEND(F_NODATA, 1, 0, 1, 1, 0);
+	while (PI_STATUS_REG == 0) {
+		t0 = t0 + 1;
+	}
+	DEC_DB_REF(0);
+}`
+	for seed := int64(1); seed <= 20; seed++ {
+		if f := runOnce(t, body, "h_poll", seed); len(f) != 0 {
+			t.Fatalf("seed %d: findings %s", seed, kinds(f))
+		}
+	}
+}
+
+func TestDirStaleDetected(t *testing.T) {
+	body := `
+void h_dir(void) {
+	DIR_LOAD(DIR_ADDR(4));
+	DIR_SET_STATE(2);
+	DEC_DB_REF(0);
+}`
+	f := runOnce(t, body, "h_dir", 1)
+	if kinds(f) != "dir-stale" {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestNakSuppressesDirStale(t *testing.T) {
+	body := `
+void h_dir(void) {
+	DIR_LOAD(DIR_ADDR(4));
+	DIR_SET_STATE(2);
+	HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+	NI_SEND_RPLY(MSG_NAK, F_NODATA, 1, 0, 1, 0);
+	DEC_DB_REF(0);
+}`
+	if f := runOnce(t, body, "h_dir", 1); len(f) != 0 {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestLaneOverflowDetected(t *testing.T) {
+	p, spec := loadSim(t, `
+void h_lane(void) {
+	HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+	NI_SEND(2, F_NODATA, 1, 0, 1, 0);
+	NI_SEND(2, F_NODATA, 1, 0, 1, 0);
+	DEC_DB_REF(0);
+}`)
+	spec.Allowance["h_lane"] = flash.LaneVector{1, 1, 1, 1}
+	m := NewMachine(p, spec, 1)
+	f, err := m.RunHandler("h_lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(f) != "lane-overflow" {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestOwnershipTransferSuppressesLeak(t *testing.T) {
+	body := `
+void h_handoff(void) {
+	no_free_needed();
+}`
+	if f := runOnce(t, body, "h_handoff", 1); len(f) != 0 {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestAllocFailureGrantsNoBuffer(t *testing.T) {
+	// Software handler pattern: even when ALLOC_DB fails, the
+	// unconditional DEC_DB_REF(db) must not produce a double free
+	// (freeing the error handle is a no-op).
+	body := `
+void sw_t(void) {
+	unsigned db;
+	db = ALLOC_DB();
+	if (db != BUFFER_ERROR) {
+		HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+		NI_SEND(2, F_DATA, 1, 0, 1, 0);
+	}
+	DEC_DB_REF(db);
+}`
+	p, spec := loadSim(t, body)
+	spec.Software = append(spec.Software, "sw_t")
+	spec.Allowance["sw_t"] = flash.LaneVector{4, 4, 4, 4}
+	m := NewMachine(p, spec, 3)
+	for trial := 0; trial < 50; trial++ {
+		f, err := m.RunHandler("sw_t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f) != 0 {
+			t.Fatalf("trial %d: findings %s", trial, kinds(f))
+		}
+	}
+}
+
+func TestInterpreterControlFlow(t *testing.T) {
+	// A handler computing with loops and switch must terminate and
+	// behave deterministically given the machine's inputs.
+	body := `
+void h_cf(void) {
+	unsigned i;
+	unsigned acc;
+	acc = 0;
+	for (i = 0; i < 10; i++) {
+		acc += i;
+	}
+	if (acc != 45) {
+		DEC_DB_REF(0);
+		DEC_DB_REF(0); /* would double free if arithmetic broke */
+		return;
+	}
+	switch (acc % 4) {
+	case 0:
+		acc = 1;
+		break;
+	case 1:
+		acc = 2;
+		break;
+	default:
+		acc = 3;
+	}
+	while (acc > 0) {
+		acc--;
+	}
+	do {
+		acc++;
+	} while (acc < 3);
+	DEC_DB_REF(0);
+}`
+	f := runOnce(t, body, "h_cf", 1)
+	if len(f) != 0 {
+		t.Fatalf("findings %s (interpreter arithmetic broken?)", kinds(f))
+	}
+}
+
+func TestCallsIntoSubroutines(t *testing.T) {
+	body := `
+unsigned helper(unsigned n) {
+	return n * 2;
+}
+void h_call(void) {
+	unsigned v;
+	v = helper(21);
+	if (v != 42) {
+		DEC_DB_REF(0);
+		DEC_DB_REF(0);
+		return;
+	}
+	DEC_DB_REF(0);
+}`
+	if f := runOnce(t, body, "h_call", 1); len(f) != 0 {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	body := `
+void spin(unsigned n) {
+	if (n > 0) {
+		spin(n - 1);
+	}
+}
+void h_rec(void) {
+	spin(50);
+	DEC_DB_REF(0);
+}`
+	if f := runOnce(t, body, "h_rec", 1); len(f) != 0 {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestStepBudgetHangDetection(t *testing.T) {
+	body := `
+void h_hang(void) {
+	unsigned one;
+	one = 1;
+	while (one) {
+		one = 1;
+	}
+	DEC_DB_REF(0);
+}`
+	p, spec := loadSim(t, body)
+	m := NewMachine(p, spec, 1)
+	m.StepLimit = 5000
+	f, err := m.RunHandler("h_hang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(kinds(f), "hang") {
+		t.Fatalf("findings %s", kinds(f))
+	}
+}
+
+func TestCornerCaseBugIsRare(t *testing.T) {
+	// The central dynamic-testing phenomenon: a bug guarded by an
+	// uncommon input value escapes most trials.
+	body := `
+void h_corner(void) {
+	unsigned t0;
+	if (t0 > 2) {
+		DEC_DB_REF(0);
+	}
+	DEC_DB_REF(0);
+}`
+	p, spec := loadSim(t, body)
+	m := NewMachine(p, spec, 7)
+	found := 0
+	trials := 200
+	for i := 0; i < trials; i++ {
+		f, err := m.RunHandler("h_corner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(kinds(f), "double-free") {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("corner case never triggered in 200 trials (workload too narrow)")
+	}
+	if found > trials/2 {
+		t.Fatalf("corner case triggered in %d/%d trials — not rare", found, trials)
+	}
+}
+
+func TestFuzzDriver(t *testing.T) {
+	body := `
+void h_ok(void) {
+	DEC_DB_REF(0);
+}
+void h_bug(void) {
+	unsigned t0;
+	if (t0 > 2) {
+		DEC_DB_REF(0);
+	}
+	DEC_DB_REF(0);
+}
+void h_unreachable_old(void) {
+	DEC_DB_REF(0);
+	DEC_DB_REF(0);
+}`
+	p, spec := loadSim(t, body)
+	res := Fuzz(p, spec, 100, 3)
+	if res.Handlers != 2 {
+		t.Fatalf("handlers %d (unreachable not skipped?)", res.Handlers)
+	}
+	var sawBug, sawUnreachable bool
+	for _, d := range res.Detections {
+		if d.Fn == "h_bug" && d.Kind == "double-free" {
+			sawBug = true
+			if d.FirstTrial == 1 {
+				t.Log("corner bug found on first trial (lucky seed)")
+			}
+		}
+		if d.Fn == "h_unreachable_old" {
+			sawUnreachable = true
+		}
+	}
+	if !sawBug {
+		t.Error("fuzz missed the corner-case double free in 100 trials")
+	}
+	if sawUnreachable {
+		t.Error("fuzz drove an unreachable handler")
+	}
+}

@@ -1,0 +1,108 @@
+package flashsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flashmc/internal/core"
+	"flashmc/internal/flash"
+)
+
+// Detection records when a dynamic finding first appeared.
+type Detection struct {
+	Finding
+	FirstTrial int // 1-based trial index of first detection
+	Count      int // total trials that reproduced it
+}
+
+// FuzzResult aggregates a fuzzing campaign over one protocol.
+type FuzzResult struct {
+	Trials     int
+	Handlers   int
+	Detections []Detection
+}
+
+// ByLine returns detections keyed "file:line" (any kind).
+func (r *FuzzResult) ByLine() map[string]Detection {
+	out := map[string]Detection{}
+	for _, d := range r.Detections {
+		k := fmt.Sprintf("%s:%d", d.Pos.File, d.Pos.Line)
+		if prev, ok := out[k]; !ok || d.FirstTrial < prev.FirstTrial {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+func (r *FuzzResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuzz: %d handlers x %d trials, %d distinct findings\n",
+		r.Handlers, r.Trials, len(r.Detections))
+	for _, d := range r.Detections {
+		fmt.Fprintf(&b, "  %-20s %s (first at trial %d, seen %dx)\n",
+			d.Kind, d.Pos, d.FirstTrial, d.Count)
+	}
+	return b.String()
+}
+
+// Fuzz drives every dispatchable handler of the protocol for the given
+// number of trials each, collecting dynamic findings. Handlers the
+// dispatch table does not reference (the corpus's "unreachable"
+// handlers) are skipped — exactly why their bugs survive testing.
+func Fuzz(prog *core.Program, spec *flash.Spec, trials int, seed int64) *FuzzResult {
+	m := NewMachine(prog, spec, seed)
+	var handlers []string
+	for _, h := range append(append([]string{}, spec.Hardware...), spec.Software...) {
+		if strings.Contains(h, "unreachable") {
+			continue
+		}
+		if prog.Fn(h) != nil {
+			handlers = append(handlers, h)
+		}
+	}
+	sort.Strings(handlers)
+
+	type key struct {
+		kind string
+		pos  string
+	}
+	first := map[key]*Detection{}
+	for trial := 1; trial <= trials; trial++ {
+		for _, h := range handlers {
+			findings, err := m.RunHandler(h)
+			if err != nil {
+				continue // interpreter limit; treated as an aborted run
+			}
+			seen := map[key]bool{}
+			for _, f := range findings {
+				k := key{f.Kind, f.Pos.String()}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if d, ok := first[k]; ok {
+					d.Count++
+				} else {
+					first[k] = &Detection{Finding: f, FirstTrial: trial, Count: 1}
+				}
+			}
+		}
+	}
+
+	res := &FuzzResult{Trials: trials, Handlers: len(handlers)}
+	for _, d := range first {
+		res.Detections = append(res.Detections, *d)
+	}
+	sort.Slice(res.Detections, func(i, j int) bool {
+		a, b := res.Detections[i], res.Detections[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Kind < b.Kind
+	})
+	return res
+}

@@ -1,0 +1,605 @@
+// Package flashsim is the dynamic-testing counterpart to the static
+// checkers: a FlashLite-style simulator that executes protocol
+// handlers on a model of the MAGIC node (data buffers with reference
+// counts, four outgoing lanes with allowances, the decoupled
+// message-length register, the directory image, and the PI/IO reply
+// interfaces) while watching for the same bug classes the checkers
+// find statically.
+//
+// The paper's motivation (§2) is that such bugs "almost always [hide]
+// in rare corner cases ... that either never show up in simulation
+// because of a lack of cycles or because the simulator itself omits
+// certain behavior". The Fuzz driver reproduces that: handlers run
+// under randomized inputs drawn from a mostly-small-values workload,
+// and each seeded defect is only detected when the workload happens to
+// drive its corner-case path — whereas the static checkers pinpoint
+// every one on the first try.
+package flashsim
+
+import (
+	"fmt"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/token"
+)
+
+// Value is the interpreter's scalar type (everything in protocol C is
+// integral on MAGIC).
+type Value = int64
+
+// control signals propagated by statement execution.
+type control int
+
+const (
+	ctlNext control = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// hostEnv supplies the machine semantics of FLASH macros and the
+// random workload. The Machine in machine.go implements it.
+type hostEnv interface {
+	// Call handles a call to a FLASH macro or unknown external; handled
+	// reports whether the name was intercepted.
+	Call(name string, args []Value, pos token.Pos) (result Value, handled bool)
+	// AssignThroughCall handles "MACRO(arg) = v" assignment targets.
+	AssignThroughCall(name string, argText string, v Value, pos token.Pos)
+	// FreshValue draws an input value (uninitialized local, parameter,
+	// unknown global read).
+	FreshValue() Value
+	// ReadGlobal reads a named global/constant; ok=false defers to
+	// FreshValue with memoization by the interpreter.
+	ReadGlobal(name string) (Value, bool)
+}
+
+// interp executes one function activation tree.
+type interp struct {
+	env    hostEnv
+	fns    map[string]*ast.FuncDecl
+	steps  int
+	limit  int
+	depth  int
+	failed error
+
+	globals map[string]Value // memoized fuzz values for unknown names
+}
+
+// errBudget is returned when a run exceeds its step budget (a hang in
+// dynamic testing terms).
+type errBudget struct{ pos token.Pos }
+
+func (e errBudget) Error() string { return fmt.Sprintf("%s: step budget exhausted (hang?)", e.pos) }
+
+const maxDepth = 200
+
+func newInterp(env hostEnv, fns map[string]*ast.FuncDecl, stepLimit int) *interp {
+	return &interp{env: env, fns: fns, limit: stepLimit, globals: map[string]Value{}}
+}
+
+// frame is one activation record.
+type frame struct {
+	locals map[string]Value
+}
+
+// run executes fn with the given argument values.
+func (ip *interp) run(fn *ast.FuncDecl, args []Value) (Value, error) {
+	if ip.depth >= maxDepth {
+		return 0, fmt.Errorf("%s: call depth exceeded", fn.Name)
+	}
+	ip.depth++
+	defer func() { ip.depth-- }()
+	f := &frame{locals: map[string]Value{}}
+	for i, p := range fn.Params {
+		if i < len(args) {
+			f.locals[p.Name] = args[i]
+		} else {
+			f.locals[p.Name] = ip.env.FreshValue()
+		}
+	}
+	var ret Value
+	ctl, err := ip.stmt(f, fn.Body, &ret)
+	if err != nil {
+		return 0, err
+	}
+	_ = ctl
+	return ret, nil
+}
+
+func (ip *interp) tick(pos token.Pos) error {
+	ip.steps++
+	if ip.steps > ip.limit {
+		return errBudget{pos}
+	}
+	return nil
+}
+
+func (ip *interp) stmt(f *frame, s ast.Stmt, ret *Value) (control, error) {
+	if s == nil {
+		return ctlNext, nil
+	}
+	if err := ip.tick(s.Pos()); err != nil {
+		return ctlNext, err
+	}
+	switch x := s.(type) {
+	case *ast.Block:
+		for _, st := range x.Stmts {
+			c, err := ip.stmt(f, st, ret)
+			if err != nil || c != ctlNext {
+				return c, err
+			}
+		}
+		return ctlNext, nil
+	case *ast.ExprStmt:
+		_, err := ip.expr(f, x.X)
+		return ctlNext, err
+	case *ast.DeclStmt:
+		var v Value
+		if x.Decl.Init != nil {
+			var err error
+			v, err = ip.expr(f, x.Decl.Init)
+			if err != nil {
+				return ctlNext, err
+			}
+		} else {
+			v = ip.env.FreshValue()
+		}
+		f.locals[x.Decl.Name] = v
+		return ctlNext, nil
+	case *ast.If:
+		c, err := ip.expr(f, x.Cond)
+		if err != nil {
+			return ctlNext, err
+		}
+		if c != 0 {
+			return ip.stmt(f, x.Then, ret)
+		}
+		return ip.stmt(f, x.Else, ret)
+	case *ast.While:
+		for {
+			c, err := ip.expr(f, x.Cond)
+			if err != nil {
+				return ctlNext, err
+			}
+			if c == 0 {
+				return ctlNext, nil
+			}
+			cc, err := ip.stmt(f, x.Body, ret)
+			if err != nil {
+				return ctlNext, err
+			}
+			if cc == ctlBreak {
+				return ctlNext, nil
+			}
+			if cc == ctlReturn {
+				return ctlReturn, nil
+			}
+			if err := ip.tick(x.Pos()); err != nil {
+				return ctlNext, err
+			}
+		}
+	case *ast.DoWhile:
+		for {
+			cc, err := ip.stmt(f, x.Body, ret)
+			if err != nil {
+				return ctlNext, err
+			}
+			if cc == ctlBreak {
+				return ctlNext, nil
+			}
+			if cc == ctlReturn {
+				return ctlReturn, nil
+			}
+			c, err := ip.expr(f, x.Cond)
+			if err != nil {
+				return ctlNext, err
+			}
+			if c == 0 {
+				return ctlNext, nil
+			}
+			if err := ip.tick(x.Pos()); err != nil {
+				return ctlNext, err
+			}
+		}
+	case *ast.For:
+		if x.Init != nil {
+			if c, err := ip.stmt(f, x.Init, ret); err != nil || c == ctlReturn {
+				return c, err
+			}
+		}
+		for {
+			if x.Cond != nil {
+				c, err := ip.expr(f, x.Cond)
+				if err != nil {
+					return ctlNext, err
+				}
+				if c == 0 {
+					return ctlNext, nil
+				}
+			}
+			cc, err := ip.stmt(f, x.Body, ret)
+			if err != nil {
+				return ctlNext, err
+			}
+			if cc == ctlBreak {
+				return ctlNext, nil
+			}
+			if cc == ctlReturn {
+				return ctlReturn, nil
+			}
+			if x.Post != nil {
+				if _, err := ip.expr(f, x.Post); err != nil {
+					return ctlNext, err
+				}
+			}
+			if err := ip.tick(x.Pos()); err != nil {
+				return ctlNext, err
+			}
+		}
+	case *ast.Switch:
+		tag, err := ip.expr(f, x.Tag)
+		if err != nil {
+			return ctlNext, err
+		}
+		// Find the matching case (or default), then execute with
+		// fallthrough until break/end.
+		start := -1
+		defaultIdx := -1
+		for i, st := range x.Body.Stmts {
+			cs, ok := st.(*ast.Case)
+			if !ok {
+				continue
+			}
+			if cs.Value == nil {
+				defaultIdx = i
+				continue
+			}
+			v, err := ip.expr(f, cs.Value)
+			if err != nil {
+				return ctlNext, err
+			}
+			if v == tag {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			start = defaultIdx
+		}
+		if start < 0 {
+			return ctlNext, nil
+		}
+		for _, st := range x.Body.Stmts[start:] {
+			if _, ok := st.(*ast.Case); ok {
+				continue
+			}
+			c, err := ip.stmt(f, st, ret)
+			if err != nil {
+				return ctlNext, err
+			}
+			if c == ctlBreak {
+				return ctlNext, nil
+			}
+			if c == ctlReturn {
+				return ctlReturn, nil
+			}
+		}
+		return ctlNext, nil
+	case *ast.Case:
+		return ctlNext, nil
+	case *ast.Break:
+		return ctlBreak, nil
+	case *ast.Continue:
+		return ctlContinue, nil
+	case *ast.Return:
+		if x.X != nil {
+			v, err := ip.expr(f, x.X)
+			if err != nil {
+				return ctlNext, err
+			}
+			*ret = v
+		}
+		return ctlReturn, nil
+	case *ast.Labeled:
+		return ip.stmt(f, x.Stmt, ret)
+	case *ast.Goto:
+		// The synthetic corpus does not use goto; treat as early exit.
+		return ctlReturn, nil
+	case *ast.Empty:
+		return ctlNext, nil
+	}
+	return ctlNext, nil
+}
+
+func (ip *interp) expr(f *frame, e ast.Expr) (Value, error) {
+	if e == nil {
+		return 0, nil
+	}
+	if err := ip.tick(e.Pos()); err != nil {
+		return 0, err
+	}
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, nil
+	case *ast.CharLit:
+		return x.Value, nil
+	case *ast.FloatLit:
+		return int64(x.Value), nil
+	case *ast.StringLit:
+		return 0, nil
+	case *ast.Paren:
+		return ip.expr(f, x.X)
+	case *ast.Ident:
+		return ip.readName(f, x.Name), nil
+	case *ast.Member:
+		return ip.readLValue(f, e), nil
+	case *ast.Index:
+		return ip.readLValue(f, e), nil
+	case *ast.Unary:
+		return ip.unary(f, x)
+	case *ast.Binary:
+		return ip.binary(f, x)
+	case *ast.Assign:
+		return ip.assign(f, x)
+	case *ast.Cond:
+		c, err := ip.expr(f, x.C)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return ip.expr(f, x.Then)
+		}
+		return ip.expr(f, x.Else)
+	case *ast.Call:
+		return ip.call(f, x)
+	case *ast.Cast:
+		return ip.expr(f, x.X)
+	case *ast.SizeofExpr:
+		return 4, nil
+	case *ast.SizeofType:
+		if sz := x.Of.Size(); sz > 0 {
+			return sz, nil
+		}
+		return 4, nil
+	}
+	return 0, nil
+}
+
+// readName resolves an identifier: local, host global, or memoized
+// fuzz value.
+func (ip *interp) readName(f *frame, name string) Value {
+	if v, ok := f.locals[name]; ok {
+		return v
+	}
+	if v, ok := ip.env.ReadGlobal(name); ok {
+		return v
+	}
+	if v, ok := ip.globals[name]; ok {
+		return v
+	}
+	v := ip.env.FreshValue()
+	ip.globals[name] = v
+	return v
+}
+
+// readLValue reads compound lvalues (members, array cells) through a
+// rendered-path store, which is all the corpus's flat accesses need.
+func (ip *interp) readLValue(f *frame, e ast.Expr) Value {
+	key := ast.ExprString(e)
+	if v, ok := ip.env.ReadGlobal(key); ok {
+		return v
+	}
+	if v, ok := ip.globals[key]; ok {
+		return v
+	}
+	v := ip.env.FreshValue()
+	ip.globals[key] = v
+	return v
+}
+
+func (ip *interp) unary(f *frame, x *ast.Unary) (Value, error) {
+	if x.Op == token.Inc || x.Op == token.Dec {
+		old, err := ip.expr(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		nv := old + 1
+		if x.Op == token.Dec {
+			nv = old - 1
+		}
+		ip.writeLValue(f, x.X, nv)
+		if x.Postfix {
+			return old, nil
+		}
+		return nv, nil
+	}
+	v, err := ip.expr(f, x.X)
+	if err != nil {
+		return 0, err
+	}
+	switch x.Op {
+	case token.Sub:
+		return -v, nil
+	case token.Add:
+		return v, nil
+	case token.Not:
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case token.Tilde:
+		return ^v, nil
+	case token.Star, token.BitAnd:
+		return v, nil // flat memory model
+	}
+	return v, nil
+}
+
+func (ip *interp) binary(f *frame, x *ast.Binary) (Value, error) {
+	if x.Op == token.LogicalAnd || x.Op == token.LogicalOr {
+		l, err := ip.expr(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == token.LogicalAnd && l == 0 {
+			return 0, nil
+		}
+		if x.Op == token.LogicalOr && l != 0 {
+			return 1, nil
+		}
+		r, err := ip.expr(f, x.Y)
+		if err != nil {
+			return 0, err
+		}
+		if r != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	l, err := ip.expr(f, x.X)
+	if err != nil {
+		return 0, err
+	}
+	r, err := ip.expr(f, x.Y)
+	if err != nil {
+		return 0, err
+	}
+	return applyOp(x.Op, l, r), nil
+}
+
+func applyOp(op token.Kind, l, r Value) Value {
+	switch op {
+	case token.Add:
+		return l + r
+	case token.Sub:
+		return l - r
+	case token.Star:
+		return l * r
+	case token.Div:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case token.Mod:
+		if r == 0 {
+			return 0
+		}
+		return l % r
+	case token.Shl:
+		return l << (uint64(r) & 63)
+	case token.Shr:
+		return l >> (uint64(r) & 63)
+	case token.BitAnd:
+		return l & r
+	case token.BitOr:
+		return l | r
+	case token.BitXor:
+		return l ^ r
+	case token.Eq:
+		return b2v(l == r)
+	case token.NotEq:
+		return b2v(l != r)
+	case token.Less:
+		return b2v(l < r)
+	case token.Greater:
+		return b2v(l > r)
+	case token.LessEq:
+		return b2v(l <= r)
+	case token.GreaterEq:
+		return b2v(l >= r)
+	case token.Comma:
+		return r
+	}
+	return 0
+}
+
+func b2v(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (ip *interp) assign(f *frame, x *ast.Assign) (Value, error) {
+	rhs, err := ip.expr(f, x.RHS)
+	if err != nil {
+		return 0, err
+	}
+	if x.Op != token.Assign {
+		old, err := ip.expr(f, x.LHS)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.AddAssign:
+			rhs = old + rhs
+		case token.SubAssign:
+			rhs = old - rhs
+		case token.MulAssign:
+			rhs = old * rhs
+		case token.DivAssign:
+			rhs = applyOp(token.Div, old, rhs)
+		case token.ModAssign:
+			rhs = applyOp(token.Mod, old, rhs)
+		case token.AndAssign:
+			rhs = old & rhs
+		case token.OrAssign:
+			rhs = old | rhs
+		case token.XorAssign:
+			rhs = old ^ rhs
+		case token.ShlAssign:
+			rhs = applyOp(token.Shl, old, rhs)
+		case token.ShrAssign:
+			rhs = applyOp(token.Shr, old, rhs)
+		}
+	}
+	ip.writeLValue(f, x.LHS, rhs)
+	return rhs, nil
+}
+
+// writeLValue stores through an lvalue expression.
+func (ip *interp) writeLValue(f *frame, lhs ast.Expr, v Value) {
+	switch t := lhs.(type) {
+	case *ast.Paren:
+		ip.writeLValue(f, t.X, v)
+	case *ast.Ident:
+		if _, ok := f.locals[t.Name]; ok {
+			f.locals[t.Name] = v
+			return
+		}
+		ip.globals[t.Name] = v
+	case *ast.Call:
+		// FLASH idiom: HANDLER_GLOBALS(field) = v.
+		if id, ok := t.Fun.(*ast.Ident); ok && len(t.Args) == 1 {
+			ip.env.AssignThroughCall(id.Name, ast.ExprString(t.Args[0]), v, t.Pos())
+			return
+		}
+	case *ast.Unary:
+		// *p = v in the flat model: store by rendered path.
+		ip.globals[ast.ExprString(lhs)] = v
+	default:
+		ip.globals[ast.ExprString(lhs)] = v
+	}
+}
+
+func (ip *interp) call(f *frame, x *ast.Call) (Value, error) {
+	id, ok := x.Fun.(*ast.Ident)
+	if !ok {
+		return 0, nil
+	}
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ip.expr(f, a)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	if v, handled := ip.env.Call(id.Name, args, x.Pos()); handled {
+		return v, nil
+	}
+	if callee, ok := ip.fns[id.Name]; ok && callee.Body != nil {
+		return ip.run(callee, args)
+	}
+	return 0, nil
+}

@@ -1,0 +1,295 @@
+package flashsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/core"
+	"flashmc/internal/flash"
+)
+
+// exprNode is a tiny random expression tree mirrored in Go so the
+// interpreter's arithmetic can be checked against the host language.
+type exprNode struct {
+	op   string // "a","b","c", "lit", or an operator
+	lit  int64
+	l, r *exprNode
+}
+
+var binOps = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", ">", "<=", ">="}
+
+func genExpr(rng *rand.Rand, depth int) *exprNode {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &exprNode{op: "a"}
+		case 1:
+			return &exprNode{op: "b"}
+		case 2:
+			return &exprNode{op: "c"}
+		default:
+			return &exprNode{op: "lit", lit: int64(rng.Intn(31))}
+		}
+	}
+	return &exprNode{
+		op: binOps[rng.Intn(len(binOps))],
+		l:  genExpr(rng, depth-1),
+		r:  genExpr(rng, depth-1),
+	}
+}
+
+func (e *exprNode) render() string {
+	switch e.op {
+	case "a", "b", "c":
+		return e.op
+	case "lit":
+		return fmt.Sprint(e.lit)
+	}
+	return "(" + e.l.render() + " " + e.op + " " + e.r.render() + ")"
+}
+
+func (e *exprNode) eval(a, b, c int64) int64 {
+	switch e.op {
+	case "a":
+		return a
+	case "b":
+		return b
+	case "c":
+		return c
+	case "lit":
+		return e.lit
+	}
+	l, r := e.l.eval(a, b, c), e.r.eval(a, b, c)
+	btoi := func(x bool) int64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	switch e.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "/":
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case "%":
+		if r == 0 {
+			return 0
+		}
+		return l % r
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "<<":
+		return l << (uint64(r) & 63)
+	case ">>":
+		return l >> (uint64(r) & 63)
+	case "==":
+		return btoi(l == r)
+	case "!=":
+		return btoi(l != r)
+	case "<":
+		return btoi(l < r)
+	case ">":
+		return btoi(l > r)
+	case "<=":
+		return btoi(l <= r)
+	case ">=":
+		return btoi(l >= r)
+	}
+	return 0
+}
+
+// TestInterpArithmeticProperty drives random expressions through the
+// interpreter and compares against the Go mirror: the handler double
+// frees iff the computed value disagrees.
+func TestInterpArithmeticProperty(t *testing.T) {
+	f := func(seed int64, a8, b8, c8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4)
+		a, b, c := int64(a8%32), int64(b8%32)+1, int64(c8%32)
+		want := e.eval(a, b, c)
+
+		body := fmt.Sprintf(`
+void h_prop(void) {
+	long a;
+	long b;
+	long c;
+	long got;
+	a = %d;
+	b = %d;
+	c = %d;
+	got = %s;
+	if (got != %d) {
+		DEC_DB_REF(0);
+		DEC_DB_REF(0); /* mismatch marker */
+		return;
+	}
+	DEC_DB_REF(0);
+}`, a, b, c, e.render(), want)
+
+		src := cpp.MapSource{
+			"flash-includes.h": flash.IncludesH,
+			"p.c":              "#include \"flash-includes.h\"\n" + body,
+		}
+		prog, err := core.Load("prop", src, []string{"p.c"})
+		if err != nil || len(prog.ParseErrors) != 0 {
+			t.Logf("expr %s: load failed", e.render())
+			return false
+		}
+		spec := &flash.Spec{Hardware: []string{"h_prop"},
+			Allowance: map[string]flash.LaneVector{"h_prop": {4, 4, 4, 4}}}
+		m := NewMachine(prog, spec, 1)
+		findings, err := m.RunHandler("h_prop")
+		if err != nil {
+			t.Logf("expr %s: %v", e.render(), err)
+			return false
+		}
+		if len(findings) != 0 {
+			t.Logf("expr %s with a=%d b=%d c=%d: interpreter disagrees with Go (want %d)",
+				e.render(), a, b, c, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMachineDeterministic verifies identical seeds give identical
+// findings across repeated campaigns.
+func TestMachineDeterministic(t *testing.T) {
+	body := `
+void h_mix(void) {
+	unsigned t0;
+	if (t0 > 2) {
+		DEC_DB_REF(0);
+	}
+	DEC_DB_REF(0);
+}`
+	p, spec := loadSim(t, body)
+	run := func() string {
+		m := NewMachine(p, spec, 42)
+		out := ""
+		for i := 0; i < 30; i++ {
+			fs, err := m.RunHandler("h_mix")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += fmt.Sprint(len(fs))
+		}
+		return out
+	}
+	if run() != run() {
+		t.Error("same seed produced different campaigns")
+	}
+}
+
+// TestShortCircuitEvaluation verifies && / || do not evaluate their
+// right operands when short-circuited (observable through macro side
+// effects).
+func TestShortCircuitEvaluation(t *testing.T) {
+	body := `
+void h_sc(void) {
+	unsigned zero;
+	unsigned one;
+	zero = 0;
+	one = 1;
+	if (zero && MISCBUS_READ_DB(0, 0)) {
+		zero = 2;
+	}
+	if (one || MISCBUS_READ_DB(0, 0)) {
+		one = 2;
+	}
+	DEC_DB_REF(0);
+}`
+	// The reads are unsynchronized; if either executed, we'd get an
+	// unsync-read finding.
+	if f := runOnce(t, body, "h_sc", 1); len(f) != 0 {
+		t.Fatalf("short-circuit broken: %s", kinds(f))
+	}
+}
+
+// TestCompoundAssignOps checks the compound assignment operators the
+// corpus's filler uses.
+func TestCompoundAssignOps(t *testing.T) {
+	body := `
+void h_ca(void) {
+	long v;
+	v = 10;
+	v += 5;
+	v -= 3;
+	v *= 2;
+	v /= 4;   /* 24/4 = 6 */
+	v <<= 2;  /* 24 */
+	v >>= 1;  /* 12 */
+	v |= 1;   /* 13 */
+	v &= 14;  /* 12 */
+	v ^= 5;   /* 9 */
+	v %= 4;   /* 1 */
+	if (v != 1) {
+		DEC_DB_REF(0);
+		DEC_DB_REF(0);
+		return;
+	}
+	DEC_DB_REF(0);
+}`
+	if f := runOnce(t, body, "h_ca", 1); len(f) != 0 {
+		t.Fatalf("compound assignment broken: %s", kinds(f))
+	}
+}
+
+// TestIncDecSemantics checks pre/post increment value semantics.
+func TestIncDecSemantics(t *testing.T) {
+	body := `
+void h_id(void) {
+	long v;
+	long got;
+	v = 5;
+	got = v++;
+	if (got != 5 || v != 6) { DEC_DB_REF(0); DEC_DB_REF(0); return; }
+	got = ++v;
+	if (got != 7 || v != 7) { DEC_DB_REF(0); DEC_DB_REF(0); return; }
+	got = v--;
+	if (got != 7 || v != 6) { DEC_DB_REF(0); DEC_DB_REF(0); return; }
+	got = --v;
+	if (got != 5 || v != 5) { DEC_DB_REF(0); DEC_DB_REF(0); return; }
+	DEC_DB_REF(0);
+}`
+	if f := runOnce(t, body, "h_id", 1); len(f) != 0 {
+		t.Fatalf("inc/dec broken: %s", kinds(f))
+	}
+}
+
+// TestTernaryAndComma checks the remaining expression forms.
+func TestTernaryAndComma(t *testing.T) {
+	body := `
+void h_tc(void) {
+	long v;
+	long w;
+	v = 1 ? 10 : 20;
+	w = (v = v + 1, v * 2);
+	if (v != 11 || w != 22) {
+		DEC_DB_REF(0);
+		DEC_DB_REF(0);
+		return;
+	}
+	DEC_DB_REF(0);
+}`
+	if f := runOnce(t, body, "h_tc", 1); len(f) != 0 {
+		t.Fatalf("ternary/comma broken: %s", kinds(f))
+	}
+}

@@ -1,0 +1,338 @@
+package flashsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/core"
+	"flashmc/internal/flash"
+)
+
+// Constant values the machine gives the header's extern const
+// variables (the hardware's actual encodings are irrelevant; only
+// zero/non-zero distinctions and identities matter).
+const (
+	valLenNoData    = 0
+	valLenWord      = 4
+	valLenCacheline = 128
+	valFNoData      = 0
+	valFData        = 1
+	valMsgNak       = 7
+	valBufferError  = 0xffff
+	valBufferHandle = 0x1000
+)
+
+// Finding is one dynamically detected protocol failure.
+type Finding struct {
+	Kind string // bug-class identifier, e.g. "double-free"
+	Fn   string
+	Pos  token.Pos
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s in %s", f.Pos, f.Kind, f.Fn)
+}
+
+// Machine models one MAGIC node executing a single handler activation:
+// the incoming data buffer's refcount, the four outgoing lanes against
+// the handler's allowance, the message-length register, the directory
+// image, and the reply interfaces. It implements hostEnv.
+type Machine struct {
+	prog *core.Program
+	spec *flash.Spec
+	fns  map[string]*ast.FuncDecl
+	rng  *rand.Rand
+
+	// per-run state
+	handler        string
+	bufRef         int
+	laneUse        flash.LaneVector
+	allow          flash.LaneVector
+	msgLen         Value
+	dbWaited       bool
+	dirLoaded      bool
+	dirModified    bool
+	nakSent        bool
+	pendingWait    string // "", "PI", "IO"
+	ownershipMoved bool   // no_free_needed: buffer handed onward
+	findings       []Finding
+
+	// StepLimit bounds one activation (hang detection).
+	StepLimit int
+}
+
+// NewMachine builds a machine for a loaded protocol.
+func NewMachine(prog *core.Program, spec *flash.Spec, seed int64) *Machine {
+	fns := map[string]*ast.FuncDecl{}
+	for _, fn := range prog.Fns {
+		fns[fn.Name] = fn
+	}
+	return &Machine{prog: prog, spec: spec, fns: fns,
+		rng: rand.New(rand.NewSource(seed)), StepLimit: 200000}
+}
+
+func (m *Machine) report(kind string, pos token.Pos) {
+	m.findings = append(m.findings, Finding{Kind: kind, Fn: m.handler, Pos: pos})
+}
+
+// FreshValue draws from the workload distribution: overwhelmingly the
+// small values a warm protocol sees, occasionally a corner-case one —
+// the regime that hides corner-case bugs from dynamic testing.
+func (m *Machine) FreshValue() Value {
+	switch m.rng.Intn(20) {
+	case 0: // rare: arbitrary word
+		return Value(m.rng.Intn(1 << 16))
+	case 1, 2: // uncommon: small but nonzero
+		return Value(2 + m.rng.Intn(14))
+	default: // common case: 0 or 1
+		return Value(m.rng.Intn(2))
+	}
+}
+
+// ReadGlobal implements hostEnv for named constants and status
+// registers (which are fresh on every read, like volatile hardware).
+func (m *Machine) ReadGlobal(name string) (Value, bool) {
+	switch name {
+	case flash.ConstLenNoData:
+		return valLenNoData, true
+	case flash.ConstLenWord:
+		return valLenWord, true
+	case flash.ConstLenCacheline:
+		return valLenCacheline, true
+	case flash.ConstFData:
+		return valFData, true
+	case flash.ConstFNoData:
+		return valFNoData, true
+	case flash.ConstNakReply:
+		return valMsgNak, true
+	case flash.MacroBufferError:
+		return valBufferError, true
+	case "PI_STATUS_REG":
+		// Volatile reply-status register: observing it nonzero IS the
+		// reply arriving, so raw polling (the abstraction-breaking
+		// send-wait false positives) genuinely waits.
+		v := Value(m.rng.Intn(2))
+		if v != 0 && m.pendingWait == "PI" {
+			m.pendingWait = ""
+		}
+		return v, true
+	case "IO_STATUS_REG":
+		v := Value(m.rng.Intn(2))
+		if v != 0 && m.pendingWait == "IO" {
+			m.pendingWait = ""
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// AssignThroughCall implements the HANDLER_GLOBALS(field) = v idiom.
+func (m *Machine) AssignThroughCall(name, argText string, v Value, pos token.Pos) {
+	if name == flash.MacroHandlerGlobals && argText == "header.nh.len" {
+		m.msgLen = v
+	}
+}
+
+// Call implements the FLASH macro semantics with inline detectors.
+func (m *Machine) Call(name string, args []Value, pos token.Pos) (Value, bool) {
+	arg := func(i int) Value {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch name {
+	case flash.MacroWaitForDBFull:
+		m.dbWaited = true
+		return 0, true
+	case flash.MacroMiscbusReadDB, flash.MacroDeprecatedOp:
+		if !m.dbWaited {
+			m.report("unsync-read", pos)
+		}
+		return m.FreshValue(), true
+	case "MISCBUS_WRITE_DB":
+		if arg(0) == valBufferError {
+			m.report("bad-write", pos)
+		}
+		return 0, true
+	case flash.MacroAllocDB:
+		if m.bufRef > 0 {
+			m.report("alloc-leak", pos)
+		}
+		if m.rng.Intn(10) == 0 {
+			return valBufferError, true // allocation failed: no buffer
+		}
+		m.bufRef++
+		return valBufferHandle, true
+	case flash.MacroIncDB:
+		// The hardware tracks real counts, so the §11 double-increment
+		// pattern is dynamically fine — which is why testing never
+		// caught the misunderstanding around it.
+		m.bufRef++
+		return 0, true
+	case flash.MacroFreeDB:
+		if arg(0) == valBufferError {
+			return 0, true // freeing the error handle is a no-op
+		}
+		m.bufRef--
+		if m.bufRef < 0 {
+			m.report("double-free", pos)
+		}
+		return 0, true
+	case flash.AnnotNoFreeNeeded:
+		// Ownership transferred to a subsequent handler: the buffer is
+		// intentionally not freed here.
+		m.ownershipMoved = true
+		return 0, true
+	case flash.AnnotHasBuffer, "DEBUG_PRINT",
+		flash.MacroHandlerDefs, flash.MacroHandlerPrologue,
+		flash.MacroSubrPrologue, flash.MacroSetStackPtr,
+		flash.MacroNoStackDecl:
+		return 0, true
+	case flash.MacroHandlerGlobals:
+		return m.msgLen, true
+	case flash.MacroPISend:
+		m.send(0, arg(0), arg(3), "PI", pos)
+		return 0, true
+	case flash.MacroIOSend:
+		m.send(1, arg(0), arg(3), "IO", pos)
+		return 0, true
+	case flash.MacroNISend:
+		if arg(0) == valMsgNak {
+			m.nakSent = true
+		}
+		m.send(2, arg(1), arg(3), "", pos)
+		return 0, true
+	case flash.MacroNISendRply:
+		if arg(0) == valMsgNak {
+			m.nakSent = true
+		}
+		m.send(3, arg(1), arg(3), "", pos)
+		return 0, true
+	case flash.MacroWaitForSpace:
+		l := int(arg(0))
+		if l >= 0 && l < flash.NumLanes {
+			m.laneUse[l] = 0
+		}
+		return 0, true
+	case flash.MacroWaitPIReply:
+		if m.pendingWait == "IO" {
+			m.report("wrong-wait", pos)
+		}
+		m.pendingWait = ""
+		return 0, true
+	case flash.MacroWaitIOReply:
+		if m.pendingWait == "PI" {
+			m.report("wrong-wait", pos)
+		}
+		m.pendingWait = ""
+		return 0, true
+	case flash.MacroDirLoad:
+		m.dirLoaded = true
+		m.dirModified = false
+		return 0, true
+	case "DIR_ADDR":
+		return arg(0), true
+	case flash.MacroDirRead:
+		if !m.dirLoaded {
+			m.report("dir-unloaded", pos)
+		}
+		return m.FreshValue(), true
+	case flash.MacroDirSetState, flash.MacroDirSetVector:
+		if !m.dirLoaded {
+			m.report("dir-unloaded", pos)
+		}
+		m.dirModified = true
+		return 0, true
+	case flash.MacroDirWriteback:
+		m.dirModified = false
+		return 0, true
+	}
+	return 0, false
+}
+
+// send models one message transmission.
+func (m *Machine) send(lane int, hasData, wait Value, iface string, pos token.Pos) {
+	if m.bufRef <= 0 {
+		m.report("send-without-buffer", pos)
+	}
+	if m.pendingWait != "" {
+		m.report("send-before-wait", pos)
+	}
+	if hasData == valFData && m.msgLen == valLenNoData {
+		m.report("len-mismatch", pos)
+	}
+	if hasData == valFNoData && m.msgLen != valLenNoData {
+		m.report("len-mismatch", pos)
+	}
+	m.laneUse = m.laneUse.Add(lane)
+	if m.laneUse[lane] > m.allow[lane] {
+		m.report("lane-overflow", pos)
+	}
+	if wait == 1 {
+		m.pendingWait = iface
+	}
+}
+
+// RunHandler executes one activation of the named handler under fresh
+// random inputs and returns the findings.
+func (m *Machine) RunHandler(name string) ([]Finding, error) {
+	fn := m.fns[name]
+	if fn == nil || fn.Body == nil {
+		return nil, fmt.Errorf("no such handler %q", name)
+	}
+	kind := m.spec.Classify(name)
+
+	// Reset per-run state.
+	m.handler = name
+	m.findings = nil
+	m.laneUse = flash.LaneVector{}
+	m.msgLen = Value(valLenNoData)
+	m.dbWaited = false
+	m.dirLoaded = false
+	m.dirModified = false
+	m.nakSent = false
+	m.pendingWait = ""
+	m.ownershipMoved = false
+	m.bufRef = 0
+	if kind == flash.HardwareHandler || m.spec.BufferFreeFns[name] || m.spec.BufferUseFns[name] {
+		m.bufRef = 1 // hardware delivered a buffer
+	}
+	if a, ok := m.spec.Allowance[name]; ok {
+		m.allow = a
+	} else {
+		m.allow = flash.LaneVector{1, 1, 1, 1}
+	}
+
+	ip := newInterp(m, m.fns, m.StepLimit)
+	_, err := ip.run(fn, nil)
+	if err != nil {
+		if _, isHang := err.(errBudget); isHang {
+			m.report("hang", fn.Pos())
+		} else {
+			return m.findings, err
+		}
+	}
+
+	// End-of-activation invariants.
+	end := fn.EndPos
+	switch {
+	case m.spec.BufferUseFns[name]:
+		if m.bufRef <= 0 {
+			m.report("callee-freed-buffer", end)
+		}
+	case kind != flash.Subroutine || m.spec.BufferFreeFns[name]:
+		if m.bufRef > 0 && !m.ownershipMoved {
+			m.report("buffer-leak", end)
+		}
+	}
+	if m.pendingWait != "" {
+		m.report("unwaited-send", end)
+	}
+	if m.dirModified && !m.nakSent {
+		m.report("dir-stale", end)
+	}
+	return m.findings, nil
+}

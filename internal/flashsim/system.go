@@ -1,0 +1,124 @@
+package flashsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flashmc/internal/core"
+	"flashmc/internal/flash"
+)
+
+// System models a small FLASH machine: several MAGIC nodes, each with
+// a finite data-buffer pool, executing handler activations driven by
+// an external workload. Its purpose is the paper's §6 phenomenon: a
+// handler that leaks a buffer on a rare path causes "the system to
+// have a low-grade buffer leak that only deadlocks the system after
+// several days" — here, after thousands of activations, and only once
+// the workload has hit the rare path often enough to drain a pool.
+type System struct {
+	machine  *Machine
+	rng      *rand.Rand
+	handlers []string
+
+	// BuffersPerNode is each node's data-buffer pool size.
+	BuffersPerNode int
+	// Nodes is the machine size.
+	Nodes int
+
+	free []int // free buffers per node
+}
+
+// SystemResult summarizes one system run.
+type SystemResult struct {
+	// Activations executed before deadlock or budget exhaustion.
+	Activations int
+	// Deadlocked reports whether every node's pool drained.
+	Deadlocked bool
+	// DeadlockActivation is when that happened (0 if never).
+	DeadlockActivation int
+	// Leaks counts activations that permanently lost a buffer.
+	Leaks int
+	// Corruptions counts double frees observed (two owners for one
+	// buffer: silent data corruption on real hardware).
+	Corruptions int
+}
+
+func (r SystemResult) String() string {
+	if r.Deadlocked {
+		return fmt.Sprintf("DEADLOCK after %d activations (%d leaks, %d corruptions)",
+			r.DeadlockActivation, r.Leaks, r.Corruptions)
+	}
+	return fmt.Sprintf("survived %d activations (%d leaks, %d corruptions)",
+		r.Activations, r.Leaks, r.Corruptions)
+}
+
+// NewSystem builds a system over the protocol restricted to the given
+// handlers (nil = all dispatchable handlers of the spec).
+func NewSystem(prog *core.Program, spec *flash.Spec, handlers []string, seed int64) *System {
+	if handlers == nil {
+		for _, h := range append(append([]string{}, spec.Hardware...), spec.Software...) {
+			if prog.Fn(h) != nil {
+				handlers = append(handlers, h)
+			}
+		}
+	}
+	return &System{
+		machine:        NewMachine(prog, spec, seed),
+		rng:            rand.New(rand.NewSource(seed ^ 0x5f5f)),
+		handlers:       handlers,
+		BuffersPerNode: 8,
+		Nodes:          4,
+	}
+}
+
+// Run executes up to budget handler activations, dispatching each to a
+// random node, and returns when the machine deadlocks or the budget is
+// spent.
+func (s *System) Run(budget int) SystemResult {
+	s.free = make([]int, s.Nodes)
+	for i := range s.free {
+		s.free[i] = s.BuffersPerNode
+	}
+	var res SystemResult
+	for res.Activations = 1; res.Activations <= budget; res.Activations++ {
+		// The workload (cache misses, network arrivals) targets a
+		// node; if it has no free buffer the message cannot be
+		// accepted. When no node can accept, the machine is dead.
+		node := s.pickNode()
+		if node < 0 {
+			res.Deadlocked = true
+			res.DeadlockActivation = res.Activations
+			return res
+		}
+		h := s.handlers[s.rng.Intn(len(s.handlers))]
+		s.free[node]-- // hardware hands the handler a buffer
+		findings, err := s.machine.RunHandler(h)
+		returned := 1
+		if err == nil {
+			for _, f := range findings {
+				switch f.Kind {
+				case "buffer-leak":
+					res.Leaks++
+					returned = 0 // the buffer is gone for good
+				case "double-free":
+					res.Corruptions++
+				}
+			}
+		}
+		s.free[node] += returned
+	}
+	res.Activations = budget
+	return res
+}
+
+// pickNode returns a random node with a free buffer, or -1 if none.
+func (s *System) pickNode() int {
+	start := s.rng.Intn(s.Nodes)
+	for i := 0; i < s.Nodes; i++ {
+		n := (start + i) % s.Nodes
+		if s.free[n] > 0 {
+			return n
+		}
+	}
+	return -1
+}

@@ -1,0 +1,157 @@
+package global
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flashmc/internal/cc/parser"
+	"flashmc/internal/cfg"
+)
+
+func summarize(t *testing.T, src string, annotate Annotator) []*Summary {
+	t.Helper()
+	f, errs := parser.ParseText("g.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	var out []*Summary
+	for _, fn := range f.Funcs() {
+		out = append(out, FromCFG(cfg.Build(fn), annotate))
+	}
+	return out
+}
+
+const twoFns = `
+void callee(int n) {
+	if (n) {
+		callee(n - 1);
+	}
+}
+void root(void) {
+	callee(3);
+	helper_extern();
+}
+`
+
+func TestFromCFGRecordsCalls(t *testing.T) {
+	sums := summarize(t, twoFns, nil)
+	if len(sums) != 2 {
+		t.Fatalf("summaries %d", len(sums))
+	}
+	root := sums[1]
+	if root.Fn != "root" {
+		t.Fatalf("order: %s", root.Fn)
+	}
+	callees := root.Callees()
+	if strings.Join(callees, ",") != "callee,helper_extern" {
+		t.Errorf("callees %v", callees)
+	}
+}
+
+func TestBackEdgesMarked(t *testing.T) {
+	sums := summarize(t, `void loopy(int n) { while (n) { n--; } }`, nil)
+	found := false
+	for _, n := range sums[0].Nodes {
+		for i := range n.Succs {
+			if n.Back[i] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no back edge recorded for the loop")
+	}
+}
+
+func TestAnnotatorApplied(t *testing.T) {
+	sums := summarize(t, `void f(void) { SEND_THING(2); }`, func(n *cfg.Node) []string {
+		if n.Kind == cfg.KindStmt && strings.Contains(n.String(), "SEND_THING") {
+			return []string{"send:2"}
+		}
+		return nil
+	})
+	count := 0
+	for _, n := range sums[0].Nodes {
+		for _, a := range n.Anns {
+			if a == "send:2" {
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("annotations %d", count)
+	}
+}
+
+func TestLinkDetectsDuplicates(t *testing.T) {
+	sums := summarize(t, twoFns, nil)
+	dup := append(sums, sums[0])
+	p, errs := Link(dup)
+	if len(errs) != 1 {
+		t.Fatalf("link errors %v", errs)
+	}
+	if len(p.Funcs) != 2 {
+		t.Errorf("funcs %d", len(p.Funcs))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	sums := summarize(t, twoFns, func(n *cfg.Node) []string {
+		if n.Kind == cfg.KindBranch {
+			return []string{"branch"}
+		}
+		return nil
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sums) {
+		t.Fatalf("round trip count %d", len(got))
+	}
+	for i := range sums {
+		if got[i].Fn != sums[i].Fn || got[i].Entry != sums[i].Entry ||
+			got[i].Exit != sums[i].Exit || len(got[i].Nodes) != len(sums[i].Nodes) {
+			t.Errorf("summary %d differs after round trip", i)
+		}
+	}
+	// Annotations survive.
+	anns := 0
+	for _, n := range got[0].Nodes {
+		anns += len(n.Anns)
+	}
+	if anns == 0 {
+		t.Error("annotations lost in serialization")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	sums := summarize(t, `
+void leaf(void) { }
+void mid(void) { leaf(); }
+void top(void) { mid(); }
+void island(void) { }
+`, nil)
+	p, _ := Link(sums)
+	r := p.Reachable([]string{"top"})
+	if !r["top"] || !r["mid"] || !r["leaf"] {
+		t.Errorf("reachable %v", r)
+	}
+	if r["island"] {
+		t.Error("island reachable")
+	}
+}
+
+func TestReachableIgnoresExternals(t *testing.T) {
+	sums := summarize(t, `void top(void) { some_macro(); }`, nil)
+	p, _ := Link(sums)
+	r := p.Reachable([]string{"top"})
+	if len(r) != 1 {
+		t.Errorf("reachable %v", r)
+	}
+}

@@ -1,0 +1,325 @@
+// Package match implements structural AST pattern matching with
+// wildcard binding — the mechanism behind metal patterns. A pattern is
+// an ordinary protocol-C AST in which ast.Wildcard nodes act as typed
+// holes: they match any expression satisfying their constraint and
+// bind it by name. Repeated wildcards must bind structurally equal
+// expressions, so a pattern like "memcpy(dst, dst, n)" only matches
+// calls whose first two arguments coincide.
+//
+// Parentheses are transparent on both sides: the pattern "f(x)"
+// matches the subject "(f((x)))", mirroring xg++'s source-level
+// matching behaviour.
+package match
+
+import (
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/types"
+)
+
+// Env carries wildcard bindings accumulated during a match. A nil Env
+// is a valid empty environment.
+type Env map[string]ast.Expr
+
+// clone copies e so failed alternatives don't leak bindings.
+func (e Env) clone() Env {
+	out := make(Env, len(e)+2)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// stripParens removes Paren wrappers.
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Expr matches pattern pat against subject subj under env. On success
+// it returns the extended environment (a copy; env is not mutated).
+func Expr(pat, subj ast.Expr, env Env) (Env, bool) {
+	out := env.clone()
+	if exprInto(pat, subj, out) {
+		return out, true
+	}
+	return nil, false
+}
+
+func exprInto(pat, subj ast.Expr, env Env) bool {
+	pat = stripParens(pat)
+	subj = stripParens(subj)
+	if w, ok := pat.(*ast.Wildcard); ok {
+		return bindWildcard(w, subj, env)
+	}
+	switch p := pat.(type) {
+	case *ast.Ident:
+		s, ok := subj.(*ast.Ident)
+		return ok && s.Name == p.Name
+	case *ast.IntLit:
+		s, ok := subj.(*ast.IntLit)
+		return ok && s.Value == p.Value
+	case *ast.FloatLit:
+		s, ok := subj.(*ast.FloatLit)
+		return ok && s.Value == p.Value
+	case *ast.CharLit:
+		s, ok := subj.(*ast.CharLit)
+		return ok && s.Value == p.Value
+	case *ast.StringLit:
+		s, ok := subj.(*ast.StringLit)
+		return ok && s.Value == p.Value
+	case *ast.Unary:
+		s, ok := subj.(*ast.Unary)
+		return ok && s.Op == p.Op && s.Postfix == p.Postfix && exprInto(p.X, s.X, env)
+	case *ast.Binary:
+		s, ok := subj.(*ast.Binary)
+		return ok && s.Op == p.Op && exprInto(p.X, s.X, env) && exprInto(p.Y, s.Y, env)
+	case *ast.Assign:
+		s, ok := subj.(*ast.Assign)
+		return ok && s.Op == p.Op && exprInto(p.LHS, s.LHS, env) && exprInto(p.RHS, s.RHS, env)
+	case *ast.Cond:
+		s, ok := subj.(*ast.Cond)
+		return ok && exprInto(p.C, s.C, env) && exprInto(p.Then, s.Then, env) && exprInto(p.Else, s.Else, env)
+	case *ast.Call:
+		s, ok := subj.(*ast.Call)
+		if !ok || len(s.Args) != len(p.Args) || !exprInto(p.Fun, s.Fun, env) {
+			return false
+		}
+		for i := range p.Args {
+			if !exprInto(p.Args[i], s.Args[i], env) {
+				return false
+			}
+		}
+		return true
+	case *ast.Index:
+		s, ok := subj.(*ast.Index)
+		return ok && exprInto(p.X, s.X, env) && exprInto(p.Idx, s.Idx, env)
+	case *ast.Member:
+		s, ok := subj.(*ast.Member)
+		return ok && s.Name == p.Name && s.Arrow == p.Arrow && exprInto(p.X, s.X, env)
+	case *ast.Cast:
+		s, ok := subj.(*ast.Cast)
+		return ok && types.Equal(s.To, p.To) && exprInto(p.X, s.X, env)
+	case *ast.SizeofExpr:
+		s, ok := subj.(*ast.SizeofExpr)
+		return ok && exprInto(p.X, s.X, env)
+	case *ast.SizeofType:
+		s, ok := subj.(*ast.SizeofType)
+		return ok && types.Equal(s.Of, p.Of)
+	case *ast.InitList:
+		s, ok := subj.(*ast.InitList)
+		if !ok || len(s.Elems) != len(p.Elems) {
+			return false
+		}
+		for i := range p.Elems {
+			if !exprInto(p.Elems[i], s.Elems[i], env) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// bindWildcard checks w's constraint against subj and records or
+// verifies the binding.
+func bindWildcard(w *ast.Wildcard, subj ast.Expr, env Env) bool {
+	if !constraintOK(w.Constraint, subj) {
+		return false
+	}
+	if w.Name == "" || w.Name == "_" {
+		return true
+	}
+	if prev, ok := env[w.Name]; ok {
+		return EqualExpr(prev, subj)
+	}
+	env[w.Name] = subj
+	return true
+}
+
+// constraintOK implements the wildcard constraint vocabulary. Unknown
+// subject types (unchecked pattern fragments, lenient frontend) are
+// accepted for type-based constraints, matching the paper's permissive
+// matching of macro-heavy code.
+func constraintOK(c string, subj ast.Expr) bool {
+	switch c {
+	case "", "expr", "any", "node":
+		return true
+	case "scalar":
+		t := subj.Type()
+		return t == nil || types.IsScalar(t)
+	case "unsigned", "int", "integer":
+		t := subj.Type()
+		return t == nil || types.IsInteger(t)
+	case "float":
+		t := subj.Type()
+		return t != nil && types.IsFloat(t)
+	case "ptr", "pointer":
+		t := subj.Type()
+		return t == nil || types.IsPointer(t)
+	case "const":
+		switch subj.(type) {
+		case *ast.IntLit, *ast.FloatLit, *ast.CharLit, *ast.StringLit:
+			return true
+		}
+		return false
+	case "id":
+		_, ok := subj.(*ast.Ident)
+		return ok
+	default:
+		// Unknown constraint names are permissive; metal's compiler
+		// validates them at checker-compile time.
+		return true
+	}
+}
+
+// EqualExpr reports structural equality of two expressions (parens
+// transparent, wildcards compare by name).
+func EqualExpr(a, b ast.Expr) bool {
+	a, b = stripParens(a), stripParens(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.IntLit:
+		y, ok := b.(*ast.IntLit)
+		return ok && x.Value == y.Value
+	case *ast.FloatLit:
+		y, ok := b.(*ast.FloatLit)
+		return ok && x.Value == y.Value
+	case *ast.CharLit:
+		y, ok := b.(*ast.CharLit)
+		return ok && x.Value == y.Value
+	case *ast.StringLit:
+		y, ok := b.(*ast.StringLit)
+		return ok && x.Value == y.Value
+	case *ast.Unary:
+		y, ok := b.(*ast.Unary)
+		return ok && x.Op == y.Op && x.Postfix == y.Postfix && EqualExpr(x.X, y.X)
+	case *ast.Binary:
+		y, ok := b.(*ast.Binary)
+		return ok && x.Op == y.Op && EqualExpr(x.X, y.X) && EqualExpr(x.Y, y.Y)
+	case *ast.Assign:
+		y, ok := b.(*ast.Assign)
+		return ok && x.Op == y.Op && EqualExpr(x.LHS, y.LHS) && EqualExpr(x.RHS, y.RHS)
+	case *ast.Cond:
+		y, ok := b.(*ast.Cond)
+		return ok && EqualExpr(x.C, y.C) && EqualExpr(x.Then, y.Then) && EqualExpr(x.Else, y.Else)
+	case *ast.Call:
+		y, ok := b.(*ast.Call)
+		if !ok || len(x.Args) != len(y.Args) || !EqualExpr(x.Fun, y.Fun) {
+			return false
+		}
+		for i := range x.Args {
+			if !EqualExpr(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *ast.Index:
+		y, ok := b.(*ast.Index)
+		return ok && EqualExpr(x.X, y.X) && EqualExpr(x.Idx, y.Idx)
+	case *ast.Member:
+		y, ok := b.(*ast.Member)
+		return ok && x.Name == y.Name && x.Arrow == y.Arrow && EqualExpr(x.X, y.X)
+	case *ast.Cast:
+		y, ok := b.(*ast.Cast)
+		return ok && types.Equal(x.To, y.To) && EqualExpr(x.X, y.X)
+	case *ast.SizeofExpr:
+		y, ok := b.(*ast.SizeofExpr)
+		return ok && EqualExpr(x.X, y.X)
+	case *ast.SizeofType:
+		y, ok := b.(*ast.SizeofType)
+		return ok && types.Equal(x.Of, y.Of)
+	case *ast.Wildcard:
+		y, ok := b.(*ast.Wildcard)
+		return ok && x.Name == y.Name
+	case *ast.InitList:
+		y, ok := b.(*ast.InitList)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !EqualExpr(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Stmt matches a statement pattern against a subject statement. An
+// ExprStmt pattern also matches Return-with-value subjects only when
+// the pattern itself is a Return; statement kinds otherwise must
+// agree.
+func Stmt(pat, subj ast.Stmt, env Env) (Env, bool) {
+	switch p := pat.(type) {
+	case *ast.ExprStmt:
+		s, ok := subj.(*ast.ExprStmt)
+		if !ok {
+			return nil, false
+		}
+		return Expr(p.X, s.X, env)
+	case *ast.Return:
+		s, ok := subj.(*ast.Return)
+		if !ok {
+			return nil, false
+		}
+		if p.X == nil {
+			if s.X == nil {
+				return env.clone(), true
+			}
+			return nil, false
+		}
+		if s.X == nil {
+			return nil, false
+		}
+		return Expr(p.X, s.X, env)
+	case *ast.Break:
+		if _, ok := subj.(*ast.Break); ok {
+			return env.clone(), true
+		}
+	case *ast.Continue:
+		if _, ok := subj.(*ast.Continue); ok {
+			return env.clone(), true
+		}
+	case *ast.Goto:
+		if s, ok := subj.(*ast.Goto); ok && s.Label == p.Label {
+			return env.clone(), true
+		}
+	case *ast.Empty:
+		if _, ok := subj.(*ast.Empty); ok {
+			return env.clone(), true
+		}
+	}
+	return nil, false
+}
+
+// Result is one successful sub-expression match.
+type Result struct {
+	Expr ast.Expr
+	Env  Env
+}
+
+// Find collects every sub-expression of root that matches pat. root
+// may be any AST node (statement, expression or declaration); the
+// search recurses through all expressions it contains.
+func Find(pat ast.Expr, root ast.Node, env Env) []Result {
+	var out []Result
+	ast.Inspect(root, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if got, matched := Expr(pat, e, env); matched {
+			out = append(out, Result{Expr: e, Env: got})
+		}
+		return true
+	})
+	return out
+}

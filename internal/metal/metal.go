@@ -1,0 +1,602 @@
+package metal
+
+import (
+	"fmt"
+	"strings"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/cc/lexer"
+	"flashmc/internal/cc/parser"
+	"flashmc/internal/cc/types"
+	"flashmc/internal/engine"
+)
+
+// Error is a metal compilation error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("metal:%d: %s", e.Line, e.Msg) }
+
+// Options configures compilation.
+type Options struct {
+	// Include resolves files named by the prologue's #include lines.
+	// Nil disables prologue processing (patterns then compile without
+	// protocol typedefs).
+	Include     cpp.Source
+	IncludeDirs []string
+}
+
+// Program is a compiled metal checker.
+type Program struct {
+	Name string
+	// SM is the executable state machine.
+	SM *engine.SM
+	// Decls maps wildcard variable names to their constraints.
+	Decls map[string]string
+	// PatternNames lists the named pats in declaration order.
+	PatternNames []string
+	// TrackVars lists wildcards whose bindings persist across rules.
+	TrackVars []string
+	// LOC is the non-comment line count of the source (Table 7).
+	LOC int
+	// Typedefs holds type names harvested from the prologue.
+	Typedefs map[string]types.Type
+	// EnumConsts holds enumerator values from the prologue.
+	EnumConsts map[string]int64
+}
+
+// mparser walks a metal token stream.
+type mparser struct {
+	toks []mtok
+	pos  int
+}
+
+func (p *mparser) peek() mtok { return p.toks[p.pos] }
+
+func (p *mparser) peekKind(n int) tokKind {
+	if p.pos+n >= len(p.toks) {
+		return tEOF
+	}
+	return p.toks[p.pos+n].kind
+}
+
+func (p *mparser) next() mtok {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *mparser) peekIdentIs(s string) bool {
+	t := p.peek()
+	return t.kind == tIdent && t.text == s
+}
+
+func (p *mparser) acceptIdent(s string) bool {
+	if p.peekIdentIs(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *mparser) errf(format string, args ...any) error {
+	return &Error{p.peek().line, fmt.Sprintf(format, args...)}
+}
+
+// rawRule is a parsed but not yet compiled rule.
+type rawRule struct {
+	state   string
+	pats    []patRef
+	target  string
+	actions []action
+	line    int
+}
+
+// patRef is either a braced pattern (text) or a reference to a named
+// pattern set.
+type patRef struct {
+	text string // raw C pattern text ("" when ref != "")
+	ref  string
+	line int
+}
+
+// rawCond is a parsed but not yet compiled cond rule.
+type rawCond struct {
+	state       string
+	text        string
+	trueTarget  string
+	falseTarget string
+	line        int
+}
+
+// action is one err()/warn() call.
+type action struct {
+	fn   string // "err" or "warn"
+	msg  string // unquoted message text
+	args []string
+	line int
+}
+
+// Compile parses and compiles one metal program.
+//
+// Grammar (the subset exercised by the paper's Figures 2 and 3 plus
+// multiple actions per rule):
+//
+//	program  = [prologue-block] "sm" IDENT "{" body "}"
+//	body     = { decl | track | pat | cond | state }
+//	decl     = "decl" "{" constraint "}" IDENT {"," IDENT} ";"
+//	track    = "track" IDENT {"," IDENT} ";"
+//	pat      = "pat" IDENT "=" alt {"|" alt} ";"
+//	cond     = "cond" IDENT "{" C-expr "}" "==>" IDENT "," IDENT ";"
+//	alt      = pattern-block | IDENT        (reference to earlier pat)
+//	state    = IDENT ":" rule {"|" rule} ";"
+//	rule     = alt "==>" [IDENT] [action-block]
+//
+// Pattern blocks contain protocol-C statement text compiled against
+// the declared wildcards; action blocks contain err()/warn() calls.
+//
+// track and cond are extensions over the paper's figures: track makes
+// a wildcard's binding persist across rules (per-object checking), and
+// cond compiles to a branch-condition rule — "cond S { p } ==> T , F ;"
+// moves a configuration in state S to T along the true edge and F
+// along the false edge of any branch whose condition matches p (the
+// paper's §6 value-sensitivity refinement, natively expressible).
+func Compile(src string, opts Options) (*Program, error) {
+	toks, err := scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &mparser{toks: toks}
+
+	prog := &Program{
+		Decls:      map[string]string{},
+		Typedefs:   map[string]types.Type{},
+		EnumConsts: map[string]int64{},
+		LOC:        LOC(src),
+	}
+
+	// Optional prologue block before 'sm'.
+	if p.peek().kind == tBlock {
+		if err := prog.loadPrologue(p.next().text, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	if !p.acceptIdent("sm") {
+		return nil, p.errf("expected 'sm'")
+	}
+	nameTok := p.next()
+	if nameTok.kind != tIdent {
+		return nil, p.errf("expected state machine name")
+	}
+	prog.Name = nameTok.text
+	if p.peek().kind != tBlock {
+		return nil, p.errf("expected '{' after sm name")
+	}
+	bodyTok := p.next()
+	if p.peek().kind != tEOF {
+		return nil, p.errf("unexpected tokens after sm body")
+	}
+
+	btoks, err := scan(bodyTok.text)
+	if err != nil {
+		return nil, err
+	}
+	// Adjust line numbers: block body lines are relative to the block.
+	for i := range btoks {
+		btoks[i].line += bodyTok.line - 1
+	}
+	bp := &mparser{toks: btoks}
+
+	namedPats := map[string][]patRef{}
+	var rules []rawRule
+	var conds []rawCond
+	var stateOrder []string
+
+	for bp.peek().kind != tEOF {
+		switch {
+		case bp.peekIdentIs("decl") && bp.peekKind(1) == tBlock:
+			bp.next()
+			constraint := strings.TrimSpace(bp.next().text)
+			for {
+				nt := bp.next()
+				if nt.kind != tIdent {
+					return nil, bp.errf("expected wildcard name in decl")
+				}
+				prog.Decls[nt.text] = constraint
+				if bp.peek().kind == tComma {
+					bp.next()
+					continue
+				}
+				break
+			}
+			if bp.next().kind != tSemi {
+				return nil, bp.errf("expected ';' after decl")
+			}
+		case bp.peekIdentIs("track") && bp.peekKind(1) == tIdent:
+			// Extension over the paper's figures: "track v;" makes v's
+			// binding persist across rules (per-object checking, as the
+			// allocation checker needs).
+			bp.next()
+			for {
+				nt := bp.next()
+				if nt.kind != tIdent {
+					return nil, bp.errf("expected wildcard name in track")
+				}
+				prog.TrackVars = append(prog.TrackVars, nt.text)
+				if bp.peek().kind == tComma {
+					bp.next()
+					continue
+				}
+				break
+			}
+			if bp.next().kind != tSemi {
+				return nil, bp.errf("expected ';' after track")
+			}
+		case bp.peekIdentIs("cond") && bp.peekKind(1) == tIdent && bp.peekKind(2) == tBlock:
+			bp.next()
+			rc := rawCond{state: bp.next().text}
+			pt := bp.next()
+			rc.text, rc.line = pt.text, pt.line
+			if bp.next().kind != tArrow {
+				return nil, bp.errf("expected '==>' in cond rule")
+			}
+			tt := bp.next()
+			if tt.kind != tIdent {
+				return nil, bp.errf("expected true-target state in cond rule")
+			}
+			rc.trueTarget = tt.text
+			if bp.next().kind != tComma {
+				return nil, bp.errf("expected ',' between cond targets")
+			}
+			ft := bp.next()
+			if ft.kind != tIdent {
+				return nil, bp.errf("expected false-target state in cond rule")
+			}
+			rc.falseTarget = ft.text
+			if bp.next().kind != tSemi {
+				return nil, bp.errf("expected ';' after cond rule")
+			}
+			conds = append(conds, rc)
+		case bp.peekIdentIs("pat") && bp.peekKind(1) == tIdent && bp.peekKind(2) == tEq:
+			bp.next()
+			nt := bp.next()
+			bp.next() // '='
+			var alts []patRef
+			for {
+				alt, err := bp.patAlt(namedPats)
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, alt)
+				if bp.peek().kind == tPipe {
+					bp.next()
+					continue
+				}
+				break
+			}
+			if bp.next().kind != tSemi {
+				return nil, bp.errf("expected ';' after pat %s", nt.text)
+			}
+			namedPats[nt.text] = alts
+			prog.PatternNames = append(prog.PatternNames, nt.text)
+		case bp.peek().kind == tIdent && bp.peekKind(1) == tColon:
+			state := bp.next().text
+			bp.next() // ':'
+			stateOrder = append(stateOrder, state)
+			for {
+				r, err := bp.rule(state, namedPats)
+				if err != nil {
+					return nil, err
+				}
+				rules = append(rules, r)
+				if bp.peek().kind == tPipe {
+					bp.next()
+					continue
+				}
+				break
+			}
+			if bp.next().kind != tSemi {
+				return nil, bp.errf("expected ';' terminating state %s", state)
+			}
+		default:
+			return nil, bp.errf("unexpected %s in sm body", bp.peek().kind)
+		}
+	}
+
+	if len(stateOrder) == 0 {
+		return nil, &Error{nameTok.line, "state machine defines no states"}
+	}
+
+	// Expand named-pattern references to their texts.
+	var expand func(prs []patRef) ([]patRef, error)
+	expand = func(prs []patRef) ([]patRef, error) {
+		var out []patRef
+		for _, pr := range prs {
+			if pr.ref == "" {
+				out = append(out, pr)
+				continue
+			}
+			sub, ok := namedPats[pr.ref]
+			if !ok {
+				return nil, &Error{pr.line, fmt.Sprintf("unknown pattern %q", pr.ref)}
+			}
+			ex, err := expand(sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ex...)
+		}
+		return out, nil
+	}
+	for i := range rules {
+		ex, err := expand(rules[i].pats)
+		if err != nil {
+			return nil, err
+		}
+		rules[i].pats = ex
+	}
+
+	return prog.build(stateOrder, rules, conds)
+}
+
+// patAlt parses one pattern alternative: a block or a named reference.
+func (p *mparser) patAlt(named map[string][]patRef) (patRef, error) {
+	switch p.peek().kind {
+	case tBlock:
+		t := p.next()
+		return patRef{text: t.text, line: t.line}, nil
+	case tIdent:
+		t := p.next()
+		if _, ok := named[t.text]; !ok {
+			return patRef{}, &Error{t.line, fmt.Sprintf("unknown pattern name %q", t.text)}
+		}
+		return patRef{ref: t.text, line: t.line}, nil
+	default:
+		return patRef{}, p.errf("expected pattern, found %s", p.peek().kind)
+	}
+}
+
+// rule parses: alt ==> [target] [action-block].
+func (p *mparser) rule(state string, named map[string][]patRef) (rawRule, error) {
+	r := rawRule{state: state, line: p.peek().line}
+	alt, err := p.patAlt(named)
+	if err != nil {
+		return r, err
+	}
+	r.pats = []patRef{alt}
+	if p.peek().kind != tArrow {
+		return r, p.errf("expected '==>' in rule")
+	}
+	p.next()
+	if p.peek().kind == tIdent {
+		r.target = p.next().text
+	}
+	if p.peek().kind == tBlock {
+		at := p.next()
+		acts, err := splitActions(at.text, at.line)
+		if err != nil {
+			return r, err
+		}
+		r.actions = acts
+	}
+	if r.target == "" && len(r.actions) == 0 {
+		return r, p.errf("rule has neither target state nor action")
+	}
+	return r, nil
+}
+
+// loadPrologue preprocesses and parses the prologue C text, harvesting
+// typedefs and enum constants for pattern compilation.
+func (prog *Program) loadPrologue(text string, opts Options) error {
+	if opts.Include == nil {
+		return nil
+	}
+	pp := cpp.New(opts.Include, opts.IncludeDirs...)
+	out := pp.ProcessText("<metal-prologue>", text)
+	if len(pp.Errors()) > 0 {
+		return fmt.Errorf("metal prologue: %w", pp.Errors()[0])
+	}
+	lx := lexer.New("<metal-prologue>", out)
+	toks := lx.All()
+	if len(lx.Errors()) > 0 {
+		return fmt.Errorf("metal prologue: %w", lx.Errors()[0])
+	}
+	cp := parser.New(toks, parser.Config{})
+	cp.File("<metal-prologue>")
+	if errs := cp.Errors(); len(errs) > 0 {
+		return fmt.Errorf("metal prologue: %w", errs[0])
+	}
+	for k, v := range cp.Typedefs() {
+		prog.Typedefs[k] = v
+	}
+	for k, v := range cp.EnumConsts() {
+		prog.EnumConsts[k] = v
+	}
+	return nil
+}
+
+// splitActions parses action text like
+//
+//	err("data send, zero len");
+//	warn("odd length", addr);
+//
+// into action values. Extra identifier arguments name wildcards whose
+// bound source text is appended to the report message.
+func splitActions(text string, line int) ([]action, error) {
+	var out []action
+	i, n := 0, len(text)
+	ln := line
+	for i < n {
+		c := text[i]
+		switch {
+		case c == '\n':
+			ln++
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			i++
+		case c == '/' && i+1 < n && text[i+1] == '/':
+			for i < n && text[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && text[i+1] == '*':
+			i += 2
+			for i < n && !(text[i] == '*' && i+1 < n && text[i+1] == '/') {
+				if text[i] == '\n' {
+					ln++
+				}
+				i++
+			}
+			i += 2
+		case isMetalIdent(c):
+			j := i
+			for j < n && isMetalIdent(text[j]) {
+				j++
+			}
+			name := text[i:j]
+			if name != "err" && name != "warn" {
+				return nil, &Error{ln, fmt.Sprintf("unsupported action %q (only err/warn)", name)}
+			}
+			i = j
+			for i < n && (text[i] == ' ' || text[i] == '\t') {
+				i++
+			}
+			if i >= n || text[i] != '(' {
+				return nil, &Error{ln, "expected '(' after " + name}
+			}
+			i++
+			a := action{fn: name, line: ln}
+			for i < n && (text[i] == ' ' || text[i] == '\t') {
+				i++
+			}
+			if i >= n || text[i] != '"' {
+				return nil, &Error{ln, name + " requires a string literal message"}
+			}
+			j = i + 1
+			for j < n && text[j] != '"' {
+				if text[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, &Error{ln, "unterminated string in action"}
+			}
+			a.msg = unescape(text[i+1 : j])
+			i = j + 1
+			for {
+				for i < n && (text[i] == ' ' || text[i] == '\t') {
+					i++
+				}
+				if i < n && text[i] == ',' {
+					i++
+					for i < n && (text[i] == ' ' || text[i] == '\t') {
+						i++
+					}
+					j = i
+					for j < n && isMetalIdent(text[j]) {
+						j++
+					}
+					if j == i {
+						return nil, &Error{ln, "expected wildcard name after ','"}
+					}
+					a.args = append(a.args, text[i:j])
+					i = j
+					continue
+				}
+				break
+			}
+			if i >= n || text[i] != ')' {
+				return nil, &Error{ln, "expected ')' closing " + a.fn}
+			}
+			i++
+			out = append(out, a)
+		default:
+			return nil, &Error{ln, fmt.Sprintf("unexpected character %q in action", c)}
+		}
+	}
+	return out, nil
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// build compiles raw rules into the executable SM.
+func (prog *Program) build(stateOrder []string, rules []rawRule, conds []rawCond) (*Program, error) {
+	sm := &engine.SM{Name: prog.Name, Start: stateOrder[0], Track: prog.TrackVars}
+	ctx := parser.PatternContext{Wildcards: prog.Decls, Typedefs: prog.Typedefs}
+	for _, rc := range conds {
+		e, err := parser.ParseExprPattern(rc.text, ctx)
+		if err != nil {
+			return nil, &Error{rc.line, fmt.Sprintf("bad cond pattern %q: %v", strings.TrimSpace(rc.text), err)}
+		}
+		tt, ft := rc.trueTarget, rc.falseTarget
+		// A target equal to the owning state means "stay".
+		if tt == rc.state {
+			tt = ""
+		}
+		if ft == rc.state {
+			ft = ""
+		}
+		sm.Cond = append(sm.Cond, &engine.CondRule{
+			State: rc.state, Pattern: e, TrueTarget: tt, FalseTarget: ft,
+		})
+	}
+	for i, r := range rules {
+		er := &engine.Rule{State: r.state, Target: r.target,
+			Tag: fmt.Sprintf("%s#%d", prog.Name, i)}
+		for _, pr := range r.pats {
+			stmt, err := parser.ParseStmtPattern(pr.text, ctx)
+			if err != nil {
+				return nil, &Error{pr.line, fmt.Sprintf("bad pattern %q: %v", strings.TrimSpace(pr.text), err)}
+			}
+			er.Patterns = append(er.Patterns, engine.Pattern{Stmt: stmt})
+		}
+		if len(er.Patterns) == 0 {
+			return nil, &Error{r.line, "rule compiled to no patterns"}
+		}
+		if len(r.actions) > 0 {
+			acts := r.actions
+			er.Action = func(c *engine.Ctx) {
+				for _, a := range acts {
+					msg := a.msg
+					for _, arg := range a.args {
+						msg += " " + c.Bound(arg)
+					}
+					if a.fn == "warn" {
+						c.Report("warning: %s", msg)
+					} else {
+						c.Report("%s", msg)
+					}
+				}
+			}
+		}
+		sm.Rules = append(sm.Rules, er)
+	}
+	prog.SM = sm
+	return prog, nil
+}

@@ -1,0 +1,258 @@
+// Package metal implements the metal checker language of the paper: a
+// state-machine DSL whose patterns are written in the base language
+// (protocol C). A metal program like Figure 2,
+//
+//	{ #include "flash-includes.h" }
+//	sm wait_for_db {
+//	    decl { scalar } addr, buf;
+//	    start:
+//	    { WAIT_FOR_DB_FULL(addr); } ==> stop
+//	    | { MISCBUS_READ_DB(addr, buf); } ==>
+//	        { err("Buffer not synchronized"); }
+//	    ;
+//	}
+//
+// compiles to an engine.SM that package engine applies down every path
+// of every function.
+package metal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies metal tokens.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString // "..." (kept with quotes)
+	tBlock  // balanced { ... } captured raw, braces stripped
+	tColon
+	tSemi
+	tPipe
+	tComma
+	tEq
+	tArrow // ==>
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of file"
+	case tIdent:
+		return "identifier"
+	case tString:
+		return "string"
+	case tBlock:
+		return "{...} block"
+	case tColon:
+		return ":"
+	case tSemi:
+		return ";"
+	case tPipe:
+		return "|"
+	case tComma:
+		return ","
+	case tEq:
+		return "="
+	case tArrow:
+		return "==>"
+	}
+	return "?"
+}
+
+type mtok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// scanError is a metal lexical error.
+type scanError struct {
+	line int
+	msg  string
+}
+
+func (e *scanError) Error() string { return fmt.Sprintf("metal:%d: %s", e.line, e.msg) }
+
+// scan tokenizes metal source. Braced blocks are captured raw
+// (respecting nested braces, strings, chars, and comments) because
+// their contents are C pattern text compiled separately.
+func scan(src string) ([]mtok, error) {
+	var toks []mtok
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i < n && !(src[i] == '*' && i+1 < n && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i >= n {
+				return nil, &scanError{line, "unterminated comment"}
+			}
+			i += 2
+		case c == '{':
+			start := line
+			body, next, endLine, err := captureBlock(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, mtok{tBlock, body, start})
+			i = next
+			line = endLine
+		case c == ':':
+			toks = append(toks, mtok{tColon, ":", line})
+			i++
+		case c == ';':
+			toks = append(toks, mtok{tSemi, ";", line})
+			i++
+		case c == '|':
+			toks = append(toks, mtok{tPipe, "|", line})
+			i++
+		case c == ',':
+			toks = append(toks, mtok{tComma, ",", line})
+			i++
+		case c == '=':
+			if i+2 < n && src[i+1] == '=' && src[i+2] == '>' {
+				toks = append(toks, mtok{tArrow, "==>", line})
+				i += 3
+			} else {
+				toks = append(toks, mtok{tEq, "=", line})
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, &scanError{line, "unterminated string"}
+			}
+			toks = append(toks, mtok{tString, src[i : j+1], line})
+			i = j + 1
+		case isMetalIdent(c):
+			j := i
+			for j < n && isMetalIdent(src[j]) {
+				j++
+			}
+			toks = append(toks, mtok{tIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, &scanError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, mtok{tEOF, "", line})
+	return toks, nil
+}
+
+func isMetalIdent(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// captureBlock consumes a balanced {..} starting at src[i] == '{'. It
+// returns the inner text, the index just past '}', and the line after.
+func captureBlock(src string, i, line int) (body string, next, endLine int, err error) {
+	depth := 0
+	start := i + 1
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch c {
+		case '\n':
+			line++
+			i++
+		case '{':
+			depth++
+			i++
+		case '}':
+			depth--
+			if depth == 0 {
+				return src[start:i], i + 1, line, nil
+			}
+			i++
+		case '"', '\'':
+			quote := c
+			i++
+			for i < n && src[i] != quote && src[i] != '\n' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i < n {
+				i++
+			}
+		case '/':
+			if i+1 < n && src[i+1] == '/' {
+				for i < n && src[i] != '\n' {
+					i++
+				}
+			} else if i+1 < n && src[i+1] == '*' {
+				i += 2
+				for i < n && !(src[i] == '*' && i+1 < n && src[i+1] == '/') {
+					if src[i] == '\n' {
+						line++
+					}
+					i++
+				}
+				i += 2
+			} else {
+				i++
+			}
+		default:
+			i++
+		}
+	}
+	return "", i, line, &scanError{line, "unterminated { block"}
+}
+
+// LOC counts non-blank, non-comment-only lines of metal source; it
+// feeds Table 7's checker-size column.
+func LOC(src string) int {
+	count := 0
+	inBlock := false
+	for _, ln := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(ln)
+		if inBlock {
+			if idx := strings.Index(t, "*/"); idx >= 0 {
+				inBlock = false
+				if strings.TrimSpace(t[idx+2:]) != "" {
+					count++ // code after the comment closes
+				}
+			}
+			continue
+		}
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		if strings.HasPrefix(t, "/*") {
+			if !strings.Contains(t, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		count++
+	}
+	return count
+}

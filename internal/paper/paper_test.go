@@ -1,0 +1,215 @@
+package paper
+
+import (
+	"sync"
+	"testing"
+
+	"flashmc/internal/flash"
+	"flashmc/internal/flashgen"
+)
+
+var (
+	corpusOnce sync.Once
+	corpus     *Corpus
+	corpusErr  error
+)
+
+func flashgenOpts(seed int64) flashgen.Options {
+	return flashgen.Options{Seed: seed}
+}
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpus, corpusErr = LoadCorpus(flashgen.Options{Seed: 1})
+	})
+	if corpusErr != nil {
+		t.Fatalf("corpus: %v", corpusErr)
+	}
+	return corpus
+}
+
+// assertRow checks measured == paper for every protocol.
+func assertRow(t *testing.T, what string, paperRow flash.Counts, measured Row) {
+	t.Helper()
+	for _, p := range flash.ProtocolNames {
+		if measured[p] != paperRow[p] {
+			t.Errorf("%s[%s]: measured %d, paper %d", what, p, measured[p], paperRow[p])
+		}
+	}
+}
+
+func assertClean(t *testing.T, res CheckerResult) {
+	t.Helper()
+	for _, pr := range res.Problems() {
+		t.Errorf("%s: %s", res.Checker, pr)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	c := testCorpus(t)
+	res := c.Table1()
+	for _, p := range flash.ProtocolNames {
+		want := flash.Table1[p]
+		if res.LOC[p] < want.LOC*85/100 || res.LOC[p] > want.LOC*115/100 {
+			t.Errorf("LOC[%s] = %d vs paper %d (>15%%)", p, res.LOC[p], want.LOC)
+		}
+		// Path statistics must land in the same order of magnitude as
+		// the paper's; shape, not identity, is the claim here.
+		if res.Paths[p] < want.Paths/4 || res.Paths[p] > want.Paths*4 {
+			t.Errorf("Paths[%s] = %d vs paper %d (outside 4x band)", p, res.Paths[p], want.Paths)
+		}
+		if res.MaxLen[p] < want.MaxLen*60/100 {
+			t.Errorf("MaxLen[%s] = %d vs paper %d", p, res.MaxLen[p], want.MaxLen)
+		}
+		if res.AvgLen[p] < want.AvgLen/4 || res.AvgLen[p] > want.AvgLen*4 {
+			t.Errorf("AvgLen[%s] = %d vs paper %d (outside 4x band)", p, res.AvgLen[p], want.AvgLen)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	c := testCorpus(t)
+	res := c.Table2()
+	assertClean(t, res)
+	assertRow(t, "race errors", flash.Table2.Errors, res.Errors)
+	assertRow(t, "race false positives", flash.Table2.FalsePos, res.FalsePos)
+	assertRow(t, "race applied", flash.Table2.Applied, res.Applied)
+}
+
+func TestTable3(t *testing.T) {
+	c := testCorpus(t)
+	res := c.Table3()
+	assertClean(t, res)
+	assertRow(t, "msglen errors", flash.Table3.Errors, res.Errors)
+	assertRow(t, "msglen false positives", flash.Table3.FalsePos, res.FalsePos)
+	assertRow(t, "msglen applied", flash.Table3.Applied, res.Applied)
+}
+
+func TestTable4(t *testing.T) {
+	c := testCorpus(t)
+	res := c.Table4()
+	assertClean(t, res.CheckerResult)
+	assertRow(t, "bufmgmt errors", flash.Table4.Errors, res.Errors)
+	assertRow(t, "bufmgmt minor", flash.Table4.Minor, res.Minor)
+	assertRow(t, "bufmgmt useful annotations", flash.Table4.Useful, res.Useful)
+	assertRow(t, "bufmgmt useless annotations", flash.Table4.Useless, res.Useless)
+}
+
+// TestTable4AnnotationAblation verifies the annotations actually do
+// the suppression the paper describes: stripping them yields exactly
+// one extra report per annotation-backed site.
+func TestTable4AnnotationAblation(t *testing.T) {
+	stripped, err := LoadCorpus(flashgen.Options{Seed: 1, StripAnnotations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := stripped.Table4()
+	for _, p := range flash.ProtocolNames {
+		sc := res.Scores[p]
+		extra := len(sc.Unmatched)
+		// Each dup-condition pair shares one function: its two
+		// annotations suppress two reports (a double free and a leak);
+		// single shapes suppress one leak each; useful shapes one leak
+		// each. Extra reports must equal useful+useless.
+		want := flash.Table4.Useful[p] + flash.Table4.Useless[p]
+		if extra != want {
+			t.Errorf("%s: stripping annotations exposed %d reports, want %d", p, extra, want)
+			for _, u := range sc.Unmatched {
+				t.Logf("  %s", u)
+			}
+		}
+		// The seeded errors/minor must still be found.
+		if sc.Errors != flash.Table4.Errors[p] || sc.Minor != flash.Table4.Minor[p] {
+			t.Errorf("%s: errors/minor drifted without annotations: %d/%d", p, sc.Errors, sc.Minor)
+		}
+	}
+}
+
+func TestLanes(t *testing.T) {
+	c := testCorpus(t)
+	res := c.Lanes()
+	assertClean(t, res)
+	assertRow(t, "lane errors", flash.LanesResults.Errors, res.Errors)
+	assertRow(t, "lane false positives", flash.LanesResults.FalsePos, res.FalsePos)
+}
+
+func TestTable5(t *testing.T) {
+	c := testCorpus(t)
+	res := c.Table5()
+	// Warnings (deprecated macros) are expected; only violations and
+	// unmatched/missed matter.
+	for _, pr := range res.Problems() {
+		t.Errorf("exec: %s", pr)
+	}
+	viol := Row{}
+	for p, sc := range res.Scores {
+		viol[p] = sc.Violations
+	}
+	assertRow(t, "exec violations", flash.Table5.Violations, viol)
+	assertRow(t, "exec handlers", flash.Table5.Handlers, res.Handlers)
+	assertRow(t, "exec vars", flash.Table5.Vars, res.Vars)
+}
+
+func TestTable6(t *testing.T) {
+	c := testCorpus(t)
+	res := c.Table6()
+	assertClean(t, res.BufferAlloc)
+	assertClean(t, res.Directory)
+	assertClean(t, res.SendWait)
+
+	assertRow(t, "alloc errors", flash.Table6.BufferAlloc.Errors, res.BufferAlloc.Errors)
+	assertRow(t, "alloc false positives", flash.Table6.BufferAlloc.FalsePos, res.BufferAlloc.FalsePos)
+	assertRow(t, "alloc applied", flash.Table6.BufferAlloc.Applied, res.BufferAlloc.Applied)
+
+	assertRow(t, "directory errors", flash.Table6.Directory.Errors, res.Directory.Errors)
+	assertRow(t, "directory false positives", flash.Table6.Directory.FalsePos, res.Directory.FalsePos)
+	assertRow(t, "directory applied", flash.Table6.Directory.Applied, res.Directory.Applied)
+
+	assertRow(t, "sendwait errors", flash.Table6.SendWait.Errors, res.SendWait.Errors)
+	assertRow(t, "sendwait false positives", flash.Table6.SendWait.FalsePos, res.SendWait.FalsePos)
+	assertRow(t, "sendwait applied", flash.Table6.SendWait.Applied, res.SendWait.Applied)
+}
+
+func TestTable7(t *testing.T) {
+	c := testCorpus(t)
+	rows := c.Table7()
+	if len(rows) != len(flash.Table7) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var errTotal, fpTotal int
+	for i, row := range rows {
+		want := flash.Table7[i]
+		if row.Checker != want.Checker {
+			t.Errorf("row %d: %s vs %s", i, row.Checker, want.Checker)
+		}
+		if row.Err != want.Err {
+			t.Errorf("%s: errors %d, paper %d", row.Checker, row.Err, want.Err)
+		}
+		if row.FalsePos != want.FalsePos {
+			t.Errorf("%s: false positives %d, paper %d", row.Checker, row.FalsePos, want.FalsePos)
+		}
+		errTotal += row.Err
+		fpTotal += row.FalsePos
+	}
+	if errTotal != flash.Table7Totals.Err {
+		t.Errorf("total errors %d, paper %d", errTotal, flash.Table7Totals.Err)
+	}
+	if fpTotal != flash.Table7Totals.FalsePos {
+		t.Errorf("total false positives %d, paper %d", fpTotal, flash.Table7Totals.FalsePos)
+	}
+}
+
+// TestCheckerSizesComparable asserts our checker implementations stay
+// within the same small-size regime the paper reports ("usually 10-100
+// lines"): within 3x of each published LOC.
+func TestCheckerSizesComparable(t *testing.T) {
+	c := testCorpus(t)
+	_ = c
+	for i, row := range corpus.Table7() {
+		want := flash.Table7[i].LOC
+		if row.LOC > want*3 || row.LOC < want/4 {
+			t.Errorf("%s: checker core %d lines vs paper %d (outside band)", row.Checker, row.LOC, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package paper
+
+import (
+	"testing"
+)
+
+func TestStaticVsDynamic(t *testing.T) {
+	c := testCorpus(t)
+	results := c.StaticVsDynamic(120, 11)
+
+	totalSeeded, totalStatic, totalDynamic := 0, 0, 0
+	lateDetections := 0
+	for _, r := range results {
+		totalSeeded += r.SeededErrors
+		totalStatic += r.StaticFound
+		totalDynamic += r.DynamicFound
+		if r.StaticFound != r.SeededErrors {
+			t.Errorf("%s: static found %d of %d seeded bugs", r.Protocol, r.StaticFound, r.SeededErrors)
+		}
+		for _, ft := range r.FirstTrials {
+			if ft > 1 {
+				lateDetections++
+			}
+		}
+	}
+	if totalSeeded != 34 {
+		t.Fatalf("seeded errors %d, want the paper's 34", totalSeeded)
+	}
+	if totalStatic != 34 {
+		t.Errorf("static checkers found %d of 34", totalStatic)
+	}
+	// Dynamic testing should find most bugs eventually over 120 random
+	// trials per handler, but the detections must skew late (corner
+	// cases), and it is acceptable for a few to be missed entirely.
+	if totalDynamic < 34/2 {
+		t.Errorf("dynamic found only %d of 34 — workload too narrow to be credible", totalDynamic)
+	}
+	if lateDetections == 0 {
+		t.Errorf("every dynamic detection was on trial 1 — corner cases are not rare")
+	}
+	t.Logf("\n%s", RenderStaticVsDynamic(results))
+}

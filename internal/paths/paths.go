@@ -1,0 +1,150 @@
+// Package paths computes the per-function path statistics reported in
+// Table 1 of the paper: the number of unique entry-to-exit paths and
+// the average and maximum path length. Cycles are handled the way the
+// paper's counts imply: back edges are excluded, so each loop
+// contributes its not-taken and taken-once shapes.
+//
+// Counting uses dynamic programming over the acyclic subgraph, so it
+// stays exact (with saturation) even for functions whose path count
+// would be infeasible to enumerate; a bounded enumerator is provided
+// for differential testing against the DP.
+package paths
+
+import (
+	"math"
+
+	"flashmc/internal/cfg"
+)
+
+// Stats summarizes the paths of one function.
+type Stats struct {
+	// Count is the number of entry-to-exit paths (saturating).
+	Count int64
+	// AvgLen is the mean path length in statement-lines.
+	AvgLen float64
+	// MaxLen is the maximum path length in statement-lines.
+	MaxLen int64
+}
+
+// satAdd adds with saturation at MaxInt64.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// satMul multiplies with saturation at MaxInt64.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// Analyze computes path statistics for g.
+func Analyze(g *cfg.Graph) Stats {
+	back := g.BackEdges()
+
+	// Topological order of the acyclic subgraph via post-order DFS.
+	order := make([]*cfg.Node, 0, len(g.Nodes))
+	seen := make([]bool, len(g.Nodes))
+	var dfs func(n *cfg.Node)
+	dfs = func(n *cfg.Node) {
+		seen[n.ID] = true
+		for _, e := range n.Succs {
+			if back[e] || seen[e.To.ID] {
+				continue
+			}
+			dfs(e.To)
+		}
+		order = append(order, n) // post-order: successors first
+	}
+	dfs(g.Entry)
+
+	// DP from exit backward. P(n): #paths n->exit. S(n): total length
+	// over those paths counting node weights from n inclusive.
+	// M(n): max length.
+	p := make([]int64, len(g.Nodes))
+	s := make([]int64, len(g.Nodes))
+	m := make([]int64, len(g.Nodes))
+	for _, n := range order { // successors already processed
+		if n == g.Exit {
+			p[n.ID] = 1
+			s[n.ID] = n.Weight()
+			m[n.ID] = n.Weight()
+			continue
+		}
+		var pc, sc, mc int64
+		mc = -1
+		for _, e := range n.Succs {
+			if back[e] {
+				continue
+			}
+			t := e.To.ID
+			if p[t] == 0 {
+				continue
+			}
+			pc = satAdd(pc, p[t])
+			sc = satAdd(sc, s[t])
+			if m[t] > mc {
+				mc = m[t]
+			}
+		}
+		if pc == 0 {
+			continue // no way to exit from here (infinite loop body)
+		}
+		w := n.Weight()
+		p[n.ID] = pc
+		s[n.ID] = satAdd(sc, satMul(w, pc))
+		m[n.ID] = mc + w
+	}
+
+	st := Stats{Count: p[g.Entry.ID], MaxLen: m[g.Entry.ID]}
+	if st.Count > 0 {
+		st.AvgLen = float64(s[g.Entry.ID]) / float64(st.Count)
+	}
+	return st
+}
+
+// Enumerate lists up to limit entry-to-exit paths (back edges skipped)
+// as node sequences. It exists to cross-check Analyze in tests.
+func Enumerate(g *cfg.Graph, limit int) [][]*cfg.Node {
+	back := g.BackEdges()
+	var out [][]*cfg.Node
+	var cur []*cfg.Node
+	var walk func(n *cfg.Node) bool
+	walk = func(n *cfg.Node) bool {
+		cur = append(cur, n)
+		defer func() { cur = cur[:len(cur)-1] }()
+		if n == g.Exit {
+			cp := make([]*cfg.Node, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return len(out) < limit
+		}
+		for _, e := range n.Succs {
+			if back[e] {
+				continue
+			}
+			if !walk(e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(g.Entry)
+	return out
+}
+
+// Len returns the weight sum of a path produced by Enumerate.
+func Len(path []*cfg.Node) int64 {
+	var total int64
+	for _, n := range path {
+		total += n.Weight()
+	}
+	return total
+}

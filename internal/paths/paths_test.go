@@ -1,0 +1,180 @@
+package paths
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flashmc/internal/cc/parser"
+	"flashmc/internal/cfg"
+)
+
+func analyze(t *testing.T, src string) Stats {
+	t.Helper()
+	f, errs := parser.ParseText("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return Analyze(cfg.Build(f.Funcs()[0]))
+}
+
+func TestLinearOnePath(t *testing.T) {
+	st := analyze(t, `void f(void) { int a; a = 1; a = 2; }`)
+	if st.Count != 1 {
+		t.Errorf("count %d", st.Count)
+	}
+	if st.MaxLen != 3 || st.AvgLen != 3 {
+		t.Errorf("len avg=%v max=%v", st.AvgLen, st.MaxLen)
+	}
+}
+
+func TestIfElseTwoPaths(t *testing.T) {
+	st := analyze(t, `void f(int c) { if (c) c = 1; else c = 2; }`)
+	if st.Count != 2 {
+		t.Errorf("count %d", st.Count)
+	}
+}
+
+func TestSequentialBranchesMultiply(t *testing.T) {
+	st := analyze(t, `
+void f(int a, int b, int c) {
+	if (a) a = 1;
+	if (b) b = 1;
+	if (c) c = 1;
+}`)
+	if st.Count != 8 {
+		t.Errorf("count %d", st.Count)
+	}
+}
+
+func TestEarlyReturnPaths(t *testing.T) {
+	st := analyze(t, `
+void f(int a) {
+	if (a) return;
+	a = 1;
+}`)
+	if st.Count != 2 {
+		t.Errorf("count %d", st.Count)
+	}
+}
+
+func TestLoopCountsOnce(t *testing.T) {
+	// Back edge excluded: while contributes entered-or-not = the
+	// condition node is shared; paths = 1 (condition false) +
+	// 1 (one iteration then false) but the second re-enters the
+	// branch... with back edges removed the body path dead-ends at the
+	// back edge, so only paths that exit remain.
+	st := analyze(t, `void f(int n) { while (n) { n--; } n = 1; }`)
+	if st.Count < 1 {
+		t.Errorf("count %d", st.Count)
+	}
+}
+
+func TestSwitchPaths(t *testing.T) {
+	st := analyze(t, `
+void f(int op) {
+	switch (op) {
+	case 1: op = 1; break;
+	case 2: op = 2; break;
+	default: op = 3;
+	}
+}`)
+	if st.Count != 3 {
+		t.Errorf("count %d", st.Count)
+	}
+}
+
+func TestMaxLenLongestArm(t *testing.T) {
+	st := analyze(t, `
+void f(int c) {
+	if (c) {
+		c = 1; c = 2; c = 3; c = 4;
+	} else {
+		c = 9;
+	}
+}`)
+	// branch(1) + 4 stmts = 5 vs branch + 1 = 2.
+	if st.MaxLen != 5 {
+		t.Errorf("max %d", st.MaxLen)
+	}
+	if st.AvgLen != 3.5 {
+		t.Errorf("avg %v", st.AvgLen)
+	}
+}
+
+// genFn emits a random function made of sequential if/else and
+// straight-line statements, for the DP-vs-enumeration property test.
+func genFn(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("void f(int a, int b, int c) {\n")
+	n := rng.Intn(6) + 1
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			b.WriteString("a = a + 1;\n")
+		case 1:
+			b.WriteString("if (a) { b = 1; } else { b = 2; }\n")
+		case 2:
+			b.WriteString("if (b) { c = 1; c = 2; }\n")
+		case 3:
+			b.WriteString("switch (c) { case 1: a = 1; break; case 2: a = 2; break; default: a = 0; }\n")
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Property: DP statistics agree with explicit path enumeration on
+// random acyclic functions.
+func TestDPMatchesEnumerationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genFn(rng)
+		file, errs := parser.ParseText("t.c", src)
+		if len(errs) != 0 {
+			return false
+		}
+		g := cfg.Build(file.Funcs()[0])
+		st := Analyze(g)
+		paths := Enumerate(g, 100000)
+		if int64(len(paths)) != st.Count {
+			t.Logf("src:\n%s\ncount dp=%d enum=%d", src, st.Count, len(paths))
+			return false
+		}
+		var total, max int64
+		for _, p := range paths {
+			l := Len(p)
+			total += l
+			if l > max {
+				max = l
+			}
+		}
+		if max != st.MaxLen {
+			t.Logf("src:\n%s\nmax dp=%d enum=%d", src, st.MaxLen, max)
+			return false
+		}
+		avg := float64(total) / float64(len(paths))
+		if avg-st.AvgLen > 1e-9 || st.AvgLen-avg > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturationDoesNotOverflow(t *testing.T) {
+	// 70 sequential branches = 2^70 paths; must saturate, not wrap.
+	var b strings.Builder
+	b.WriteString("void f(int a) {\n")
+	for i := 0; i < 70; i++ {
+		b.WriteString("if (a) { a = 1; }\n")
+	}
+	b.WriteString("}\n")
+	st := analyze(t, b.String())
+	if st.Count <= 0 {
+		t.Errorf("count %d (overflow?)", st.Count)
+	}
+}
