@@ -1,0 +1,14 @@
+#!/bin/sh
+# CI entry point. Tier-1 (build + tests) first, then the stricter
+# gates: go vet across every package and the test suite again under
+# the race detector (the engine and checkers are exercised in parallel
+# by the paper-table tests, so data races would hide there).
+set -eux
+
+cd "$(dirname "$0")"
+
+go build ./...
+go test ./...
+
+go vet ./...
+go test -race ./...

@@ -12,6 +12,12 @@
 // software handlers). Each -checker flag compiles and runs one metal
 // program. Diagnostics print one per line as file:line:col: message.
 //
+// With -lint every checker state machine is linted (package lint)
+// before anything runs; lint errors — dead rules, unreachable states,
+// patterns outside the protocol vocabulary — abort the run, so a
+// broken checker cannot silently report nothing (the paper's §11
+// failure mode).
+//
 // -emit/-link reproduce the paper's file-based inter-procedural
 // workflow: the local pass annotates each send with its lane and
 // writes per-function flow graphs; the link pass merges any number of
@@ -32,6 +38,7 @@ import (
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
 	"flashmc/internal/global"
+	"flashmc/internal/lint"
 )
 
 type stringList []string
@@ -44,6 +51,7 @@ func main() {
 	flag.Var(&includes, "I", "include search directory (repeatable)")
 	flag.Var(&checkerFiles, "checker", "metal checker source file (repeatable)")
 	flashSuite := flag.Bool("flash", false, "run the built-in FLASH checker suite")
+	lintSMs := flag.Bool("lint", false, "lint checker state machines before running; exit on lint errors")
 	verbose := flag.Bool("v", false, "print per-checker summaries")
 	emit := flag.String("emit", "", "local pass: write annotated flow-graph summaries to this file")
 	link := flag.Bool("link", false, "global pass: arguments are summary files; run the lane checker")
@@ -84,8 +92,19 @@ func main() {
 		return
 	}
 
-	var reports []engine.Report
+	// A runnable checker with the lint metadata gathered while
+	// assembling it. Lint runs over every job before any job runs, so
+	// a broken checker (dead rules, unreachable states, typo'd
+	// patterns) fails loudly instead of silently reporting nothing.
+	type job struct {
+		name  string
+		sm    *engine.SM
+		decls map[string]string
+		run   func() []engine.Report
+	}
+	var jobs []job
 
+	spec := conventionSpec(prog)
 	for _, cf := range checkerFiles {
 		src, err := os.ReadFile(cf)
 		if err != nil {
@@ -95,22 +114,50 @@ func main() {
 		if err != nil {
 			fail("%s: %v", cf, err)
 		}
-		rs := prog.RunSM(mp.SM)
-		if *verbose {
-			fmt.Printf("checker %s (%d lines): %d reports\n", mp.Name, mp.LOC, len(rs))
+		jobs = append(jobs, job{name: mp.Name, sm: mp.SM, decls: mp.Decls,
+			run: func() []engine.Report { return prog.RunSM(mp.SM) }})
+	}
+	if *flashSuite {
+		for _, chk := range checkers.All() {
+			j := job{name: chk.Name(),
+				run: func() []engine.Report { return chk.Check(prog, spec) }}
+			if prov, ok := chk.(checkers.SMProvider); ok {
+				j.sm, j.decls = prov.BuildSM(spec)
+			}
+			jobs = append(jobs, j)
 		}
-		reports = append(reports, rs...)
 	}
 
-	if *flashSuite {
-		spec := conventionSpec(prog)
-		for _, chk := range checkers.All() {
-			rs := chk.Check(prog, spec)
-			if *verbose {
-				fmt.Printf("checker %s (%d lines): %d reports\n", chk.Name(), chk.LOC(), len(rs))
-			}
-			reports = append(reports, rs...)
+	if *lintSMs {
+		vocab := lint.FlashVocab()
+		for _, fn := range prog.Fns {
+			vocab.Add(fn.Name)
 		}
+		lintErrors := 0
+		for _, j := range jobs {
+			if j.sm == nil {
+				continue // global pass, no SM to lint
+			}
+			diags := lint.CheckSM(lint.Target{SM: j.sm, Decls: j.decls, Vocab: vocab})
+			for _, d := range diags {
+				if d.Severity >= lint.Warn || *verbose {
+					fmt.Fprintf(os.Stderr, "mcheck: lint: %s\n", d)
+				}
+			}
+			lintErrors += len(lint.Errors(diags))
+		}
+		if lintErrors > 0 {
+			fail("lint: %d error(s); not running checkers", lintErrors)
+		}
+	}
+
+	var reports []engine.Report
+	for _, j := range jobs {
+		rs := j.run()
+		if *verbose {
+			fmt.Printf("checker %s: %d reports\n", j.name, len(rs))
+		}
+		reports = append(reports, rs...)
 	}
 
 	sort.Slice(reports, func(i, j int) bool {

@@ -56,9 +56,14 @@ const (
 )
 
 func (b *bufferMgmt) Check(p *core.Program, spec *flash.Spec) []engine.Report {
+	sm, _ := b.BuildSM(spec)
+	return p.RunSM(sm)
+}
+
+func (b *bufferMgmt) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {
 	sm := buildBufferSM(spec)
 	sm.CorrelateBranches = b.correlate
-	return p.RunSM(sm)
+	return sm, nil
 }
 
 // checker-core: begin
@@ -93,6 +98,9 @@ func buildBufferSM(spec *flash.Spec) *engine.SM {
 
 	sm := &engine.SM{
 		Name: "buffer_mgmt",
+		// StartFor picks between these per function; Starts mirrors
+		// them for static reachability (package lint).
+		Starts: []string{stHasBuf, stNoBuf},
 		StartFor: func(fn *ast.FuncDecl) string {
 			switch spec.Classify(fn.Name) {
 			case flash.HardwareHandler:

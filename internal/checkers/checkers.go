@@ -35,6 +35,16 @@ type Checker interface {
 	LOC() int
 }
 
+// SMProvider is implemented by checkers whose analysis is a single
+// state machine. BuildSM returns the compiled SM for a protocol spec
+// together with the metal wildcard declaration table when the checker
+// is written in metal (nil for SMs assembled in Go). Package lint's
+// SM passes and cmd/metalint consume it; global checkers (lanes,
+// exec-restrict, no-float) have no SM and do not implement it.
+type SMProvider interface {
+	BuildSM(spec *flash.Spec) (*engine.SM, map[string]string)
+}
+
 // Metal checker sources, embedded so the library is self-contained.
 var (
 	//go:embed metalsrc/wait_for_db.metal
@@ -102,6 +112,11 @@ func (m *metalChecker) LOC() int { return compileMetal(m.src).LOC }
 
 func (m *metalChecker) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	return p.RunSM(compileMetal(m.src).SM)
+}
+
+func (m *metalChecker) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {
+	prog := compileMetal(m.src)
+	return prog.SM, prog.Decls
 }
 
 func (m *metalChecker) Applied(p *core.Program) int {

@@ -53,6 +53,10 @@ func (*directory) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	return p.RunSM(buildDirectorySM(spec))
 }
 
+func (*directory) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {
+	return buildDirectorySM(spec), nil
+}
+
 // checker-core: begin
 
 // Directory SM states.

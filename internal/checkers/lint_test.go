@@ -1,0 +1,77 @@
+package checkers
+
+import (
+	"testing"
+
+	"flashmc/internal/flash"
+	"flashmc/internal/flashgen"
+	"flashmc/internal/lint"
+)
+
+// specVocab is the lint vocabulary for a protocol spec: the FLASH
+// header identifiers plus the spec's own function tables (the only
+// non-header names checker patterns may anchor on).
+func specVocab(spec *flash.Spec) *lint.Vocab {
+	v := lint.FlashVocab()
+	for _, tbl := range []map[string]bool{
+		spec.BufferFreeFns, spec.BufferUseFns, spec.CondFreeFns, spec.DirWritebackFns,
+	} {
+		for fn := range tbl {
+			v.Add(fn)
+		}
+	}
+	return v
+}
+
+// TestShippedCheckersLintClean runs every shipped checker's state
+// machine through the full SM lint suite and requires nothing at Warn
+// severity or above — the acceptance bar for "metalint passes cleanly
+// on the shipped checkers". Info-level findings are allowed: the
+// directory checker deliberately uses specific-before-general rule
+// order, which lint records as order-sensitive without condemning it.
+func TestShippedCheckersLintClean(t *testing.T) {
+	spec := flashgen.Generate(flashgen.Options{Seed: 1}).Protocols[0].Spec
+	vocab := specVocab(spec)
+
+	smBacked := 0
+	for _, c := range append(All(), NewBufferMgmtPruned()) {
+		prov, ok := c.(SMProvider)
+		if !ok {
+			continue
+		}
+		smBacked++
+		sm, decls := prov.BuildSM(spec)
+		diags := lint.CheckSM(lint.Target{SM: sm, Decls: decls, Vocab: vocab})
+		for _, d := range diags {
+			if d.Severity >= lint.Warn {
+				t.Errorf("%s: %s", c.Name(), d)
+			}
+		}
+	}
+	// bufmgmt (plus its pruned variant), msglen, race, alloc,
+	// directory, sendwait: everything except the three global passes.
+	if smBacked != 7 {
+		t.Errorf("expected 7 SM-backed checker instances, linted %d", smBacked)
+	}
+}
+
+// TestDirectoryOrderSensitivityRecorded pins that the directory
+// checker's DIR_LOAD(DIR_ADDR(x)) / DIR_LOAD(x) pair is visible to
+// lint as an Info-level order-sensitivity note (and nothing worse).
+func TestDirectoryOrderSensitivityRecorded(t *testing.T) {
+	spec := flashgen.Generate(flashgen.Options{Seed: 1}).Protocols[0].Spec
+	sm, _ := NewDirectory().(SMProvider).BuildSM(spec)
+	diags := lint.CheckSM(lint.Target{SM: sm, Vocab: specVocab(spec)})
+	found := false
+	for _, d := range diags {
+		if d.Pass == "rule-order" && d.Severity == lint.Info {
+			found = true
+		}
+		if d.Severity >= lint.Warn {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+	if !found {
+		t.Error("directory specific-before-general pair should produce an Info rule-order note")
+	}
+}

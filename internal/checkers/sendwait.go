@@ -47,6 +47,10 @@ func (*sendWait) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	return p.RunSM(buildSendWaitSM())
 }
 
+func (*sendWait) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {
+	return buildSendWaitSM(), nil
+}
+
 // checker-core: begin
 
 // Send-wait SM states.

@@ -119,6 +119,10 @@ type SM struct {
 	// per function and may return "" to skip the function entirely.
 	Start    string
 	StartFor func(fn *ast.FuncDecl) string
+	// Starts optionally enumerates every state StartFor can return,
+	// for static analyses that need the start set without a function
+	// in hand (package lint's reachability pass). Run ignores it.
+	Starts []string
 	Rules    []*Rule
 	Cond     []*CondRule
 	// AtExit runs for every configuration that reaches the function

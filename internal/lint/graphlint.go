@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/cfg"
+	"flashmc/internal/engine"
+)
+
+// CheckGraph surfaces the engine pruner's silent imprecision: the
+// CorrelateBranches pruner only correlates *bare identifier* branch
+// conditions (a deliberate key-space bound — see the engine's
+// TestPruningIgnoresComplexConditions). When the same non-identifier
+// condition guards two branches on one path and nothing in between
+// writes its operands, the pruner still explores the contradictory
+// arm combinations, and any report there is an infeasible-path false
+// positive the engine cannot remove. This pass reports each such
+// condition so the imprecision is visible instead of silent; the
+// triage passes in this package additionally handle it per report.
+func CheckGraph(g *cfg.Graph) []Diag {
+	type site struct {
+		nodes []*cfg.Node
+	}
+	groups := map[string]*site{}
+	var order []string
+	for _, n := range g.Nodes {
+		if n.Kind != cfg.KindBranch || n.Cond == nil {
+			continue
+		}
+		cond, _ := engine.StripNegation(n.Cond)
+		if _, bare := cond.(*ast.Ident); bare {
+			continue // the pruner handles these
+		}
+		key := ast.ExprString(cond)
+		if groups[key] == nil {
+			groups[key] = &site{}
+			order = append(order, key)
+		}
+		groups[key].nodes = append(groups[key].nodes, n)
+	}
+
+	var diags []Diag
+	for _, key := range order {
+		s := groups[key]
+		if len(s.nodes) < 2 {
+			continue
+		}
+		// The repeated condition only defeats the pruner when one
+		// occurrence reaches another with no intervening write to the
+		// condition's operands: a write between the tests makes the
+		// re-test legitimate, but writes before the first test (the
+		// initializing assignment) do not.
+		cond, _ := engine.StripNegation(s.nodes[0].Cond)
+		if !anyReaches(g, s.nodes, condIdents(cond)) {
+			continue
+		}
+		diags = append(diags, Diag{
+			Pass: "uncorrelated-branches", Severity: Warn,
+			Msg: fmt.Sprintf("%s: condition %q guards %d branches of %s but is not a bare identifier, so the correlated-branch pruner ignores it (key-space bound); reports on its contradictory arm combinations are infeasible-path false positives",
+				posOf(s.nodes[0]), key, len(s.nodes), g.Fn.Name),
+		})
+	}
+	return diags
+}
+
+func posOf(n *cfg.Node) token.Pos { return n.Pos() }
+
+// condIdents collects the identifiers a condition reads.
+func condIdents(cond ast.Expr) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(cond, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// nodeWrites reports whether n's event assigns, increments,
+// decrements or declares any of the identifiers — the same write set
+// the engine uses to invalidate recorded branch outcomes.
+func nodeWrites(n *cfg.Node, idents map[string]bool) bool {
+	var ev ast.Node
+	switch n.Kind {
+	case cfg.KindStmt:
+		ev = n.Stmt
+	case cfg.KindBranch:
+		ev = n.Cond
+	default:
+		return false
+	}
+	hit := false
+	ast.Inspect(ev, func(x ast.Node) bool {
+		switch a := x.(type) {
+		case *ast.Assign:
+			if id, ok := a.LHS.(*ast.Ident); ok && idents[id.Name] {
+				hit = true
+			}
+		case *ast.Unary:
+			if a.Op == token.Inc || a.Op == token.Dec {
+				if id, ok := a.X.(*ast.Ident); ok && idents[id.Name] {
+					hit = true
+				}
+			}
+		case *ast.DeclStmt:
+			if idents[a.Decl.Name] {
+				hit = true
+			}
+		}
+		return !hit
+	})
+	return hit
+}
+
+// anyReaches reports whether some node in the group can reach another
+// group member through CFG edges without crossing a node that writes
+// one of the condition's operands (such a write node is a barrier: the
+// re-test after it is legitimate).
+func anyReaches(g *cfg.Graph, nodes []*cfg.Node, idents map[string]bool) bool {
+	in := map[*cfg.Node]bool{}
+	for _, n := range nodes {
+		in[n] = true
+	}
+	for _, src := range nodes {
+		seen := map[*cfg.Node]bool{src: true}
+		work := []*cfg.Node{src}
+		for len(work) > 0 {
+			n := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, e := range n.Succs {
+				if seen[e.To] {
+					continue
+				}
+				seen[e.To] = true
+				if nodeWrites(e.To, idents) {
+					continue // barrier: value changes before any re-test
+				}
+				if in[e.To] {
+					return true
+				}
+				work = append(work, e.To)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,372 @@
+package lint
+
+import (
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/engine"
+	"flashmc/internal/match"
+)
+
+// Pattern unification and subsumption for the shadowed-rule pass.
+//
+// Both relations are decided on the pattern trees alone, mirroring
+// package match's permissive semantics on untyped subjects: the
+// type-based wildcard constraints (scalar, unsigned, ptr, ...) accept
+// any untyped expression there, so they accept anything here too. The
+// relations are deliberately approximate in two documented ways:
+//
+//   - sub-expression positions under a wildcard are not explored, so
+//     an overlap that only exists when an event nests one pattern's
+//     match inside another's wildcard binding is not reported (it is
+//     almost never intended and would otherwise drown the signal);
+//   - subsumption treats a repeated wildcard (x used twice, forcing
+//     equal subtrees) as restrictive: a pattern repeating a wildcard
+//     never subsumes one that does not repeat it the same way.
+
+// subsumesPattern reports whether pattern a matches every event that
+// pattern b matches — i.e. a declared-earlier a makes b dead, and a
+// declared-later a makes the pair a specific-before-general idiom.
+func subsumesPattern(a, b engine.Pattern) bool {
+	ar, aExpr := patRoot(a)
+	br, bExpr := patRoot(b)
+	if aExpr && bExpr {
+		if exprSubsumes(exprOf(ar), exprOf(br), map[string]ast.Expr{}) {
+			return true
+		}
+		// a also fires on b's events when a matches some concrete
+		// sub-expression every instance of b must contain.
+		for _, sub := range concreteSubtrees(exprOf(br)) {
+			if exprSubsumes(exprOf(ar), sub, map[string]ast.Expr{}) {
+				return true
+			}
+		}
+		return false
+	}
+	if aExpr || bExpr {
+		if aExpr {
+			// An expression pattern matches sub-expressions of any
+			// event, so it can subsume a non-expression statement
+			// pattern through the expressions that pattern pins down.
+			for _, sub := range concreteSubtrees(br) {
+				if exprSubsumes(exprOf(ar), sub, map[string]ast.Expr{}) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return stmtSubsumes(ar.(ast.Stmt), br.(ast.Stmt))
+}
+
+// overlapsPattern reports whether some event matches both patterns —
+// the precondition for rule order in one state being load-bearing.
+func overlapsPattern(a, b engine.Pattern) bool {
+	ar, aExpr := patRoot(a)
+	br, bExpr := patRoot(b)
+	if aExpr && bExpr {
+		if exprUnify(exprOf(ar), exprOf(br)) {
+			return true
+		}
+		for _, sub := range concreteSubtrees(exprOf(br)) {
+			if exprUnify(exprOf(ar), sub) {
+				return true
+			}
+		}
+		for _, sub := range concreteSubtrees(exprOf(ar)) {
+			if exprUnify(sub, exprOf(br)) {
+				return true
+			}
+		}
+		return false
+	}
+	if aExpr != bExpr {
+		// Expression pattern vs. non-expression statement pattern:
+		// the expression can still fire on the statement's event as a
+		// sub-expression match.
+		e, s := ar, br
+		if bExpr {
+			e, s = br, ar
+		}
+		for _, sub := range concreteSubtrees(s) {
+			if exprUnify(exprOf(e), sub) {
+				return true
+			}
+		}
+		return false
+	}
+	return stmtUnify(ar.(ast.Stmt), br.(ast.Stmt))
+}
+
+// patRoot normalizes a pattern to its root node. exprRooted is true
+// for expression patterns and expression-statement patterns, which
+// share the sub-expression matching semantics of matchRule.
+func patRoot(p engine.Pattern) (root ast.Node, exprRooted bool) {
+	if p.Expr != nil {
+		return stripParens(p.Expr), true
+	}
+	if es, ok := p.Stmt.(*ast.ExprStmt); ok {
+		return stripParens(es.X), true
+	}
+	return p.Stmt, false
+}
+
+func exprOf(n ast.Node) ast.Expr { return n.(ast.Expr) }
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// concreteSubtrees collects the proper sub-expressions of a pattern
+// whose roots are not wildcards (wildcard-rooted positions bind
+// arbitrary expressions and are excluded by design, see above).
+func concreteSubtrees(n ast.Node) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.Wildcard); ok {
+			return false
+		}
+		if e, ok := x.(ast.Expr); ok {
+			if ast.Node(e) != n {
+				out = append(out, stripParens(e))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// permissiveConstraint reports whether wildcard constraint c accepts
+// any untyped pattern expression (mirrors match.constraintOK, which
+// falls back to accepting when the subject has no type).
+func permissiveConstraint(c string) bool {
+	switch c {
+	case "const", "id", "float":
+		return false
+	}
+	return true
+}
+
+// constraintAccepts mirrors match.constraintOK on a pattern subtree.
+func constraintAccepts(c string, e ast.Expr) bool {
+	switch c {
+	case "const":
+		switch e.(type) {
+		case *ast.IntLit, *ast.FloatLit, *ast.CharLit, *ast.StringLit:
+			return true
+		}
+		return false
+	case "id":
+		_, ok := e.(*ast.Ident)
+		return ok
+	case "float":
+		// Needs a typed float subject; undecidable on pattern trees,
+		// so never claim subsumption through it.
+		return false
+	}
+	return true
+}
+
+// exprSubsumes reports whether pattern a matches every expression b
+// matches. binds tracks a's wildcard bindings so repeated wildcards
+// in a stay restrictive.
+func exprSubsumes(a, b ast.Expr, binds map[string]ast.Expr) bool {
+	a, b = stripParens(a), stripParens(b)
+	if w, ok := a.(*ast.Wildcard); ok {
+		if bw, ok := b.(*ast.Wildcard); ok {
+			if !permissiveConstraint(w.Constraint) && w.Constraint != bw.Constraint {
+				return false
+			}
+		} else if !constraintAccepts(w.Constraint, b) {
+			return false
+		}
+		if w.Name == "" || w.Name == "_" {
+			return true
+		}
+		if prev, ok := binds[w.Name]; ok {
+			// a repeats the wildcard: b only stays subsumed when it
+			// pins the same subtree at both positions.
+			return match.EqualExpr(prev, b)
+		}
+		binds[w.Name] = b
+		return true
+	}
+	if _, ok := b.(*ast.Wildcard); ok {
+		return false // b is strictly more general at this position
+	}
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.IntLit:
+		y, ok := b.(*ast.IntLit)
+		return ok && x.Value == y.Value
+	case *ast.FloatLit:
+		y, ok := b.(*ast.FloatLit)
+		return ok && x.Value == y.Value
+	case *ast.CharLit:
+		y, ok := b.(*ast.CharLit)
+		return ok && x.Value == y.Value
+	case *ast.StringLit:
+		y, ok := b.(*ast.StringLit)
+		return ok && x.Value == y.Value
+	case *ast.Unary:
+		y, ok := b.(*ast.Unary)
+		return ok && x.Op == y.Op && x.Postfix == y.Postfix &&
+			exprSubsumes(x.X, y.X, binds)
+	case *ast.Binary:
+		y, ok := b.(*ast.Binary)
+		return ok && x.Op == y.Op &&
+			exprSubsumes(x.X, y.X, binds) && exprSubsumes(x.Y, y.Y, binds)
+	case *ast.Assign:
+		y, ok := b.(*ast.Assign)
+		return ok && x.Op == y.Op &&
+			exprSubsumes(x.LHS, y.LHS, binds) && exprSubsumes(x.RHS, y.RHS, binds)
+	case *ast.Cond:
+		y, ok := b.(*ast.Cond)
+		return ok && exprSubsumes(x.C, y.C, binds) &&
+			exprSubsumes(x.Then, y.Then, binds) && exprSubsumes(x.Else, y.Else, binds)
+	case *ast.Call:
+		y, ok := b.(*ast.Call)
+		if !ok || len(x.Args) != len(y.Args) || !exprSubsumes(x.Fun, y.Fun, binds) {
+			return false
+		}
+		for i := range x.Args {
+			if !exprSubsumes(x.Args[i], y.Args[i], binds) {
+				return false
+			}
+		}
+		return true
+	case *ast.Index:
+		y, ok := b.(*ast.Index)
+		return ok && exprSubsumes(x.X, y.X, binds) && exprSubsumes(x.Idx, y.Idx, binds)
+	case *ast.Member:
+		y, ok := b.(*ast.Member)
+		return ok && x.Name == y.Name && x.Arrow == y.Arrow &&
+			exprSubsumes(x.X, y.X, binds)
+	case *ast.SizeofExpr:
+		y, ok := b.(*ast.SizeofExpr)
+		return ok && exprSubsumes(x.X, y.X, binds)
+	}
+	// Casts, sizeof(T), initializer lists: compare conservatively.
+	return false
+}
+
+// exprUnify reports whether some concrete expression matches both
+// patterns. Wildcards unify with anything (repeated-wildcard equality
+// is ignored here — a deliberate over-approximation biased toward
+// reporting the overlap).
+func exprUnify(a, b ast.Expr) bool {
+	a, b = stripParens(a), stripParens(b)
+	if _, ok := a.(*ast.Wildcard); ok {
+		return true
+	}
+	if _, ok := b.(*ast.Wildcard); ok {
+		return true
+	}
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.IntLit:
+		y, ok := b.(*ast.IntLit)
+		return ok && x.Value == y.Value
+	case *ast.FloatLit:
+		y, ok := b.(*ast.FloatLit)
+		return ok && x.Value == y.Value
+	case *ast.CharLit:
+		y, ok := b.(*ast.CharLit)
+		return ok && x.Value == y.Value
+	case *ast.StringLit:
+		y, ok := b.(*ast.StringLit)
+		return ok && x.Value == y.Value
+	case *ast.Unary:
+		y, ok := b.(*ast.Unary)
+		return ok && x.Op == y.Op && x.Postfix == y.Postfix && exprUnify(x.X, y.X)
+	case *ast.Binary:
+		y, ok := b.(*ast.Binary)
+		return ok && x.Op == y.Op && exprUnify(x.X, y.X) && exprUnify(x.Y, y.Y)
+	case *ast.Assign:
+		y, ok := b.(*ast.Assign)
+		return ok && x.Op == y.Op && exprUnify(x.LHS, y.LHS) && exprUnify(x.RHS, y.RHS)
+	case *ast.Cond:
+		y, ok := b.(*ast.Cond)
+		return ok && exprUnify(x.C, y.C) && exprUnify(x.Then, y.Then) && exprUnify(x.Else, y.Else)
+	case *ast.Call:
+		y, ok := b.(*ast.Call)
+		if !ok || len(x.Args) != len(y.Args) || !exprUnify(x.Fun, y.Fun) {
+			return false
+		}
+		for i := range x.Args {
+			if !exprUnify(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *ast.Index:
+		y, ok := b.(*ast.Index)
+		return ok && exprUnify(x.X, y.X) && exprUnify(x.Idx, y.Idx)
+	case *ast.Member:
+		y, ok := b.(*ast.Member)
+		return ok && x.Name == y.Name && x.Arrow == y.Arrow && exprUnify(x.X, y.X)
+	case *ast.SizeofExpr:
+		y, ok := b.(*ast.SizeofExpr)
+		return ok && exprUnify(x.X, y.X)
+	}
+	return false
+}
+
+// stmtSubsumes handles the non-expression statement pattern kinds.
+// Checkers almost exclusively use expression(-statement) patterns;
+// the remaining kinds compare by shape.
+func stmtSubsumes(a, b ast.Stmt) bool {
+	switch x := a.(type) {
+	case *ast.Return:
+		y, ok := b.(*ast.Return)
+		if !ok {
+			return false
+		}
+		if x.X == nil || y.X == nil {
+			return x.X == nil && y.X == nil
+		}
+		return exprSubsumes(x.X, y.X, map[string]ast.Expr{})
+	case *ast.Break:
+		_, ok := b.(*ast.Break)
+		return ok
+	case *ast.Continue:
+		_, ok := b.(*ast.Continue)
+		return ok
+	case *ast.Empty:
+		_, ok := b.(*ast.Empty)
+		return ok
+	}
+	return false
+}
+
+func stmtUnify(a, b ast.Stmt) bool {
+	switch x := a.(type) {
+	case *ast.Return:
+		y, ok := b.(*ast.Return)
+		if !ok {
+			return false
+		}
+		if x.X == nil || y.X == nil {
+			return x.X == nil && y.X == nil
+		}
+		return exprUnify(x.X, y.X)
+	case *ast.Break:
+		_, ok := b.(*ast.Break)
+		return ok
+	case *ast.Continue:
+		_, ok := b.(*ast.Continue)
+		return ok
+	case *ast.Empty:
+		_, ok := b.(*ast.Empty)
+		return ok
+	}
+	return false
+}

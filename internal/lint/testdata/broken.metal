@@ -1,0 +1,21 @@
+/* Deliberately broken checker exercising every way a metal SM fails
+ * silently (paper §11): a rule shadowed into deadness, a pattern
+ * whose macro name is a typo outside the protocol vocabulary, an
+ * unreachable state and an unused wildcard declaration. metalint must
+ * flag all four; the engine runs this checker without complaint and
+ * simply never reports. */
+{ #include "flash-includes.h" }
+sm broken {
+	decl { scalar } addr, buf, ghost;
+	start:
+	{ WAIT_FOR_DB_FULL(addr); } ==> stop
+	| { WAIT_FOR_DB_FULL(addr); } ==>
+		{ err("never fires: shadowed by the stop rule above"); }
+	| { MISCBUS_REED_DB(addr, buf); } ==>
+		{ err("never fires: MISCBUS_REED_DB is a typo"); }
+	;
+	orphan:
+	{ MISCBUS_READ_DB(addr, buf); } ==>
+		{ err("never fires: no rule targets state orphan"); }
+	;
+}

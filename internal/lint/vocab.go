@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"flashmc/internal/cc/lexer"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/flash"
+)
+
+// Vocab is the set of identifiers a checker pattern may legitimately
+// anchor on: the protocol macro and accessor vocabulary plus any
+// protocol-specific function names. The dead-pattern pass flags any
+// pattern naming an identifier outside the vocabulary — a typo there
+// reproduces the paper's §11 failure, a checker that silently never
+// fires.
+type Vocab struct {
+	names map[string]bool
+}
+
+// NewVocab builds a vocabulary from explicit names.
+func NewVocab(names ...string) *Vocab {
+	v := &Vocab{names: map[string]bool{}}
+	v.Add(names...)
+	return v
+}
+
+// FlashVocab lexes flash-includes.h and returns every identifier in
+// it: macros, annotation markers, typedef names, struct members and
+// constants. Anything a FLASH checker pattern can anchor on appears
+// in the header; anything else can never match protocol code.
+func FlashVocab() *Vocab {
+	v := NewVocab()
+	l := lexer.New("flash-includes.h", flash.IncludesH)
+	for _, tok := range l.All() {
+		if tok.Kind == token.Ident {
+			v.names[tok.Text] = true
+		}
+	}
+	return v
+}
+
+// Add extends the vocabulary (e.g. with a spec's buffer-free and
+// buffer-use function tables, or the program's own function names).
+func (v *Vocab) Add(names ...string) {
+	for _, n := range names {
+		if n != "" {
+			v.names[n] = true
+		}
+	}
+}
+
+// Has reports whether name is in the vocabulary.
+func (v *Vocab) Has(name string) bool { return v.names[name] }
+
+// Len returns the vocabulary size.
+func (v *Vocab) Len() int { return len(v.names) }

@@ -1,0 +1,55 @@
+package metal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/flash"
+)
+
+// FuzzCompile drives the metal scanner, parser, and pattern compiler
+// with mutated checker sources. The shipped checkers seed the corpus,
+// so mutations start from realistic grammar. Compile may reject input
+// with an error — the property under test is only that it never
+// panics and that an accepted program has a usable state machine.
+func FuzzCompile(f *testing.F) {
+	dir := filepath.Join("..", "checkers", "metalsrc")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeded := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".metal") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+		seeded++
+	}
+	if seeded == 0 {
+		f.Fatal("no .metal seeds found in ", dir)
+	}
+	// Degenerate shapes the checker sources don't cover.
+	f.Add("sm x { }")
+	f.Add("sm x { decl {scalar} a; s: {a = $a;} ==> stop; }")
+	f.Add("sm x { cond c { $a & 1 } ==> t , f ; }")
+	f.Add("{#include \"flash-includes.h\"} sm x { start: {NI_FREE(0);} ==> ; }")
+
+	inc := cpp.Layered(cpp.OSSource{}, flash.HeaderSource())
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src, Options{Include: inc})
+		if err != nil {
+			return
+		}
+		if prog.SM == nil {
+			t.Fatalf("Compile accepted %q but produced a nil state machine", src)
+		}
+	})
+}
