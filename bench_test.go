@@ -11,12 +11,14 @@ import (
 	"flashmc/internal/cc/parser"
 	"flashmc/internal/cfg"
 	"flashmc/internal/checkers"
+	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flashgen"
 	"flashmc/internal/flashsim"
 	"flashmc/internal/metal"
 	"flashmc/internal/paper"
 	"flashmc/internal/paths"
+	"flashmc/internal/sched"
 )
 
 var (
@@ -264,6 +266,44 @@ func BenchmarkSystemDeadlock(b *testing.B) {
 			b.Fatalf("no deadlock: %s", res)
 		}
 	}
+}
+
+// BenchmarkWarmVsColdCheck measures the artifact depot's point: the
+// same full-suite analysis of one protocol with an empty depot (cold)
+// versus a fully populated one (warm). A warm run skips every checker
+// execution and pays only AST fingerprinting plus cache reads, so it
+// should beat cold by well over 3x.
+func BenchmarkWarmVsColdCheck(b *testing.B) {
+	c := benchCorpus(b)
+	const proto = "bitvector"
+	prog := c.Programs[proto]
+	spec := c.Gen.Protocol(proto).Spec
+	req := sched.Request{Prog: prog, Spec: spec, Jobs: sched.FlashJobs(spec)}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			an := &sched.Analyzer{} // nil depot: a fresh in-memory one per call
+			if _, err := an.Check(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		store, err := depot.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		an := &sched.Analyzer{Depot: store}
+		if _, err := an.Check(req); err != nil { // populate the depot
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Check(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPathStats times the Table 1 path DP alone over the largest

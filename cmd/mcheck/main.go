@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	mcheck [-I dir]... [-checker file.metal]... [-flash] file.c...
+//	mcheck [-I dir]... [-checker file.metal]... [-flash] [-j N] [-cache DIR] file.c...
 //	mcheck -emit summaries.json file.c...     (local pass, paper §3.2)
 //	mcheck -link summaries.json...            (global lane pass, §7)
+//
+// Checkers execute through the internal/sched parallel scheduler: -j
+// sizes the worker pool (default GOMAXPROCS) and -cache names a
+// content-addressed artifact depot reused across runs, so a re-check
+// after an edit re-analyzes only the changed functions and their
+// call-graph dependents. cmd/mcheckd serves the same path over HTTP.
 //
 // With -flash the built-in eight-checker FLASH suite runs using the
 // naming-convention protocol spec (h_* hardware handlers, sw_*
@@ -26,6 +32,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -35,10 +43,12 @@ import (
 	"flashmc/internal/cc/cpp"
 	"flashmc/internal/checkers"
 	"flashmc/internal/core"
+	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
 	"flashmc/internal/global"
 	"flashmc/internal/lint"
+	"flashmc/internal/sched"
 )
 
 type stringList []string
@@ -52,9 +62,11 @@ func main() {
 	flag.Var(&checkerFiles, "checker", "metal checker source file (repeatable)")
 	flashSuite := flag.Bool("flash", false, "run the built-in FLASH checker suite")
 	lintSMs := flag.Bool("lint", false, "lint checker state machines before running; exit on lint errors")
-	verbose := flag.Bool("v", false, "print per-checker summaries")
+	verbose := flag.Bool("v", false, "print per-checker summaries and cache statistics")
 	emit := flag.String("emit", "", "local pass: write annotated flow-graph summaries to this file")
 	link := flag.Bool("link", false, "global pass: arguments are summary files; run the lane checker")
+	workers := flag.Int("j", 0, "parallel analysis workers (default GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "artifact depot directory; reuses results for unchanged functions across runs")
 	flag.Parse()
 
 	files := flag.Args()
@@ -92,19 +104,22 @@ func main() {
 		return
 	}
 
-	// A runnable checker with the lint metadata gathered while
-	// assembling it. Lint runs over every job before any job runs, so
-	// a broken checker (dead rules, unreachable states, typo'd
-	// patterns) fails loudly instead of silently reporting nothing.
-	type job struct {
-		name  string
+	// Assemble the scheduler job list: ad-hoc metal checkers first
+	// (in flag order), then the built-in suite — the historical run
+	// order, which fixes report assembly. Lint metadata (SM + decl
+	// table) is collected alongside so broken checkers fail loudly
+	// before anything runs (the paper's §11 failure mode).
+	type lintTarget struct {
 		sm    *engine.SM
 		decls map[string]string
-		run   func() []engine.Report
 	}
-	var jobs []job
+	var (
+		jobs        []sched.Job
+		lintTargets []lintTarget
+	)
 
-	spec := conventionSpec(prog)
+	spec := sched.ConventionSpec(prog)
+	specOpt := sched.SpecHash(spec)
 	for _, cf := range checkerFiles {
 		src, err := os.ReadFile(cf)
 		if err != nil {
@@ -114,17 +129,21 @@ func main() {
 		if err != nil {
 			fail("%s: %v", cf, err)
 		}
-		jobs = append(jobs, job{name: mp.Name, sm: mp.SM, decls: mp.Decls,
-			run: func() []engine.Report { return prog.RunSM(mp.SM) }})
+		// An ad-hoc checker has no declared version; its source hash
+		// takes that role in the depot key, so editing the .metal
+		// file invalidates its cached results.
+		srcHash := sha256.Sum256([]byte(src))
+		jobs = append(jobs, sched.Job{Name: mp.Name, Version: "adhoc-" + hex.EncodeToString(srcHash[:8]),
+			Options: specOpt, SM: mp.SM})
+		lintTargets = append(lintTargets, lintTarget{sm: mp.SM, decls: mp.Decls})
 	}
 	if *flashSuite {
+		jobs = append(jobs, sched.FlashJobs(spec)...)
 		for _, chk := range checkers.All() {
-			j := job{name: chk.Name(),
-				run: func() []engine.Report { return chk.Check(prog, spec) }}
 			if prov, ok := chk.(checkers.SMProvider); ok {
-				j.sm, j.decls = prov.BuildSM(spec)
+				sm, decls := prov.BuildSM(spec)
+				lintTargets = append(lintTargets, lintTarget{sm: sm, decls: decls})
 			}
-			jobs = append(jobs, j)
 		}
 	}
 
@@ -134,11 +153,8 @@ func main() {
 			vocab.Add(fn.Name)
 		}
 		lintErrors := 0
-		for _, j := range jobs {
-			if j.sm == nil {
-				continue // global pass, no SM to lint
-			}
-			diags := lint.CheckSM(lint.Target{SM: j.sm, Decls: j.decls, Vocab: vocab})
+		for _, lt := range lintTargets {
+			diags := lint.CheckSM(lint.Target{SM: lt.sm, Decls: lt.decls, Vocab: vocab})
 			for _, d := range diags {
 				if d.Severity >= lint.Warn || *verbose {
 					fmt.Fprintf(os.Stderr, "mcheck: lint: %s\n", d)
@@ -151,13 +167,32 @@ func main() {
 		}
 	}
 
-	var reports []engine.Report
-	for _, j := range jobs {
-		rs := j.run()
-		if *verbose {
-			fmt.Printf("checker %s: %d reports\n", j.name, len(rs))
+	// The CLI and mcheckd share this execution path: the depot-backed
+	// parallel scheduler. Without -cache the depot lives in memory
+	// for this one run.
+	store, err := depot.Open(*cacheDir)
+	if err != nil {
+		fail("%v", err)
+	}
+	analyzer := &sched.Analyzer{Depot: store, Workers: *workers}
+	res, err := analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs})
+	if err != nil {
+		fail("%v", err)
+	}
+	reports := res.Reports
+	if *verbose {
+		byChecker := map[string]int{}
+		for _, r := range reports {
+			byChecker[r.SM]++
 		}
-		reports = append(reports, rs...)
+		for _, j := range jobs {
+			fmt.Printf("checker %s: %d reports\n", j.Name, byChecker[j.Name])
+		}
+		st := res.Stats
+		fmt.Printf("analysis: %d functions, %d tasks, %d cache hits, %d misses (%.0f%% hit rate), %d re-analyzed, %s elapsed\n",
+			st.Functions, st.Tasks, st.CacheHits, st.CacheMisses,
+			100*float64(st.CacheHits)/float64(max(1, st.CacheHits+st.CacheMisses)),
+			len(st.Reanalyzed), st.Elapsed.Round(1000000))
 	}
 
 	sort.Slice(reports, func(i, j int) bool {
@@ -173,29 +208,6 @@ func main() {
 	if len(reports) > 0 {
 		os.Exit(1)
 	}
-}
-
-// conventionSpec derives a protocol spec from naming conventions, for
-// checking code without an explicit specification.
-func conventionSpec(prog *core.Program) *flash.Spec {
-	spec := &flash.Spec{
-		Protocol:        "cli",
-		Allowance:       map[string]flash.LaneVector{},
-		NoStack:         map[string]bool{},
-		BufferFreeFns:   map[string]bool{},
-		BufferUseFns:    map[string]bool{},
-		CondFreeFns:     map[string]bool{},
-		DirWritebackFns: map[string]bool{},
-	}
-	for _, fn := range prog.Fns {
-		switch flash.ClassifyName(fn.Name) {
-		case flash.HardwareHandler:
-			spec.Hardware = append(spec.Hardware, fn.Name)
-		case flash.SoftwareHandler:
-			spec.Software = append(spec.Software, fn.Name)
-		}
-	}
-	return spec
 }
 
 // linkPass merges summary files and runs the global lane traversal.

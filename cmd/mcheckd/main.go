@@ -1,0 +1,65 @@
+// mcheckd is the long-running analysis service: the same
+// depot-backed parallel scheduler cmd/mcheck runs once per
+// invocation, kept warm behind HTTP so repeated checks of an evolving
+// protocol tree pay only for what changed.
+//
+// Usage:
+//
+//	mcheckd [-addr :8181] [-cache DIR] [-j N] [-gc AGE]
+//
+// Endpoints:
+//
+//	POST /check    JSON {files, roots?, checkers?, flash?, triage?} in,
+//	               ranked reports + cache/scheduler statistics out.
+//	               Unchanged functions ride the warm-cache path.
+//	GET  /metrics  Prometheus text: request/task counters and
+//	               latencies, cache hit rate, queue depth, depot size.
+//	GET  /healthz  liveness probe.
+//
+// -cache names the artifact depot shared with mcheck -cache; without
+// it the depot lives in memory for the life of the process (still
+// warm across requests). -gc prunes depot entries older than the
+// given age at startup and every AGE thereafter.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"flashmc/internal/depot"
+)
+
+func main() {
+	addr := flag.String("addr", ":8181", "listen address")
+	cacheDir := flag.String("cache", "", "artifact depot directory (default: in-memory, per-process)")
+	workers := flag.Int("j", 0, "parallel analysis workers (default GOMAXPROCS)")
+	gcAge := flag.Duration("gc", 0, "if set, evict depot entries unused for this long (runs at startup and periodically)")
+	flag.Parse()
+
+	store, err := depot.Open(*cacheDir)
+	if err != nil {
+		log.Fatalf("mcheckd: %v", err)
+	}
+	if *gcAge > 0 {
+		if n, err := store.GC(*gcAge); err != nil {
+			log.Printf("mcheckd: gc: %v", err)
+		} else if n > 0 {
+			log.Printf("mcheckd: gc evicted %d entries", n)
+		}
+		go func() {
+			for range time.Tick(*gcAge) {
+				if n, err := store.GC(*gcAge); err != nil {
+					log.Printf("mcheckd: gc: %v", err)
+				} else if n > 0 {
+					log.Printf("mcheckd: gc evicted %d entries", n)
+				}
+			}
+		}()
+	}
+
+	srv := newServer(store, *workers)
+	log.Printf("mcheckd: listening on %s (cache=%q workers=%d)", *addr, *cacheDir, *workers)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

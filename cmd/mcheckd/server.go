@@ -1,0 +1,332 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/checkers"
+	"flashmc/internal/core"
+	"flashmc/internal/depot"
+	"flashmc/internal/engine"
+	"flashmc/internal/flash"
+	"flashmc/internal/lint"
+	"flashmc/internal/sched"
+)
+
+// checkRequest is the POST /check body. Files maps file names to
+// contents; flash-includes.h is provided by the server. Roots are the
+// translation units to parse (default: every *.c file, sorted).
+// Checkers maps names to ad-hoc metal checker sources. Flash selects
+// the built-in suite (default true). Triage replays each SM report
+// over feasible paths and ranks it certain / likely-fp.
+type checkRequest struct {
+	Files    map[string]string `json:"files"`
+	Roots    []string          `json:"roots,omitempty"`
+	Checkers map[string]string `json:"checkers,omitempty"`
+	Flash    *bool             `json:"flash,omitempty"`
+	Triage   bool              `json:"triage,omitempty"`
+}
+
+type reportJSON struct {
+	Checker    string `json:"checker"`
+	Rule       string `json:"rule,omitempty"`
+	Fn         string `json:"fn,omitempty"`
+	File       string `json:"file,omitempty"`
+	Line       int    `json:"line,omitempty"`
+	Col        int    `json:"col,omitempty"`
+	Msg        string `json:"msg"`
+	Confidence string `json:"confidence,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+type statsJSON struct {
+	Functions     int      `json:"functions"`
+	Tasks         int      `json:"tasks"`
+	MaxQueueDepth int      `json:"max_queue_depth"`
+	CacheHits     int      `json:"cache_hits"`
+	CacheMisses   int      `json:"cache_misses"`
+	Reanalyzed    []string `json:"reanalyzed,omitempty"`
+	GlobalReruns  int      `json:"global_reruns"`
+	ElapsedMS     float64  `json:"elapsed_ms"`
+	TaskMS        float64  `json:"task_ms"`
+}
+
+type checkResponse struct {
+	Reports     []reportJSON `json:"reports"`
+	ParseErrors []string     `json:"parse_errors,omitempty"`
+	Stats       statsJSON    `json:"stats"`
+}
+
+// server owns one analyzer over one depot; every request shares the
+// cache, which is what makes the second check of a tree warm.
+type server struct {
+	analyzer *sched.Analyzer
+	store    *depot.Depot
+	mux      *http.ServeMux
+
+	requests  atomic.Uint64
+	errored   atomic.Uint64
+	reqNanos  atomic.Uint64
+	tasks     atomic.Uint64
+	taskNanos atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	inflight  atomic.Int64
+	queueMax  atomic.Int64
+}
+
+func newServer(store *depot.Depot, workers int) *server {
+	s := &server{
+		analyzer: &sched.Analyzer{Depot: store, Workers: workers},
+		store:    store,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/check", s.handleCheck)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errored.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.reqNanos.Add(uint64(time.Since(start)))
+	}()
+
+	var req checkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Files) == 0 {
+		s.fail(w, http.StatusBadRequest, "no files")
+		return
+	}
+	roots := req.Roots
+	if len(roots) == 0 {
+		for name := range req.Files {
+			if strings.HasSuffix(name, ".c") {
+				roots = append(roots, name)
+			}
+		}
+		sort.Strings(roots)
+	}
+	if len(roots) == 0 {
+		s.fail(w, http.StatusBadRequest, "no roots (no *.c files)")
+		return
+	}
+
+	prog, err := core.Load("mcheckd", cpp.Layered(cpp.MapSource(req.Files), flash.HeaderSource()), roots)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "load: %v", err)
+		return
+	}
+	resp := checkResponse{Reports: []reportJSON{}}
+	for _, e := range prog.ParseErrors {
+		resp.ParseErrors = append(resp.ParseErrors, e.Error())
+	}
+	if len(resp.ParseErrors) > 0 {
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+
+	// Assemble jobs exactly like cmd/mcheck: ad-hoc checkers first
+	// (sorted by name — the request carries them in a map), then the
+	// built-in suite. smByName keeps each SM job's machine for triage.
+	spec := sched.ConventionSpec(prog)
+	specOpt := sched.SpecHash(spec)
+	var jobs []sched.Job
+	smByName := map[string]*engine.SM{}
+	adhoc := make([]string, 0, len(req.Checkers))
+	for name := range req.Checkers {
+		adhoc = append(adhoc, name)
+	}
+	sort.Strings(adhoc)
+	for _, name := range adhoc {
+		src := req.Checkers[name]
+		mp, err := prog.CompileChecker(src)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "checker %s: %v", name, err)
+			return
+		}
+		srcHash := sha256.Sum256([]byte(src))
+		jobs = append(jobs, sched.Job{Name: mp.Name, Version: "adhoc-" + hex.EncodeToString(srcHash[:8]),
+			Options: specOpt, SM: mp.SM})
+		smByName[mp.SM.Name] = mp.SM
+	}
+	if req.Flash == nil || *req.Flash {
+		jobs = append(jobs, sched.FlashJobs(spec)...)
+		// Reports carry the SM's own name, which can differ from the
+		// registry name (buffer_race runs the wait_for_db machine), so
+		// the triage map keys on sm.Name.
+		for _, chk := range checkers.All() {
+			if prov, ok := chk.(checkers.SMProvider); ok {
+				sm, _ := prov.BuildSM(spec)
+				smByName[sm.Name] = sm
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		s.fail(w, http.StatusBadRequest, "nothing to run: flash disabled and no ad-hoc checkers")
+		return
+	}
+
+	res, err := s.analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "check: %v", err)
+		return
+	}
+	s.tasks.Add(uint64(res.Stats.Tasks))
+	s.taskNanos.Add(uint64(res.Stats.TaskTime))
+	s.hits.Add(uint64(res.Stats.CacheHits))
+	s.misses.Add(uint64(res.Stats.CacheMisses))
+	for {
+		cur := s.queueMax.Load()
+		if int64(res.Stats.MaxQueueDepth) <= cur ||
+			s.queueMax.CompareAndSwap(cur, int64(res.Stats.MaxQueueDepth)) {
+			break
+		}
+	}
+
+	resp.Reports = rankReports(prog, res.Reports, smByName, req.Triage)
+	resp.Stats = statsJSON{
+		Functions:     res.Stats.Functions,
+		Tasks:         res.Stats.Tasks,
+		MaxQueueDepth: res.Stats.MaxQueueDepth,
+		CacheHits:     res.Stats.CacheHits,
+		CacheMisses:   res.Stats.CacheMisses,
+		Reanalyzed:    res.Stats.Reanalyzed,
+		GlobalReruns:  res.Stats.GlobalReruns,
+		ElapsedMS:     float64(res.Stats.Elapsed) / float64(time.Millisecond),
+		TaskMS:        float64(res.Stats.TaskTime) / float64(time.Millisecond),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rankReports orders the combined report stream for the response:
+// with triage, each SM report is replayed over feasible paths and
+// certain reports rank above likely false positives; within a rank,
+// position order. Without triage every report keeps the CLI's
+// position order and carries no confidence.
+func rankReports(prog *core.Program, reports []engine.Report, smByName map[string]*engine.SM, triage bool) []reportJSON {
+	ranked := make([]lint.RankedReport, 0, len(reports))
+	if triage {
+		// Group by checker, preserving order, so TriageProgram sees
+		// each machine's reports together.
+		var order []string
+		byChecker := map[string][]engine.Report{}
+		for _, r := range reports {
+			if _, ok := byChecker[r.SM]; !ok {
+				order = append(order, r.SM)
+			}
+			byChecker[r.SM] = append(byChecker[r.SM], r)
+		}
+		for _, name := range order {
+			if sm := smByName[name]; sm != nil {
+				ranked = append(ranked, lint.TriageProgram(prog, sm, byChecker[name], lint.TriageOptions{})...)
+			} else {
+				ranked = append(ranked, lint.PassThrough(byChecker[name], "not an SM checker; not triaged")...)
+			}
+		}
+	} else {
+		for _, r := range reports {
+			ranked = append(ranked, lint.RankedReport{Report: r})
+		}
+	}
+
+	rank := func(c lint.Confidence) int {
+		if c == lint.LikelyFP {
+			return 1
+		}
+		return 0
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if triage && rank(a.Confidence) != rank(b.Confidence) {
+			return rank(a.Confidence) < rank(b.Confidence)
+		}
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+
+	out := make([]reportJSON, 0, len(ranked))
+	for _, r := range ranked {
+		out = append(out, reportJSON{
+			Checker:    r.SM,
+			Rule:       r.Rule,
+			Fn:         r.Fn,
+			File:       r.Pos.File,
+			Line:       r.Pos.Line,
+			Col:        r.Pos.Col,
+			Msg:        r.Msg,
+			Confidence: string(r.Confidence),
+			Reason:     r.Reason,
+		})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ds := s.store.Stats()
+	hits, misses := s.hits.Load(), s.misses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m := func(name, typ, help string, val any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, val)
+	}
+	m("mcheckd_requests_total", "counter", "POST /check requests received", s.requests.Load())
+	m("mcheckd_request_errors_total", "counter", "requests answered with an error status", s.errored.Load())
+	m("mcheckd_request_seconds_total", "counter", "wall time spent serving /check",
+		float64(s.reqNanos.Load())/1e9)
+	m("mcheckd_inflight_requests", "gauge", "/check requests currently executing", s.inflight.Load())
+	m("mcheckd_tasks_total", "counter", "scheduler tasks executed", s.tasks.Load())
+	m("mcheckd_task_seconds_total", "counter", "cumulative task execution time",
+		float64(s.taskNanos.Load())/1e9)
+	m("mcheckd_queue_depth_max", "gauge", "largest ready-queue depth seen in any request", s.queueMax.Load())
+	m("mcheckd_cache_hits_total", "counter", "depot lookups served from cache", hits)
+	m("mcheckd_cache_misses_total", "counter", "depot lookups that required analysis", misses)
+	m("mcheckd_cache_hit_rate", "gauge", "hits / (hits + misses) over the process lifetime", rate)
+	m("mcheckd_depot_entries", "gauge", "artifacts currently in the depot", ds.Entries)
+	m("mcheckd_depot_bytes", "gauge", "bytes of artifacts currently in the depot", ds.Bytes)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	paperbench [-seed N] [-trials N]
+//	paperbench [-seed N] [-trials N] [-json]
+//
+// -json replaces the rendered tables with one machine-readable JSON
+// object (for dashboards and CI trend tracking).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +24,35 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	trials := flag.Int("trials", 120, "dynamic-testing trials per handler")
+	jsonOut := flag.Bool("json", false, "emit results as one JSON object instead of rendered tables")
 	flag.Parse()
 
 	c, err := paper.LoadCorpus(flashgen.Options{Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		out := map[string]any{
+			"seed":              *seed,
+			"table1":            c.Table1(),
+			"table2":            c.Table2(),
+			"table3":            c.Table3(),
+			"table4":            c.Table4(),
+			"lanes":             c.Lanes(),
+			"table5":            c.Table5(),
+			"table6":            c.Table6(),
+			"table7":            c.Table7(),
+			"static_vs_dynamic": c.StaticVsDynamic(*trials, *seed),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Println("=== Table 1: protocol size (paper vs measured) ===")

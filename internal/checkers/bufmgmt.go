@@ -44,6 +44,8 @@ func NewBufferMgmtPruned() Checker { return &bufferMgmt{correlate: true} }
 
 func (*bufferMgmt) Name() string { return "buffer_mgmt" }
 
+func (*bufferMgmt) Version() string { return "1.1.0" }
+
 func (*bufferMgmt) Applied(p *core.Program) int { return -1 }
 
 func (*bufferMgmt) LOC() int { return coreLOC(bufmgmtSource) }

@@ -24,6 +24,10 @@ import (
 type Checker interface {
 	// Name is the stable checker identifier used in manifests.
 	Name() string
+	// Version is the checker's semantic version. It participates in
+	// the depot cache key, so bumping it when the checker's rules
+	// change invalidates every cached result the old rules produced.
+	Version() string
 	// Check runs the checker over a loaded program under a protocol
 	// spec and returns its reports.
 	Check(p *core.Program, spec *flash.Spec) []engine.Report
@@ -102,11 +106,14 @@ var anyArgs = map[string]string{
 // metalChecker wraps a compiled metal program as a Checker.
 type metalChecker struct {
 	name    string
+	version string
 	src     string
 	applied []ast.Expr // patterns whose occurrences count as "applied"
 }
 
 func (m *metalChecker) Name() string { return m.name }
+
+func (m *metalChecker) Version() string { return m.version }
 
 func (m *metalChecker) LOC() int { return compileMetal(m.src).LOC }
 
@@ -131,8 +138,9 @@ func (m *metalChecker) Applied(p *core.Program) int {
 // Applied counts data-buffer reads.
 func NewBufferRace() Checker {
 	return &metalChecker{
-		name: "buffer_race",
-		src:  WaitForDBSource,
+		name:    "buffer_race",
+		version: "1.1.0",
+		src:     WaitForDBSource,
 		applied: []ast.Expr{
 			mustExprPat("MISCBUS_READ_DB(a1, a2)", anyArgs),
 			mustExprPat("OLD_MISCBUS_READ(a1)", anyArgs),
@@ -155,6 +163,7 @@ func sendPatterns() []ast.Expr {
 func NewMsglen() Checker {
 	return &metalChecker{
 		name:    "msglen",
+		version: "1.1.0",
 		src:     MsglenSource,
 		applied: sendPatterns(),
 	}
@@ -164,8 +173,9 @@ func NewMsglen() Checker {
 // counts buffer allocations.
 func NewAllocCheck() Checker {
 	return &metalChecker{
-		name: "alloc",
-		src:  AllocCheckSource,
+		name:    "alloc",
+		version: "1.1.0",
+		src:     AllocCheckSource,
 		applied: []ast.Expr{
 			mustExprPat("ALLOC_DB()", nil),
 		},

@@ -26,6 +26,8 @@ func NewDirectory() Checker { return &directory{} }
 
 func (*directory) Name() string { return "directory" }
 
+func (*directory) Version() string { return "1.1.0" }
+
 func (*directory) LOC() int { return coreLOC(directorySource) }
 
 // dirOpPatterns lists the directory operations whose occurrence count

@@ -32,6 +32,8 @@ func NewExecRestrict() Checker { return &execRestrict{} }
 
 func (*execRestrict) Name() string { return "exec" }
 
+func (*execRestrict) Version() string { return "1.1.0" }
+
 func (*execRestrict) LOC() int { return coreLOC(execrestrictSource) }
 
 func (*execRestrict) Applied(p *core.Program) int {

@@ -38,6 +38,8 @@ func NewLanes() Checker { return &lanes{} }
 
 func (*lanes) Name() string { return "lanes" }
 
+func (*lanes) Version() string { return "1.1.0" }
+
 func (*lanes) LOC() int { return coreLOC(lanesSource) }
 
 func (*lanes) Applied(p *core.Program) int {

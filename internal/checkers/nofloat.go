@@ -25,6 +25,8 @@ func NewNoFloat() Checker { return &noFloat{} }
 
 func (*noFloat) Name() string { return "nofloat" }
 
+func (*noFloat) Version() string { return "1.1.0" }
+
 func (*noFloat) LOC() int { return coreLOC(nofloatSource) }
 
 func (*noFloat) Applied(p *core.Program) int { return -1 }

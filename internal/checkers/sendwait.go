@@ -23,6 +23,8 @@ func NewSendWait() Checker { return &sendWait{} }
 
 func (*sendWait) Name() string { return "sendwait" }
 
+func (*sendWait) Version() string { return "1.1.0" }
+
 func (*sendWait) LOC() int { return coreLOC(sendwaitSource) }
 
 // waitingSendPatterns matches PI/IO sends whose wait argument is the

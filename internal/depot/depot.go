@@ -1,0 +1,261 @@
+// Package depot is a content-addressed artifact store for incremental
+// analysis. The paper's inter-procedural framework (§7) already
+// persists per-function annotated flow graphs to files; the depot
+// generalizes that file-based design into a cache every analysis
+// artifact flows through: parsed-AST fingerprints, per-function
+// CFG/summary blobs (internal/global's JSON format), and per-function
+// checker reports.
+//
+// Artifacts are addressed by Key — hash(preprocessed source) ×
+// checker-id × checker-version × engine-options — so a change to any
+// input (the code, the checker, its version, or the options it ran
+// under) misses the cache instead of serving a stale result. Writes
+// are atomic (temp file + rename), so a depot directory can be shared
+// by concurrent mcheck runs and a live mcheckd without torn reads.
+package depot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key addresses one artifact. Every field participates in the
+// content address; the zero value of unused fields is fine (summary
+// blobs, for example, carry no checker id).
+type Key struct {
+	// Kind is the artifact class: "summary", "reports", "program", ...
+	Kind string
+	// Source is the content hash of the analyzed unit — a function's
+	// parsed-AST fingerprint, or a whole-program fingerprint for
+	// global passes. It transitively covers the preprocessed source:
+	// the AST is built from it, and node positions pin the layout.
+	Source string
+	// Checker is the stable checker identifier ("" for summaries).
+	Checker string
+	// Version is the checker's semantic version; a bump is a miss.
+	Version string
+	// Options hashes everything else that shapes the result: the
+	// protocol spec, engine options, checker source for ad-hoc metal
+	// files.
+	Options string
+}
+
+// ID returns the hex content address of the key.
+func (k Key) ID() string {
+	h := sha256.New()
+	for _, f := range []string{k.Kind, k.Source, k.Checker, k.Version, k.Options} {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Depot is the store. A Depot with an empty directory lives in
+// memory (useful for tests and for running without -cache); otherwise
+// artifacts are files under dir, sharded by the first address byte.
+type Depot struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string][]byte
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// Open returns a depot rooted at dir, creating it if needed; an empty
+// dir opens an in-memory depot.
+func Open(dir string) (*Depot, error) {
+	d := &Depot{dir: dir}
+	if dir == "" {
+		d.mem = map[string][]byte{}
+		return d, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("depot: %w", err)
+	}
+	return d, nil
+}
+
+// path returns the on-disk location of an address.
+func (d *Depot) path(id string) string {
+	return filepath.Join(d.dir, id[:2], id+".json")
+}
+
+// Get returns the artifact stored under key, if present. Hits bump
+// the entry's mtime so GC retains recently used artifacts.
+func (d *Depot) Get(key Key) ([]byte, bool) {
+	id := key.ID()
+	if d.mem != nil {
+		d.mu.Lock()
+		b, ok := d.mem[id]
+		d.mu.Unlock()
+		d.count(ok)
+		return b, ok
+	}
+	b, err := os.ReadFile(d.path(id))
+	if err != nil {
+		d.count(false)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(d.path(id), now, now) // best effort, for GC recency
+	d.count(true)
+	return b, true
+}
+
+func (d *Depot) count(hit bool) {
+	if hit {
+		d.hits.Add(1)
+	} else {
+		d.misses.Add(1)
+	}
+}
+
+// Put stores blob under key. On-disk writes go through a temp file in
+// the destination directory and a rename, so readers never observe a
+// partial artifact and concurrent writers of the same key converge.
+func (d *Depot) Put(key Key, blob []byte) error {
+	id := key.ID()
+	d.puts.Add(1)
+	if d.mem != nil {
+		d.mu.Lock()
+		d.mem[id] = append([]byte(nil), blob...)
+		d.mu.Unlock()
+		return nil
+	}
+	dst := d.path(id)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("depot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), id+".tmp*")
+	if err != nil {
+		return fmt.Errorf("depot: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depot: %w", err)
+	}
+	return nil
+}
+
+// PutJSON marshals v and stores it under key.
+func (d *Depot) PutJSON(key Key, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("depot: %w", err)
+	}
+	return d.Put(key, b)
+}
+
+// GetJSON loads the artifact under key into v; the bool reports
+// whether the key was present and decoded.
+func (d *Depot) GetJSON(key Key, v any) bool {
+	b, ok := d.Get(key)
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		// A corrupt artifact is a miss; the caller recomputes and
+		// overwrites it.
+		return false
+	}
+	return true
+}
+
+// Stats describes the depot's contents and this process's traffic.
+type Stats struct {
+	// Entries and Bytes describe what is stored now.
+	Entries int
+	Bytes   int64
+	// Hits, Misses and Puts count this process's Get/Put traffic.
+	Hits   uint64
+	Misses uint64
+	Puts   uint64
+}
+
+// HitRate is hits/(hits+misses), 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats walks the store and returns its current size plus traffic
+// counters.
+func (d *Depot) Stats() Stats {
+	st := Stats{Hits: d.hits.Load(), Misses: d.misses.Load(), Puts: d.puts.Load()}
+	if d.mem != nil {
+		d.mu.Lock()
+		st.Entries = len(d.mem)
+		for _, b := range d.mem {
+			st.Bytes += int64(len(b))
+		}
+		d.mu.Unlock()
+		return st
+	}
+	filepath.WalkDir(d.dir, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		if info, err := e.Info(); err == nil {
+			st.Entries++
+			st.Bytes += info.Size()
+		}
+		return nil
+	})
+	return st
+}
+
+// GC removes artifacts not read or written within maxAge and returns
+// how many were removed. The in-memory depot has no timestamps; GC
+// with maxAge <= 0 clears it (and, on disk, removes everything).
+func (d *Depot) GC(maxAge time.Duration) (int, error) {
+	if d.mem != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if maxAge <= 0 {
+			n := len(d.mem)
+			d.mem = map[string][]byte{}
+			return n, nil
+		}
+		return 0, nil
+	}
+	cutoff := time.Now().Add(-maxAge)
+	removed := 0
+	err := filepath.WalkDir(d.dir, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil
+		}
+		if maxAge <= 0 || info.ModTime().Before(cutoff) {
+			if os.Remove(path) == nil {
+				removed++
+			}
+		}
+		return nil
+	})
+	return removed, err
+}

@@ -9,6 +9,8 @@
 package global
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -117,6 +119,37 @@ func Write(w io.Writer, summaries []*Summary) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "")
 	return enc.Encode(summaries)
+}
+
+// Marshal returns the canonical byte serialization of summaries. The
+// encoding is deterministic — struct fields emit in declaration
+// order, summaries in input order, and no maps participate — so equal
+// summary sets marshal to equal bytes. The depot's content addresses
+// are computed over these bytes; TestMarshalDeterministic pins the
+// format against incidental drift (a future map-backed field, a
+// randomized ordering) that would silently invalidate every cache.
+func Marshal(summaries []*Summary) ([]byte, error) {
+	return json.Marshal(summaries)
+}
+
+// Fingerprint is the content hash of the summary's canonical form.
+func (s *Summary) Fingerprint() string {
+	b, err := Marshal([]*Summary{s})
+	if err != nil {
+		// Summary contains only marshalable fields; reaching here
+		// means the type grew an unmarshalable one.
+		panic(fmt.Sprintf("global: marshal summary: %v", err))
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// Marshal returns the canonical serialization of the linked program.
+// The Funcs map marshals with sorted keys (encoding/json's map rule),
+// so equal programs marshal to equal bytes regardless of insertion
+// or link order.
+func (p *Program) Marshal() ([]byte, error) {
+	return json.Marshal(p)
 }
 
 // Read deserializes summaries written by Write.

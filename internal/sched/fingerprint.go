@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/types"
+	"flashmc/internal/core"
+)
+
+// FnFingerprint content-addresses one function definition for the
+// depot. It hashes the parsed AST — every node's kind, position, leaf
+// payload (identifier names, literal texts, operators, declared and
+// computed types) — so it covers exactly what the checkers can
+// observe:
+//
+//   - any textual edit to the function changes tokens or positions;
+//   - a macro change in a shared header changes the expansion, hence
+//     the AST;
+//   - a line shift from an edit earlier in the file changes node
+//     positions, which matter because reports carry them;
+//   - a type change in another translation unit (protocol builds
+//     share globals) changes the computed expression types.
+//
+// Functions elsewhere in the file that the edit does not move are
+// untouched, which is what makes per-function invalidation precise.
+func FnFingerprint(fn *ast.FuncDecl) string {
+	h := sha256.New()
+	hashNode(h, fn)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashType(h hash.Hash, t types.Type) {
+	if t != nil {
+		io.WriteString(h, t.String())
+	}
+	io.WriteString(h, ";")
+}
+
+func hashNode(h hash.Hash, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		p := n.Pos()
+		fmt.Fprintf(h, "%T@%s:%d:%d|", n, p.File, p.Line, p.Col)
+		switch x := n.(type) {
+		case *ast.Ident:
+			io.WriteString(h, x.Name)
+		case *ast.IntLit:
+			io.WriteString(h, x.Text)
+		case *ast.FloatLit:
+			io.WriteString(h, x.Text)
+		case *ast.CharLit:
+			io.WriteString(h, x.Text)
+		case *ast.StringLit:
+			io.WriteString(h, x.Text)
+		case *ast.Unary:
+			fmt.Fprintf(h, "%s%v", x.Op, x.Postfix)
+		case *ast.Binary:
+			io.WriteString(h, x.Op.String())
+		case *ast.Assign:
+			io.WriteString(h, x.Op.String())
+		case *ast.Member:
+			fmt.Fprintf(h, "%s%v", x.Name, x.Arrow)
+		case *ast.Cast:
+			hashType(h, x.To)
+		case *ast.SizeofType:
+			hashType(h, x.Of)
+		case *ast.VarDecl:
+			fmt.Fprintf(h, "%s%d%v", x.Name, x.Storage, x.Const)
+			hashType(h, x.T)
+		case *ast.FuncDecl:
+			fmt.Fprintf(h, "%s%v%d%v@%d", x.Name, x.Variadic, x.Storage, x.Inline, x.EndPos.Line)
+			hashType(h, x.Ret)
+			for _, prm := range x.Params {
+				io.WriteString(h, prm.Name)
+				hashType(h, prm.T)
+			}
+		}
+		if e, ok := n.(ast.Expr); ok {
+			hashType(h, e.Type())
+		}
+		io.WriteString(h, "\x00")
+		return true
+	})
+}
+
+// ProgramFingerprint content-addresses a whole loaded program: the
+// ordered set of function fingerprints. Whole-program passes (exec
+// restrictions, no-float, and the linked lane program) key on it.
+// fps must be parallel to p.Fns (see Fingerprints).
+func ProgramFingerprint(p *core.Program, fps []string) string {
+	h := sha256.New()
+	for i, fn := range p.Fns {
+		io.WriteString(h, fn.Name)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, fps[i])
+		io.WriteString(h, "\x00")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprints computes every function's fingerprint, parallel to
+// p.Fns.
+func Fingerprints(p *core.Program) []string {
+	out := make([]string, len(p.Fns))
+	for i, fn := range p.Fns {
+		out[i] = FnFingerprint(fn)
+	}
+	return out
+}
+
+// reachFingerprint content-addresses the inputs of one handler's
+// inter-procedural lane pass: the fingerprints of every function its
+// call graph can reach (itself included). Editing any function in
+// that cone changes the address; editing anything outside it does
+// not — this is the call-graph-precise invalidation rule.
+func reachFingerprint(handler string, reach map[string]bool, fpByFn map[string]string) string {
+	fns := make([]string, 0, len(reach))
+	for fn := range reach {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	h := sha256.New()
+	io.WriteString(h, handler)
+	io.WriteString(h, "\x00")
+	for _, fn := range fns {
+		io.WriteString(h, fn)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, fpByFn[fn])
+		io.WriteString(h, "\x00")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,407 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flashmc/internal/checkers"
+	"flashmc/internal/core"
+	"flashmc/internal/depot"
+	"flashmc/internal/engine"
+	"flashmc/internal/flash"
+	"flashmc/internal/global"
+)
+
+// Job is one checker to run over a program. Exactly one of SM, Run,
+// or Lanes is set:
+//
+//   - SM jobs run a state machine per function, cached per function;
+//   - Run jobs are whole-program passes, cached per program;
+//   - the Lanes job is the §7 inter-procedural pass, decomposed into
+//     per-function summary tasks, a link barrier, and per-handler
+//     traversals cached by the handler's call-graph cone.
+type Job struct {
+	// Name is the checker id in depot keys and reports.
+	Name string
+	// Version is the checker's semantic version (checkers.Version);
+	// a bump misses the cache.
+	Version string
+	// Options hashes the remaining inputs: protocol spec, engine
+	// options, ad-hoc checker source.
+	Options string
+
+	SM    *engine.SM
+	Run   func(p *core.Program) []engine.Report
+	Lanes bool
+}
+
+// Request is one analysis of one loaded program.
+type Request struct {
+	Prog *core.Program
+	Spec *flash.Spec
+	// Jobs run in order; the order fixes report assembly, so equal
+	// requests produce byte-identical report streams whether results
+	// come from the cache or from execution.
+	Jobs []Job
+}
+
+// Stats describes one Check call.
+type Stats struct {
+	// Functions is the number of function definitions analyzed.
+	Functions int
+	// Tasks, MaxQueueDepth and TaskTime come from the scheduler run.
+	Tasks         int
+	MaxQueueDepth int
+	TaskTime      time.Duration
+	// Elapsed is the wall time of the whole Check call.
+	Elapsed time.Duration
+	// CacheHits and CacheMisses count depot lookups for this call.
+	CacheHits   int
+	CacheMisses int
+	// Reanalyzed lists the distinct functions (and, for the lane
+	// pass, handlers) whose per-function artifacts missed the cache
+	// and were recomputed, sorted. A single-function edit should keep
+	// this to the function itself plus its call-graph dependents.
+	Reanalyzed []string
+	// GlobalReruns counts whole-program passes that missed (they
+	// re-run on any program change and are not per-function work).
+	GlobalReruns int
+}
+
+// Result is the outcome of one Check call.
+type Result struct {
+	Reports []engine.Report
+	Stats   Stats
+}
+
+// Analyzer executes requests through the scheduler with a depot
+// cache. The zero value works: no cache reuse across calls (a fresh
+// in-memory depot per call) and GOMAXPROCS workers.
+type Analyzer struct {
+	// Depot caches artifacts across calls; nil means a private
+	// in-memory depot per call.
+	Depot *depot.Depot
+	// Workers sizes the scheduler pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// runState accumulates one Check call's cache traffic.
+type runState struct {
+	mu         sync.Mutex
+	hits       int
+	misses     int
+	reanalyzed map[string]bool
+	globals    int
+}
+
+func (rs *runState) lookup(d *depot.Depot, key depot.Key, v any) bool {
+	ok := d.GetJSON(key, v)
+	rs.mu.Lock()
+	if ok {
+		rs.hits++
+	} else {
+		rs.misses++
+	}
+	rs.mu.Unlock()
+	return ok
+}
+
+func (rs *runState) markFn(name string) {
+	rs.mu.Lock()
+	rs.reanalyzed[name] = true
+	rs.mu.Unlock()
+}
+
+func (rs *runState) markGlobal() {
+	rs.mu.Lock()
+	rs.globals++
+	rs.mu.Unlock()
+}
+
+// Check analyzes req.Prog with req.Jobs, reusing every artifact in
+// the depot whose inputs are unchanged. The report stream is
+// byte-identical between warm and cold runs.
+func (a *Analyzer) Check(req Request) (*Result, error) {
+	start := time.Now()
+	d := a.Depot
+	if d == nil {
+		d, _ = depot.Open("")
+	}
+	p := req.Prog
+	rs := &runState{reanalyzed: map[string]bool{}}
+
+	fps := Fingerprints(p)
+	progFP := ProgramFingerprint(p, fps)
+	fpByFn := make(map[string]string, len(p.Fns))
+	for i, fn := range p.Fns {
+		if _, ok := fpByFn[fn.Name]; !ok { // duplicates keep the first, like global.Link
+			fpByFn[fn.Name] = fps[i]
+		}
+	}
+
+	needLanes := false
+	for _, j := range req.Jobs {
+		if j.Lanes {
+			needLanes = true
+		}
+	}
+
+	var tasks []*Task
+
+	// Per-function summary tasks (the lane pass's local half). The
+	// summary blob is the depot's per-function CFG artifact; it is
+	// also reused as the link input.
+	summaries := make([]*global.Summary, len(p.Fns))
+	var sumIDs []string
+	lanesVersion, lanesOptions := "", ""
+	if needLanes {
+		for _, j := range req.Jobs {
+			if j.Lanes {
+				lanesVersion, lanesOptions = j.Version, j.Options
+				break
+			}
+		}
+		for i := range p.Fns {
+			i := i
+			id := fmt.Sprintf("sum:%d", i)
+			sumIDs = append(sumIDs, id)
+			key := depot.Key{Kind: "summary", Source: fps[i], Checker: "lanes",
+				Version: lanesVersion, Options: lanesOptions}
+			tasks = append(tasks, &Task{ID: id, Run: func() error {
+				var s global.Summary
+				if rs.lookup(d, key, &s) {
+					summaries[i] = &s
+					return nil
+				}
+				rs.markFn(p.Fns[i].Name)
+				summaries[i] = global.FromCFG(p.Graphs[i], checkers.LaneAnnotator)
+				return d.PutJSON(key, summaries[i])
+			}})
+		}
+	}
+
+	// The link barrier joins every summary into the whole-protocol
+	// call graph; per-handler lane tasks wait on it.
+	var (
+		linked   *global.Program
+		linkErrs []error
+	)
+	if needLanes {
+		tasks = append(tasks, &Task{ID: "link", Deps: sumIDs, Run: func() error {
+			linked, linkErrs = global.Link(summaries)
+			return nil
+		}})
+	}
+
+	// Per-job result slots, assembled in job order after the run.
+	smResults := make([][][]engine.Report, len(req.Jobs))
+	globalResults := make([][]engine.Report, len(req.Jobs))
+	laneResults := make([]*laneSlot, len(req.Jobs))
+
+	for ji, job := range req.Jobs {
+		ji, job := ji, job
+		switch {
+		case job.SM != nil:
+			smResults[ji] = make([][]engine.Report, len(p.Fns))
+			for i := range p.Fns {
+				i := i
+				key := depot.Key{Kind: "reports", Source: fps[i], Checker: job.Name,
+					Version: job.Version, Options: job.Options}
+				tasks = append(tasks, &Task{ID: fmt.Sprintf("sm:%d:%d", ji, i), Run: func() error {
+					var cached []engine.Report
+					if rs.lookup(d, key, &cached) {
+						smResults[ji][i] = cached
+						return nil
+					}
+					rs.markFn(p.Fns[i].Name)
+					smResults[ji][i] = engine.Run(p.Graphs[i], job.SM)
+					return d.PutJSON(key, smResults[ji][i])
+				}})
+			}
+
+		case job.Lanes:
+			slot := &laneSlot{reports: map[string][]engine.Report{}}
+			if req.Spec != nil {
+				slot.handlers = append(append([]string{}, req.Spec.Hardware...), req.Spec.Software...)
+			}
+			laneResults[ji] = slot
+			for _, h := range slot.handlers {
+				h := h
+				tasks = append(tasks, &Task{ID: fmt.Sprintf("lanes:%d:%s", ji, h), Deps: []string{"link"}, Run: func() error {
+					reach := linked.Reachable([]string{h})
+					key := depot.Key{Kind: "reports",
+						Source:  reachFingerprint(h, reach, fpByFn),
+						Checker: job.Name, Version: job.Version, Options: job.Options}
+					var cached []engine.Report
+					if rs.lookup(d, key, &cached) {
+						slot.set(h, cached)
+						return nil
+					}
+					rs.markFn(h)
+					one := &flash.Spec{Hardware: []string{h}, Allowance: specAllowance(req.Spec)}
+					got := checkers.CheckLanes(linked, one)
+					slot.set(h, got)
+					return d.PutJSON(key, got)
+				}})
+			}
+
+		case job.Run != nil:
+			key := depot.Key{Kind: "reports", Source: progFP, Checker: job.Name,
+				Version: job.Version, Options: job.Options}
+			tasks = append(tasks, &Task{ID: fmt.Sprintf("glob:%d", ji), Run: func() error {
+				var cached []engine.Report
+				if rs.lookup(d, key, &cached) {
+					globalResults[ji] = cached
+					return nil
+				}
+				rs.markGlobal()
+				globalResults[ji] = job.Run(p)
+				return d.PutJSON(key, globalResults[ji])
+			}})
+
+		default:
+			return nil, fmt.Errorf("sched: job %s: no SM, Run, or Lanes", job.Name)
+		}
+	}
+
+	stats, err := Run(a.Workers, tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble in job order, within a job in function/handler order:
+	// the same order direct execution produces, so warm and cold runs
+	// render identically.
+	res := &Result{}
+	for ji, job := range req.Jobs {
+		switch {
+		case job.SM != nil:
+			for _, reps := range smResults[ji] {
+				res.Reports = append(res.Reports, reps...)
+			}
+		case job.Lanes:
+			slot := laneResults[ji]
+			for _, h := range slot.handlers {
+				res.Reports = append(res.Reports, slot.reports[h]...)
+			}
+			for _, e := range linkErrs {
+				res.Reports = append(res.Reports, engine.Report{SM: job.Name, Rule: "link", Msg: e.Error()})
+			}
+		case job.Run != nil:
+			res.Reports = append(res.Reports, globalResults[ji]...)
+		}
+	}
+
+	res.Stats = Stats{
+		Functions:     len(p.Fns),
+		Tasks:         stats.Tasks,
+		MaxQueueDepth: stats.MaxQueueDepth,
+		TaskTime:      stats.TaskTime,
+		Elapsed:       time.Since(start),
+		CacheHits:     rs.hits,
+		CacheMisses:   rs.misses,
+		GlobalReruns:  rs.globals,
+	}
+	for fn := range rs.reanalyzed {
+		res.Stats.Reanalyzed = append(res.Stats.Reanalyzed, fn)
+	}
+	sort.Strings(res.Stats.Reanalyzed)
+	return res, nil
+}
+
+// laneSlot collects one lane job's per-handler reports; tasks write
+// concurrently.
+type laneSlot struct {
+	l        sync.Mutex
+	handlers []string
+	reports  map[string][]engine.Report
+}
+
+func (s *laneSlot) set(h string, r []engine.Report) {
+	s.l.Lock()
+	s.reports[h] = r
+	s.l.Unlock()
+}
+
+// specAllowance returns the spec's allowance table (nil spec → empty).
+func specAllowance(spec *flash.Spec) map[string]flash.LaneVector {
+	if spec == nil || spec.Allowance == nil {
+		return map[string]flash.LaneVector{}
+	}
+	return spec.Allowance
+}
+
+// FlashJobs builds the job list for the built-in FLASH suite under a
+// protocol spec, in checkers.All() order. SM checkers become
+// per-function jobs, the lane checker becomes the inter-procedural
+// job, and the rest run as whole-program passes; every job's Options
+// binds the spec and the engine options its SM runs with.
+func FlashJobs(spec *flash.Spec) []Job {
+	specOpt := SpecHash(spec)
+	var jobs []Job
+	for _, chk := range checkers.All() {
+		job := Job{Name: chk.Name(), Version: chk.Version(), Options: specOpt}
+		if chk.Name() == "lanes" {
+			job.Lanes = true
+		} else if prov, ok := chk.(checkers.SMProvider); ok {
+			sm, _ := prov.BuildSM(spec)
+			job.SM = sm
+			job.Options = hashStrings(specOpt, fmt.Sprintf("correlate=%v", sm.CorrelateBranches))
+		} else {
+			chk := chk
+			job.Run = func(p *core.Program) []engine.Report { return chk.Check(p, spec) }
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+// ConventionSpec derives a protocol spec from the h_*/sw_* naming
+// convention, for checking code without an explicit specification
+// (cmd/mcheck and cmd/mcheckd both run under it).
+func ConventionSpec(prog *core.Program) *flash.Spec {
+	spec := &flash.Spec{
+		Protocol:        "cli",
+		Allowance:       map[string]flash.LaneVector{},
+		NoStack:         map[string]bool{},
+		BufferFreeFns:   map[string]bool{},
+		BufferUseFns:    map[string]bool{},
+		CondFreeFns:     map[string]bool{},
+		DirWritebackFns: map[string]bool{},
+	}
+	for _, fn := range prog.Fns {
+		switch flash.ClassifyName(fn.Name) {
+		case flash.HardwareHandler:
+			spec.Hardware = append(spec.Hardware, fn.Name)
+		case flash.SoftwareHandler:
+			spec.Software = append(spec.Software, fn.Name)
+		}
+	}
+	return spec
+}
+
+// SpecHash content-addresses a protocol spec (deterministically:
+// encoding/json sorts map keys).
+func SpecHash(spec *flash.Spec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("sched: marshal spec: %v", err))
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// hashStrings hashes its parts with unambiguous boundaries.
+func hashStrings(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrdersDependencies(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	rec := func(id string) func() error {
+		return func() error {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return nil
+		}
+	}
+	tasks := []*Task{
+		{ID: "link", Deps: []string{"sum:0", "sum:1"}, Run: rec("link")},
+		{ID: "sum:0", Run: rec("sum:0")},
+		{ID: "sum:1", Run: rec("sum:1")},
+		{ID: "lanes:h", Deps: []string{"link"}, Run: rec("lanes:h")},
+	}
+	stats, err := Run(4, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 4 {
+		t.Fatalf("ran %d tasks", stats.Tasks)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos["link"] < pos["sum:0"] || pos["link"] < pos["sum:1"] || pos["lanes:h"] < pos["link"] {
+		t.Fatalf("order violates deps: %v", order)
+	}
+}
+
+func TestRunParallelism(t *testing.T) {
+	// With enough workers, independent tasks overlap: peak in-flight
+	// count must exceed 1.
+	var inflight, peak atomic.Int32
+	barrier := make(chan struct{})
+	var tasks []*Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, &Task{ID: string(rune('a' + i)), Run: func() error {
+			n := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			if n == 4 {
+				close(barrier) // all four running at once
+			}
+			<-barrier
+			inflight.Add(-1)
+			return nil
+		}})
+	}
+	if _, err := Run(4, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != 4 {
+		t.Fatalf("peak parallelism %d, want 4", peak.Load())
+	}
+}
+
+func TestRunFailureSkipsDependents(t *testing.T) {
+	ran := map[string]bool{}
+	var mu sync.Mutex
+	rec := func(id string, err error) func() error {
+		return func() error {
+			mu.Lock()
+			ran[id] = true
+			mu.Unlock()
+			return err
+		}
+	}
+	boom := errors.New("boom")
+	tasks := []*Task{
+		{ID: "a", Run: rec("a", boom)},
+		{ID: "b", Deps: []string{"a"}, Run: rec("b", nil)},
+		{ID: "c", Deps: []string{"b"}, Run: rec("c", nil)},
+		{ID: "d", Run: rec("d", nil)},
+	}
+	_, err := Run(2, tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran["b"] || ran["c"] {
+		t.Fatal("dependents of failed task ran")
+	}
+	if !ran["d"] {
+		t.Fatal("independent task skipped")
+	}
+}
+
+func TestRunRejectsCycles(t *testing.T) {
+	tasks := []*Task{
+		{ID: "a", Deps: []string{"b"}, Run: func() error { return nil }},
+		{ID: "b", Deps: []string{"a"}, Run: func() error { return nil }},
+	}
+	if _, err := Run(2, tasks); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	tasks = []*Task{{ID: "a", Deps: []string{"ghost"}, Run: func() error { return nil }}}
+	if _, err := Run(2, tasks); err == nil {
+		t.Fatal("unknown dependency not detected")
+	}
+	tasks = []*Task{
+		{ID: "a", Run: func() error { return nil }},
+		{ID: "a", Run: func() error { return nil }},
+	}
+	if _, err := Run(2, tasks); err == nil {
+		t.Fatal("duplicate id not detected")
+	}
+}
