@@ -29,3 +29,12 @@ for proto in bitvector dyn_ptr sci coma rac common; do
         > "$tmp/warm.$proto" || true
     cmp "$tmp/cold.$proto" "$tmp/warm.$proto"
 done
+
+# Observability gate: a real corpus run must emit (a) Prometheus text
+# that the repo's own parser accepts and (b) a Chrome trace_event file
+# containing at least one complete span. obscheck exits nonzero on
+# malformed output; mcheck exits 1 when it reports, hence `|| true`.
+"$tmp/mcheck" -flash -cache "$tmp/depot" \
+    -trace "$tmp/obs-trace.json" -metrics "$tmp/obs-metrics.txt" \
+    "$tmp/corpus/sci"/*.c > /dev/null || true
+go run ./cmd/obscheck -prom "$tmp/obs-metrics.txt" -trace "$tmp/obs-trace.json"

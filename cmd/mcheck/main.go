@@ -18,6 +18,12 @@
 // software handlers). Each -checker flag compiles and runs one metal
 // program. Diagnostics print one per line as file:line:col: message.
 //
+// Observability: -why prints each report's witness trace (the ordered
+// rule firings and branch refinements along the failing path), -trace
+// writes a Chrome trace_event JSON file of the run (load it in
+// chrome://tracing or ui.perfetto.dev), -stats prints process metrics
+// to stderr, and -metrics writes them in Prometheus text format.
+//
 // With -lint every checker state machine is linted (package lint)
 // before anything runs; lint errors — dead rules, unreachable states,
 // patterns outside the protocol vocabulary — abort the run, so a
@@ -37,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -48,6 +55,7 @@ import (
 	"flashmc/internal/flash"
 	"flashmc/internal/global"
 	"flashmc/internal/lint"
+	"flashmc/internal/obs"
 	"flashmc/internal/sched"
 )
 
@@ -67,7 +75,27 @@ func main() {
 	link := flag.Bool("link", false, "global pass: arguments are summary files; run the lane checker")
 	workers := flag.Int("j", 0, "parallel analysis workers (default GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "artifact depot directory; reuses results for unchanged functions across runs")
+	why := flag.Bool("why", false, "print each report's witness trace (the path steps that led to it)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
+	stats := flag.Bool("stats", false, "print process metrics to stderr after the run")
+	metricsOut := flag.String("metrics", "", "write Prometheus text exposition of process metrics to this path")
 	flag.Parse()
+
+	// -j must be a positive worker count; an unset (or zero) flag means
+	// "use every CPU" rather than silently misbehaving.
+	jSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			jSet = true
+		}
+	})
+	if jSet && *workers < 1 {
+		fmt.Fprintf(os.Stderr, "mcheck: -j %d: worker count must be >= 1\n", *workers)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	files := flag.Args()
 	if len(files) == 0 {
@@ -80,7 +108,14 @@ func main() {
 		os.Exit(linkPass(files))
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+
+	parseSp := tracer.StartSpan("parse", 0)
 	prog, err := core.Load("mcheck", cpp.Layered(cpp.OSSource{}, flash.HeaderSource()), files, includes...)
+	parseSp.End()
 	if err != nil {
 		fail("load: %v", err)
 	}
@@ -174,7 +209,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	analyzer := &sched.Analyzer{Depot: store, Workers: *workers}
+	analyzer := &sched.Analyzer{Depot: store, Workers: *workers, Tracer: tracer}
 	res, err := analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs})
 	if err != nil {
 		fail("%v", err)
@@ -204,7 +239,51 @@ func main() {
 	})
 	for _, r := range reports {
 		fmt.Printf("%s: [%s] %s\n", r.Pos, r.SM, r.Msg)
+		if *why {
+			for i, s := range r.Trace {
+				fmt.Printf("    #%d %s\n", i+1, s)
+			}
+		}
 	}
+
+	if *traceOut != "" {
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tracer.WriteJSON(out); err != nil {
+			out.Close()
+			fail("trace: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+	}
+	if *metricsOut != "" {
+		out, err := os.Create(*metricsOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := obs.Default.WritePrometheus(out); err != nil {
+			out.Close()
+			fail("metrics: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fail("metrics: %v", err)
+		}
+	}
+	if *stats {
+		snap := obs.Default.Snapshot()
+		names := make([]string, 0, len(snap))
+		for n := range snap {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, "%s %g\n", n, snap[n])
+		}
+	}
+
 	if len(reports) > 0 {
 		os.Exit(1)
 	}

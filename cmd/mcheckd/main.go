@@ -13,8 +13,15 @@
 //	               ranked reports + cache/scheduler statistics out.
 //	               Unchanged functions ride the warm-cache path.
 //	GET  /metrics  Prometheus text: request/task counters and
-//	               latencies, cache hit rate, queue depth, depot size.
+//	               latencies, cache hit rate, queue depth, depot size,
+//	               plus the process-wide engine/sched/depot metrics.
 //	GET  /healthz  liveness probe.
+//	GET  /debug/pprof/*  runtime profiles (CPU, heap, goroutines).
+//
+// Identical concurrent /check requests (same program fingerprint, job
+// list, and triage mode) are deduplicated: one computes, the rest
+// share its response. Every response carries an X-Request-Id header
+// that also tags the server's structured log lines.
 //
 // -cache names the artifact depot shared with mcheck -cache; without
 // it the depot lives in memory for the life of the process (still
@@ -24,8 +31,11 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"runtime"
 	"time"
 
 	"flashmc/internal/depot"
@@ -37,6 +47,21 @@ func main() {
 	workers := flag.Int("j", 0, "parallel analysis workers (default GOMAXPROCS)")
 	gcAge := flag.Duration("gc", 0, "if set, evict depot entries unused for this long (runs at startup and periodically)")
 	flag.Parse()
+
+	// -j must be a positive worker count; unset means every CPU.
+	jSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			jSet = true
+		}
+	})
+	if jSet && *workers < 1 {
+		fmt.Fprintf(os.Stderr, "mcheckd: -j %d: worker count must be >= 1\n", *workers)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	store, err := depot.Open(*cacheDir)
 	if err != nil {

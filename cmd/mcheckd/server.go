@@ -5,9 +5,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +21,7 @@ import (
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
 	"flashmc/internal/lint"
+	"flashmc/internal/obs"
 	"flashmc/internal/sched"
 )
 
@@ -35,16 +39,28 @@ type checkRequest struct {
 	Triage   bool              `json:"triage,omitempty"`
 }
 
+type traceStepJSON struct {
+	File     string            `json:"file,omitempty"`
+	Line     int               `json:"line,omitempty"`
+	Col      int               `json:"col,omitempty"`
+	Rule     string            `json:"rule,omitempty"`
+	From     string            `json:"from,omitempty"`
+	To       string            `json:"to,omitempty"`
+	Event    string            `json:"event,omitempty"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+}
+
 type reportJSON struct {
-	Checker    string `json:"checker"`
-	Rule       string `json:"rule,omitempty"`
-	Fn         string `json:"fn,omitempty"`
-	File       string `json:"file,omitempty"`
-	Line       int    `json:"line,omitempty"`
-	Col        int    `json:"col,omitempty"`
-	Msg        string `json:"msg"`
-	Confidence string `json:"confidence,omitempty"`
-	Reason     string `json:"reason,omitempty"`
+	Checker    string          `json:"checker"`
+	Rule       string          `json:"rule,omitempty"`
+	Fn         string          `json:"fn,omitempty"`
+	File       string          `json:"file,omitempty"`
+	Line       int             `json:"line,omitempty"`
+	Col        int             `json:"col,omitempty"`
+	Msg        string          `json:"msg"`
+	Confidence string          `json:"confidence,omitempty"`
+	Reason     string          `json:"reason,omitempty"`
+	Trace      []traceStepJSON `json:"trace,omitempty"`
 }
 
 type statsJSON struct {
@@ -57,6 +73,7 @@ type statsJSON struct {
 	GlobalReruns  int      `json:"global_reruns"`
 	ElapsedMS     float64  `json:"elapsed_ms"`
 	TaskMS        float64  `json:"task_ms"`
+	QueueWaitMS   float64  `json:"queue_wait_ms"`
 }
 
 type checkResponse struct {
@@ -65,40 +82,97 @@ type checkResponse struct {
 	Stats       statsJSON    `json:"stats"`
 }
 
+// flight is one in-progress /check computation shared by identical
+// concurrent requests; followers wait on done and reuse the outcome.
+type flight struct {
+	done chan struct{}
+	code int
+	resp checkResponse
+	err  string // non-empty: the leader failed with this message
+}
+
 // server owns one analyzer over one depot; every request shares the
-// cache, which is what makes the second check of a tree warm.
+// cache, which is what makes the second check of a tree warm. Metrics
+// live in a per-server obs.Registry so concurrent servers (tests) do
+// not share counters; /metrics appends the process-global obs.Default
+// registry (engine, sched, depot metrics) after it.
 type server struct {
 	analyzer *sched.Analyzer
 	store    *depot.Depot
 	mux      *http.ServeMux
+	reg      *obs.Registry
 
-	requests  atomic.Uint64
-	errored   atomic.Uint64
-	reqNanos  atomic.Uint64
-	tasks     atomic.Uint64
-	taskNanos atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	inflight  atomic.Int64
-	queueMax  atomic.Int64
+	requests    *obs.Counter
+	errored     *obs.Counter
+	reqSeconds  *obs.Counter
+	tasks       *obs.Counter
+	taskSeconds *obs.Counter
+	hits        *obs.Counter
+	misses      *obs.Counter
+	sfShared    *obs.Counter
+	inflight    *obs.Gauge
+	queueMax    *obs.Gauge
+
+	nextReqID atomic.Uint64
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// testLeaderHook, when set, runs in the leader between claiming a
+	// flight and computing it — lets tests hold the leader open while
+	// followers pile onto the flight.
+	testLeaderHook func()
 }
 
 func newServer(store *depot.Depot, workers int) *server {
+	reg := obs.NewRegistry()
 	s := &server{
 		analyzer: &sched.Analyzer{Depot: store, Workers: workers},
 		store:    store,
 		mux:      http.NewServeMux(),
+		reg:      reg,
+		flights:  map[string]*flight{},
+
+		requests:    reg.Counter("mcheckd_requests_total", "POST /check requests received"),
+		errored:     reg.Counter("mcheckd_request_errors_total", "requests answered with an error status"),
+		reqSeconds:  reg.Counter("mcheckd_request_seconds_total", "wall time spent serving /check"),
+		tasks:       reg.Counter("mcheckd_tasks_total", "scheduler tasks executed"),
+		taskSeconds: reg.Counter("mcheckd_task_seconds_total", "cumulative task execution time"),
+		hits:        reg.Counter("mcheckd_cache_hits_total", "depot lookups served from cache"),
+		misses:      reg.Counter("mcheckd_cache_misses_total", "depot lookups that required analysis"),
+		sfShared:    reg.Counter("mcheckd_singleflight_shared_total", "/check requests that shared an identical in-flight computation"),
+		inflight:    reg.Gauge("mcheckd_inflight_requests", "/check requests currently executing"),
+		queueMax:    reg.Gauge("mcheckd_queue_depth_max", "largest ready-queue depth seen in any request"),
 	}
+	reg.GaugeFunc("mcheckd_cache_hit_rate", "hits / (hits + misses) over the process lifetime", func() float64 {
+		h, m := s.hits.Value(), s.misses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return h / (h + m)
+	})
+	reg.GaugeFunc("mcheckd_depot_entries", "artifacts currently in the depot", func() float64 {
+		return float64(s.store.Stats().Entries)
+	})
+	reg.GaugeFunc("mcheckd_depot_bytes", "bytes of artifacts currently in the depot", func() float64 {
+		return float64(s.store.Stats().Bytes)
+	})
+
 	s.mux.HandleFunc("/check", s.handleCheck)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.errored.Add(1)
+	s.errored.Inc()
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
@@ -108,21 +182,28 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	reqID := fmt.Sprintf("req-%06d", s.nextReqID.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
 	start := time.Now()
-	s.requests.Add(1)
+	s.requests.Inc()
 	s.inflight.Add(1)
+	status := http.StatusOK
 	defer func() {
 		s.inflight.Add(-1)
-		s.reqNanos.Add(uint64(time.Since(start)))
+		dur := time.Since(start)
+		s.reqSeconds.Add(dur.Seconds())
+		log.Printf("mcheckd: id=%s method=%s path=%s status=%d dur=%s", reqID, r.Method, r.URL.Path, status, dur.Round(time.Microsecond))
 	}()
 
 	var req checkRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		status = http.StatusBadRequest
+		s.fail(w, status, "bad request body: %v", err)
 		return
 	}
 	if len(req.Files) == 0 {
-		s.fail(w, http.StatusBadRequest, "no files")
+		status = http.StatusBadRequest
+		s.fail(w, status, "no files")
 		return
 	}
 	roots := req.Roots
@@ -135,13 +216,15 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		sort.Strings(roots)
 	}
 	if len(roots) == 0 {
-		s.fail(w, http.StatusBadRequest, "no roots (no *.c files)")
+		status = http.StatusBadRequest
+		s.fail(w, status, "no roots (no *.c files)")
 		return
 	}
 
 	prog, err := core.Load("mcheckd", cpp.Layered(cpp.MapSource(req.Files), flash.HeaderSource()), roots)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "load: %v", err)
+		status = http.StatusBadRequest
+		s.fail(w, status, "load: %v", err)
 		return
 	}
 	resp := checkResponse{Reports: []reportJSON{}}
@@ -149,7 +232,8 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		resp.ParseErrors = append(resp.ParseErrors, e.Error())
 	}
 	if len(resp.ParseErrors) > 0 {
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		status = http.StatusUnprocessableEntity
+		writeJSON(w, status, resp)
 		return
 	}
 
@@ -169,7 +253,8 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		src := req.Checkers[name]
 		mp, err := prog.CompileChecker(src)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "checker %s: %v", name, err)
+			status = http.StatusBadRequest
+			s.fail(w, status, "checker %s: %v", name, err)
 			return
 		}
 		srcHash := sha256.Sum256([]byte(src))
@@ -190,26 +275,51 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(jobs) == 0 {
-		s.fail(w, http.StatusBadRequest, "nothing to run: flash disabled and no ad-hoc checkers")
+		status = http.StatusBadRequest
+		s.fail(w, status, "nothing to run: flash disabled and no ad-hoc checkers")
 		return
+	}
+
+	// Single-flight: concurrent requests for the same program, job
+	// list, and triage mode share one computation. The key is the
+	// program fingerprint plus everything that shapes the response.
+	fl, leader := s.joinFlight(flightKey(prog, jobs, req.Triage))
+	if !leader {
+		// Counted at join time: this request will reuse the leader's
+		// work whether or not it has finished yet.
+		s.sfShared.Inc()
+		<-fl.done
+		log.Printf("mcheckd: id=%s singleflight=shared", reqID)
+		if fl.err != "" {
+			status = fl.code
+			s.errored.Inc()
+			http.Error(w, fl.err, fl.code)
+			return
+		}
+		status = fl.code
+		writeJSON(w, fl.code, fl.resp)
+		return
+	}
+
+	if s.testLeaderHook != nil {
+		s.testLeaderHook()
 	}
 
 	res, err := s.analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs})
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "check: %v", err)
+		status = http.StatusInternalServerError
+		fl.code, fl.err = status, fmt.Sprintf("check: %v", err)
+		s.finishFlight(fl)
+		s.fail(w, status, "check: %v", err)
 		return
 	}
-	s.tasks.Add(uint64(res.Stats.Tasks))
-	s.taskNanos.Add(uint64(res.Stats.TaskTime))
-	s.hits.Add(uint64(res.Stats.CacheHits))
-	s.misses.Add(uint64(res.Stats.CacheMisses))
-	for {
-		cur := s.queueMax.Load()
-		if int64(res.Stats.MaxQueueDepth) <= cur ||
-			s.queueMax.CompareAndSwap(cur, int64(res.Stats.MaxQueueDepth)) {
-			break
-		}
-	}
+	// Leader-only: followers reuse the result, so the underlying work
+	// is counted once.
+	s.tasks.Add(float64(res.Stats.Tasks))
+	s.taskSeconds.Add(res.Stats.TaskTime.Seconds())
+	s.hits.Add(float64(res.Stats.CacheHits))
+	s.misses.Add(float64(res.Stats.CacheMisses))
+	s.queueMax.SetMax(float64(res.Stats.MaxQueueDepth))
 
 	resp.Reports = rankReports(prog, res.Reports, smByName, req.Triage)
 	resp.Stats = statsJSON{
@@ -222,8 +332,50 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		GlobalReruns:  res.Stats.GlobalReruns,
 		ElapsedMS:     float64(res.Stats.Elapsed) / float64(time.Millisecond),
 		TaskMS:        float64(res.Stats.TaskTime) / float64(time.Millisecond),
+		QueueWaitMS:   float64(res.Stats.QueueWait) / float64(time.Millisecond),
 	}
+	fl.code, fl.resp = http.StatusOK, resp
+	s.finishFlight(fl)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// flightKey content-addresses one /check computation.
+func flightKey(prog *core.Program, jobs []sched.Job, triage bool) string {
+	h := sha256.New()
+	h.Write([]byte(sched.ProgramFingerprint(prog, sched.Fingerprints(prog))))
+	for _, j := range jobs {
+		fmt.Fprintf(h, "|%s|%s|%s", j.Name, j.Version, j.Options)
+	}
+	fmt.Fprintf(h, "|triage=%v", triage)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// joinFlight returns the flight for key, reporting whether the caller
+// is the leader (and must compute and finish it).
+func (s *server) joinFlight(key string) (*flight, bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if fl, ok := s.flights[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[key] = fl
+	return fl, true
+}
+
+// finishFlight publishes the leader's outcome and retires the key so
+// later identical requests compute fresh (their inputs may have been
+// GC'd meanwhile).
+func (s *server) finishFlight(fl *flight) {
+	s.flightMu.Lock()
+	for k, v := range s.flights {
+		if v == fl {
+			delete(s.flights, k)
+			break
+		}
+	}
+	s.flightMu.Unlock()
+	close(fl.done)
 }
 
 // rankReports orders the combined report stream for the response:
@@ -276,7 +428,7 @@ func rankReports(prog *core.Program, reports []engine.Report, smByName map[strin
 
 	out := make([]reportJSON, 0, len(ranked))
 	for _, r := range ranked {
-		out = append(out, reportJSON{
+		rj := reportJSON{
 			Checker:    r.SM,
 			Rule:       r.Rule,
 			Fn:         r.Fn,
@@ -286,7 +438,15 @@ func rankReports(prog *core.Program, reports []engine.Report, smByName map[strin
 			Msg:        r.Msg,
 			Confidence: string(r.Confidence),
 			Reason:     r.Reason,
-		})
+		}
+		for _, st := range r.Trace {
+			rj.Trace = append(rj.Trace, traceStepJSON{
+				File: st.Pos.File, Line: st.Pos.Line, Col: st.Pos.Col,
+				Rule: st.Rule, From: st.From, To: st.To,
+				Event: st.Event, Bindings: st.Bindings,
+			})
+		}
+		out = append(out, rj)
 	}
 	return out
 }
@@ -300,30 +460,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	ds := s.store.Stats()
-	hits, misses := s.hits.Load(), s.misses.Load()
-	rate := 0.0
-	if hits+misses > 0 {
-		rate = float64(hits) / float64(hits+misses)
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	m := func(name, typ, help string, val any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, val)
-	}
-	m("mcheckd_requests_total", "counter", "POST /check requests received", s.requests.Load())
-	m("mcheckd_request_errors_total", "counter", "requests answered with an error status", s.errored.Load())
-	m("mcheckd_request_seconds_total", "counter", "wall time spent serving /check",
-		float64(s.reqNanos.Load())/1e9)
-	m("mcheckd_inflight_requests", "gauge", "/check requests currently executing", s.inflight.Load())
-	m("mcheckd_tasks_total", "counter", "scheduler tasks executed", s.tasks.Load())
-	m("mcheckd_task_seconds_total", "counter", "cumulative task execution time",
-		float64(s.taskNanos.Load())/1e9)
-	m("mcheckd_queue_depth_max", "gauge", "largest ready-queue depth seen in any request", s.queueMax.Load())
-	m("mcheckd_cache_hits_total", "counter", "depot lookups served from cache", hits)
-	m("mcheckd_cache_misses_total", "counter", "depot lookups that required analysis", misses)
-	m("mcheckd_cache_hit_rate", "gauge", "hits / (hits + misses) over the process lifetime", rate)
-	m("mcheckd_depot_entries", "gauge", "artifacts currently in the depot", ds.Entries)
-	m("mcheckd_depot_bytes", "gauge", "bytes of artifacts currently in the depot", ds.Bytes)
+	s.reg.WritePrometheus(w)
+	// Process-global metrics (engine, sched, depot) follow the
+	// per-server families; the name spaces are disjoint.
+	obs.Default.WritePrometheus(w)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,86 @@
+// obscheck validates observability artifacts; ci.sh gates on it.
+//
+// Usage:
+//
+//	obscheck -prom metrics.txt    validate Prometheus text exposition
+//	obscheck -trace trace.json    validate Chrome trace_event JSON
+//
+// -prom parses the file with the repo's own Prometheus text parser
+// (HELP/TYPE discipline, label syntax, histogram bucket contract) and
+// prints the family count. -trace requires well-formed trace_event
+// JSON with at least one complete ("ph":"X") span and prints the span
+// count. Either flag may be repeated; any failure exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flashmc/internal/obs"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var promFiles, traceFiles stringList
+	flag.Var(&promFiles, "prom", "Prometheus text exposition file to validate (repeatable)")
+	flag.Var(&traceFiles, "trace", "Chrome trace_event JSON file to validate (repeatable)")
+	flag.Parse()
+
+	if len(promFiles) == 0 && len(traceFiles) == 0 {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -prom and/or -trace")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ok := true
+	for _, f := range promFiles {
+		r, err := os.Open(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			ok = false
+			continue
+		}
+		fams, err := obs.ParsePrometheus(r)
+		r.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", f, err)
+			ok = false
+			continue
+		}
+		if len(fams) == 0 {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: no metric families\n", f)
+			ok = false
+			continue
+		}
+		samples := 0
+		for _, fam := range fams {
+			samples += len(fam.Samples)
+		}
+		fmt.Printf("obscheck: %s: %d families, %d samples\n", f, len(fams), samples)
+	}
+	for _, f := range traceFiles {
+		r, err := os.Open(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			ok = false
+			continue
+		}
+		spans, err := obs.ValidateTrace(r)
+		r.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", f, err)
+			ok = false
+			continue
+		}
+		fmt.Printf("obscheck: %s: %d complete spans\n", f, spans)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -66,7 +66,8 @@ const maxNoStackLocals = 16
 func (*execRestrict) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	var out []engine.Report
 	rep := func(tag string, pos token.Pos, fn, msg string) {
-		out = append(out, engine.Report{SM: "exec", Rule: tag, Fn: fn, Pos: pos, Msg: msg})
+		out = append(out, engine.Report{SM: "exec", Rule: tag, Fn: fn, Pos: pos, Msg: msg,
+			Trace: engine.Witness(pos, tag, msg)})
 	}
 
 	for _, fn := range p.Fns {
@@ -107,7 +108,8 @@ func checkHooks(fn *ast.FuncDecl, kind flash.HandlerKind) []engine.Report {
 	var out []engine.Report
 	rep := func(msg string) {
 		out = append(out, engine.Report{SM: "exec", Rule: "hook-missing",
-			Fn: fn.Name, Pos: fn.Pos(), Msg: msg})
+			Fn: fn.Name, Pos: fn.Pos(), Msg: msg,
+			Trace: engine.Witness(fn.Pos(), "hook-missing", msg)})
 	}
 	stmts := fn.Body.Stmts
 	callee := func(i int) string {
@@ -146,7 +148,8 @@ func checkHooks(fn *ast.FuncDecl, kind flash.HandlerKind) []engine.Report {
 func checkNoStack(fn *ast.FuncDecl, spec *flash.Spec) []engine.Report {
 	var out []engine.Report
 	rep := func(tag string, pos token.Pos, msg string) {
-		out = append(out, engine.Report{SM: "exec", Rule: tag, Fn: fn.Name, Pos: pos, Msg: msg})
+		out = append(out, engine.Report{SM: "exec", Rule: tag, Fn: fn.Name, Pos: pos, Msg: msg,
+			Trace: engine.Witness(pos, tag, msg)})
 	}
 
 	// Exactly one NO_STACK_DECL, among the first three statements

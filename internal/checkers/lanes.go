@@ -98,7 +98,8 @@ func (*lanes) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	prog, linkErrs := global.Link(Summarize(p))
 	reports := CheckLanes(prog, spec)
 	for _, e := range linkErrs {
-		reports = append(reports, engine.Report{SM: "lanes", Rule: "link", Msg: e.Error()})
+		reports = append(reports, engine.Report{SM: "lanes", Rule: "link", Msg: e.Error(),
+			Trace: engine.Witness(token.Pos{}, "link", e.Error())})
 	}
 	return reports
 }
@@ -232,11 +233,24 @@ func (w *laneWalker) reportExceed(s *global.Summary, n *global.Node, lane, count
 	}
 	w.warned[site+w.handler] = true
 	bt := strings.Join(w.trace, " -> ")
+	pos := token.Pos{File: n.File, Line: n.Line, Col: 1}
+	msg := fmt.Sprintf("handler %s exceeds lane %d allowance (%d > %d) via %s",
+		w.handler, lane, count, w.allow[lane], bt)
+	// The witness mirrors the call chain the walker is inside, one
+	// step per entered function, ending at the offending send.
+	steps := make([]engine.TraceStep, 0, len(w.trace)+1)
+	for _, fn := range w.trace {
+		step := engine.TraceStep{Rule: "call", Event: "enter " + fn}
+		if fs := w.prog.Funcs[fn]; fs != nil {
+			en := &fs.Nodes[fs.Entry]
+			step.Pos = token.Pos{File: en.File, Line: en.Line, Col: 1}
+		}
+		steps = append(steps, step)
+	}
+	steps = append(steps, engine.TraceStep{Pos: pos, Rule: "exceed", Event: msg})
 	*w.reports = append(*w.reports, engine.Report{
 		SM: "lanes", Rule: "exceed", Fn: w.handler,
-		Pos: token.Pos{File: n.File, Line: n.Line, Col: 1},
-		Msg: fmt.Sprintf("handler %s exceeds lane %d allowance (%d > %d) via %s",
-			w.handler, lane, count, w.allow[lane], bt),
+		Pos: pos, Msg: msg, Trace: steps,
 	})
 }
 

@@ -38,8 +38,10 @@ func (*noFloat) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	for _, fn := range p.Fns {
 		ast.Inspect(fn.Body, func(n ast.Node) bool {
 			if e, ok := n.(ast.Expr); ok && e.Type() != nil && types.IsFloat(e.Type()) {
+				msg := "floating point operation in protocol code"
 				out = append(out, engine.Report{SM: "nofloat", Rule: "float",
-					Fn: fn.Name, Pos: e.Pos(), Msg: "floating point operation in protocol code"})
+					Fn: fn.Name, Pos: e.Pos(), Msg: msg,
+					Trace: engine.Witness(e.Pos(), "float", ast.ExprString(e))})
 				return false // one report per float subtree
 			}
 			return true

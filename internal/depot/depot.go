@@ -25,6 +25,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"flashmc/internal/obs"
+)
+
+// Process-wide depot traffic, aggregated across all open depots (the
+// per-Depot Stats counters stay per-instance).
+var (
+	mHits       = obs.NewCounter("depot_hits_total", "artifact cache hits")
+	mMisses     = obs.NewCounter("depot_misses_total", "artifact cache misses")
+	mPuts       = obs.NewCounter("depot_puts_total", "artifacts stored")
+	mPutBytes   = obs.NewCounter("depot_put_bytes_total", "bytes of artifacts stored")
+	mGCRuns     = obs.NewCounter("depot_gc_runs_total", "GC sweeps")
+	mGCRemovals = obs.NewCounter("depot_gc_removed_total", "artifacts removed by GC")
 )
 
 // Key addresses one artifact. Every field participates in the
@@ -116,8 +129,10 @@ func (d *Depot) Get(key Key) ([]byte, bool) {
 func (d *Depot) count(hit bool) {
 	if hit {
 		d.hits.Add(1)
+		mHits.Inc()
 	} else {
 		d.misses.Add(1)
+		mMisses.Inc()
 	}
 }
 
@@ -127,6 +142,8 @@ func (d *Depot) count(hit bool) {
 func (d *Depot) Put(key Key, blob []byte) error {
 	id := key.ID()
 	d.puts.Add(1)
+	mPuts.Inc()
+	mPutBytes.Add(float64(len(blob)))
 	if d.mem != nil {
 		d.mu.Lock()
 		d.mem[id] = append([]byte(nil), blob...)
@@ -230,12 +247,14 @@ func (d *Depot) Stats() Stats {
 // how many were removed. The in-memory depot has no timestamps; GC
 // with maxAge <= 0 clears it (and, on disk, removes everything).
 func (d *Depot) GC(maxAge time.Duration) (int, error) {
+	mGCRuns.Inc()
 	if d.mem != nil {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		if maxAge <= 0 {
 			n := len(d.mem)
 			d.mem = map[string][]byte{}
+			mGCRemovals.Add(float64(n))
 			return n, nil
 		}
 		return 0, nil
@@ -257,5 +276,6 @@ func (d *Depot) GC(maxAge time.Duration) (int, error) {
 		}
 		return nil
 	})
+	mGCRemovals.Add(float64(removed))
 	return removed, err
 }

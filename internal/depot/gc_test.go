@@ -1,0 +1,96 @@
+package depot
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGCUnderConcurrentReaders hammers a disk depot with readers and
+// writers while GC sweeps run concurrently. A read may miss (GC won)
+// or hit (reader won), but a hit must never return a torn or foreign
+// blob, and nothing may panic.
+func TestGCUnderConcurrentReaders(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys := make([]Key, 32)
+	blobs := make([][]byte, len(keys))
+	for i := range keys {
+		keys[i] = Key{Kind: "reports/v2", Source: fmt.Sprintf("src%d", i), Checker: "c"}
+		blobs[i] = bytes.Repeat([]byte{byte(i)}, 4096+i)
+		if err := d.Put(keys[i], blobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// GC sweeps: maxAge <= 0 removes everything present at sweep time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.GC(0); err != nil {
+				t.Errorf("GC: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writers keep re-inserting the artifacts GC removes.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range keys {
+					if err := d.Put(keys[i], blobs[i]); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Readers: every hit must be byte-exact.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range keys {
+					if b, ok := d.Get(keys[i]); ok && !bytes.Equal(b, blobs[i]) {
+						t.Errorf("key %d: torn read: got %d bytes, want %d", i, len(b), len(blobs[i]))
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

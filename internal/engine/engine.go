@@ -30,6 +30,18 @@ import (
 	"flashmc/internal/cc/token"
 	"flashmc/internal/cfg"
 	"flashmc/internal/match"
+	"flashmc/internal/obs"
+)
+
+// Path-exploration metrics. Runners count locally and flush once per
+// run, so the hot loops touch no atomics.
+var (
+	mRuns    = obs.NewCounter("engine_runs_total", "state-machine executions over a CFG")
+	mConfigs = obs.NewCounter("engine_configs_explored_total", "distinct SM configurations reached during runs")
+	mRules   = obs.NewCounter("engine_rules_fired_total", "SM rule firings (including rules with no action)")
+	mPruned  = obs.NewCounter("engine_infeasible_pruned_total", "configurations dropped by the correlated-branch pruner")
+	mReports = obs.NewCounter("engine_reports_total", "diagnostics emitted by runs")
+	mPaths   = obs.NewCounter("engine_paths_walked_total", "paths enumerated by the every-path executor")
 )
 
 // Stop is the reserved target state that kills a configuration (stops
@@ -62,13 +74,14 @@ type Ctx struct {
 
 	eng     *runner
 	ruleTag string
+	trace   *traceNode
 }
 
 // Report emits a diagnostic attributed to the matched construct.
 // Repeated firings of the same rule at the same position with the same
 // message are deduplicated.
 func (c *Ctx) Report(format string, args ...any) {
-	c.eng.report(c.ruleTag, c.MatchPos, c.State, fmt.Sprintf(format, args...))
+	c.eng.report(c.ruleTag, c.MatchPos, c.State, fmt.Sprintf(format, args...), c.trace)
 }
 
 // FnName returns the name of the function being checked.
@@ -123,8 +136,8 @@ type SM struct {
 	// for static analyses that need the start set without a function
 	// in hand (package lint's reachability pass). Run ignores it.
 	Starts []string
-	Rules    []*Rule
-	Cond     []*CondRule
+	Rules  []*Rule
+	Cond   []*CondRule
 	// AtExit runs for every configuration that reaches the function
 	// exit node (after all statements and returns).
 	AtExit func(*Ctx)
@@ -179,10 +192,119 @@ type Report struct {
 	Pos   token.Pos
 	State string
 	Msg   string
+	// Trace is the witness: the ordered rule firings and branch
+	// refinements along the path that led to this report. The final
+	// step is always at the report's own position. Never empty.
+	Trace []TraceStep `json:",omitempty"`
 }
 
 func (r Report) String() string {
 	return fmt.Sprintf("%s: [%s] %s (fn %s, state %s)", r.Pos, r.SM, r.Msg, r.Fn, r.State)
+}
+
+// TraceStep is one step of a report's witness trace: where the
+// configuration was, what event it saw, and how its state changed.
+// Bindings is nil (not empty) when the match bound nothing, so reports
+// survive a JSON round-trip through the depot byte-identically.
+type TraceStep struct {
+	Pos      token.Pos         `json:"pos"`
+	Rule     string            `json:"rule,omitempty"`
+	From     string            `json:"from,omitempty"`
+	To       string            `json:"to,omitempty"`
+	Event    string            `json:"event,omitempty"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+}
+
+func (s TraceStep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ", s.Pos)
+	if s.From != "" || s.To != "" {
+		if s.From == s.To {
+			fmt.Fprintf(&b, "[%s] ", s.From)
+		} else {
+			fmt.Fprintf(&b, "[%s -> %s] ", s.From, s.To)
+		}
+	}
+	if s.Rule != "" {
+		fmt.Fprintf(&b, "(%s) ", s.Rule)
+	}
+	b.WriteString(s.Event)
+	if len(s.Bindings) > 0 {
+		names := make([]string, 0, len(s.Bindings))
+		for k := range s.Bindings {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString(" {")
+		for i, n := range names {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%s", n, s.Bindings[n])
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// Witness builds a single-step trace for diagnostics produced outside
+// an SM run (AST passes, the lane walker, link errors), satisfying the
+// invariant that every Report carries a trace ending at its position.
+func Witness(pos token.Pos, rule, event string) []TraceStep {
+	return []TraceStep{{Pos: pos, Rule: rule, Event: event}}
+}
+
+// traceNode is a persistent (shared-tail) list of witness steps hung
+// off a configuration. It is deliberately NOT part of config.key():
+// configurations that differ only in how they got somewhere still
+// merge, which is what keeps the fixed point terminating. The first
+// configuration to reach a key donates the witness (first-writer
+// wins), and ordered iteration below makes that choice deterministic.
+type traceNode struct {
+	step TraceStep
+	prev *traceNode
+}
+
+func (t *traceNode) push(step TraceStep) *traceNode {
+	return &traceNode{step: step, prev: t}
+}
+
+// materialize returns the steps oldest-first.
+func (t *traceNode) materialize() []TraceStep {
+	n := 0
+	for x := t; x != nil; x = x.prev {
+		n++
+	}
+	out := make([]TraceStep, n)
+	for x := t; x != nil; x = x.prev {
+		n--
+		out[n] = x.step
+	}
+	return out
+}
+
+// eventText renders a CFG event for a witness step.
+func eventText(n ast.Node) string {
+	switch x := n.(type) {
+	case ast.Stmt:
+		return ast.StmtString(x)
+	case ast.Expr:
+		return ast.ExprString(x)
+	}
+	return ""
+}
+
+// bindingsText renders a match environment for a witness step,
+// returning nil when empty.
+func bindingsText(env match.Env) map[string]string {
+	if len(env) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(env))
+	for k, e := range env {
+		out[k] = ast.ExprString(e)
+	}
+	return out
 }
 
 // config is one SM configuration.
@@ -192,6 +314,9 @@ type config struct {
 	// conds remembers branch outcomes of bare-identifier conditions
 	// when the SM's CorrelateBranches pruner is on.
 	conds map[string]bool
+	// trace is the witness of how this configuration got here. It is
+	// excluded from key() — see traceNode.
+	trace *traceNode
 }
 
 func (c config) key() string {
@@ -233,7 +358,7 @@ func (c config) key() string {
 
 // withCond returns a copy of c recording cond name=outcome.
 func (c config) withCond(name string, outcome bool) config {
-	nc := config{state: c.state, env: c.env, conds: make(map[string]bool, len(c.conds)+1)}
+	nc := config{state: c.state, env: c.env, conds: make(map[string]bool, len(c.conds)+1), trace: c.trace}
 	for k, v := range c.conds {
 		nc.conds[k] = v
 	}
@@ -246,7 +371,7 @@ func (c config) withoutCond(name string) config {
 	if _, ok := c.conds[name]; !ok {
 		return c
 	}
-	nc := config{state: c.state, env: c.env, conds: make(map[string]bool, len(c.conds))}
+	nc := config{state: c.state, env: c.env, conds: make(map[string]bool, len(c.conds)), trace: c.trace}
 	for k, v := range c.conds {
 		if k != name {
 			nc.conds[k] = v
@@ -255,16 +380,31 @@ func (c config) withoutCond(name string) config {
 	return nc
 }
 
-type configSet map[string]config
+// configSet holds configurations deduplicated by key in insertion
+// order. The fixed-point loop iterates sets only through configs(), so
+// which configuration first claims a key — and hence which witness
+// trace a report carries — is as deterministic as the insertion
+// sequence, which is: the work list is a slice, predecessor edges are
+// slices, and every iteration below walks list order.
+type configSet struct {
+	idx  map[string]struct{}
+	list []config
+}
 
-func (s configSet) add(c config) bool {
+func (s *configSet) add(c config) bool {
 	k := c.key()
-	if _, ok := s[k]; ok {
+	if _, ok := s.idx[k]; ok {
 		return false
 	}
-	s[k] = c
+	if s.idx == nil {
+		s.idx = map[string]struct{}{}
+	}
+	s.idx[k] = struct{}{}
+	s.list = append(s.list, c)
 	return true
 }
+
+func (s *configSet) configs() []config { return s.list }
 
 // runner executes one SM over one graph.
 type runner struct {
@@ -272,17 +412,37 @@ type runner struct {
 	g       *cfg.Graph
 	reports []Report
 	seen    map[string]bool
+
+	// local metric shadows, flushed once by flushMetrics.
+	nConfigs int
+	nRules   int
+	nPruned  int
+	nPaths   int
 }
 
-func (r *runner) report(rule string, pos token.Pos, state, msg string) {
+func (r *runner) flushMetrics() {
+	mRuns.Inc()
+	mConfigs.Add(float64(r.nConfigs))
+	mRules.Add(float64(r.nRules))
+	mPruned.Add(float64(r.nPruned))
+	mPaths.Add(float64(r.nPaths))
+	mReports.Add(float64(len(r.reports)))
+}
+
+func (r *runner) report(rule string, pos token.Pos, state, msg string, tr *traceNode) {
 	key := rule + "|" + pos.String() + "|" + msg
 	if r.seen[key] {
 		return
 	}
 	r.seen[key] = true
+	// The synthesized final step pins the witness to the report: its
+	// position is the report position by construction.
+	steps := append(tr.materialize(), TraceStep{
+		Pos: pos, Rule: rule, From: state, To: state, Event: msg,
+	})
 	r.reports = append(r.reports, Report{
 		SM: r.sm.Name, Rule: rule, Fn: r.g.Fn.Name,
-		Pos: pos, State: state, Msg: msg,
+		Pos: pos, State: state, Msg: msg, Trace: steps,
 	})
 }
 
@@ -310,7 +470,9 @@ func Run(g *cfg.Graph, sm *SM) []Report {
 	// Seed: entry's transfer on the start configuration.
 	seed := config{state: start, env: match.Env{}}
 	for _, c := range r.transfer(g.Entry, seed) {
-		out[g.Entry.ID].add(c)
+		if out[g.Entry.ID].add(c) {
+			r.nConfigs++
+		}
 	}
 	inWork[g.Entry.ID] = false
 	for _, e := range g.Entry.Succs {
@@ -331,7 +493,7 @@ func Run(g *cfg.Graph, sm *SM) []Report {
 		// refinement when the predecessor is a branch node.
 		in := configSet{}
 		for _, e := range n.Preds {
-			for _, c := range out[e.From.ID] {
+			for _, c := range out[e.From.ID].configs() {
 				rc, keep := r.refine(c, e)
 				if keep {
 					in.add(rc)
@@ -339,9 +501,10 @@ func Run(g *cfg.Graph, sm *SM) []Report {
 			}
 		}
 		changed := false
-		for _, c := range in {
+		for _, c := range in.configs() {
 			for _, nc := range r.transfer(n, c) {
 				if out[n.ID].add(nc) {
+					r.nConfigs++
 					changed = true
 				}
 			}
@@ -357,12 +520,13 @@ func Run(g *cfg.Graph, sm *SM) []Report {
 	}
 
 	if sm.AtExit != nil {
-		for _, c := range out[g.Exit.ID] {
+		for _, c := range out[g.Exit.ID].configs() {
 			ctx := &Ctx{Env: c.env, Node: g.Exit, MatchPos: g.Exit.Pos(),
-				State: c.state, eng: r, ruleTag: "at-exit"}
+				State: c.state, eng: r, ruleTag: "at-exit", trace: c.trace}
 			sm.AtExit(ctx)
 		}
 	}
+	r.flushMetrics()
 	return r.reports
 }
 
@@ -378,6 +542,7 @@ func (r *runner) refine(c config, e *cfg.Edge) (config, bool) {
 			outcome := (e.Label == cfg.True) != negated
 			if prev, known := c.conds[id.Name]; known {
 				if prev != outcome {
+					r.nPruned++
 					return c, false // contradictory branch: infeasible path
 				}
 			} else {
@@ -401,13 +566,23 @@ func (r *runner) refine(c config, e *cfg.Edge) (config, bool) {
 		if isTrue {
 			target = cr.TrueTarget
 		}
+		isTrueStr := "false"
+		if isTrue {
+			isTrueStr = "true"
+		}
 		switch target {
 		case "":
 			return c, true
 		case Stop:
 			return c, false
 		default:
-			return config{state: target, env: r.sm.envFor(target, results[0].Env), conds: c.conds}, true
+			env := r.sm.envFor(target, results[0].Env)
+			tr := c.trace.push(TraceStep{
+				Pos: e.From.Pos(), Rule: "cond", From: c.state, To: target,
+				Event:    "branch " + ast.ExprString(cond) + " is " + isTrueStr,
+				Bindings: bindingsText(env),
+			})
+			return config{state: target, env: env, conds: c.conds, trace: tr}, true
 		}
 	}
 	return c, true
@@ -475,18 +650,27 @@ func (r *runner) transfer(n *cfg.Node, c config) []config {
 			if !ok {
 				continue
 			}
+			r.nRules++
+			to := rule.Target
+			if to == "" {
+				to = c.state
+			}
+			tr := c.trace.push(TraceStep{
+				Pos: pos, Rule: rule.Tag, From: c.state, To: to,
+				Event: eventText(event), Bindings: bindingsText(env),
+			})
 			ctx := &Ctx{Env: env, Node: n, MatchPos: pos, State: c.state,
-				eng: r, ruleTag: rule.Tag}
+				eng: r, ruleTag: rule.Tag, trace: tr}
 			if rule.Action != nil {
 				rule.Action(ctx)
 			}
 			switch rule.Target {
 			case "":
-				return []config{{state: c.state, env: r.sm.keepTracked(env), conds: c.conds}}, true
+				return []config{{state: c.state, env: r.sm.keepTracked(env), conds: c.conds, trace: tr}}, true
 			case Stop:
 				return nil, true
 			default:
-				return []config{{state: rule.Target, env: r.sm.envFor(rule.Target, env), conds: c.conds}}, true
+				return []config{{state: rule.Target, env: r.sm.envFor(rule.Target, env), conds: c.conds, trace: tr}}, true
 			}
 		}
 		return nil, false

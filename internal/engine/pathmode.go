@@ -23,6 +23,7 @@ func RunPaths(g *cfg.Graph, sm *SM, limit int) []Report {
 	}
 	r := &runner{sm: sm, g: g, seen: map[string]bool{}}
 	for _, path := range paths.Enumerate(g, limit) {
+		r.nPaths++
 		c := config{state: start, env: match.Env{}}
 		alive := true
 		for i, n := range path {
@@ -57,10 +58,11 @@ func RunPaths(g *cfg.Graph, sm *SM, limit int) []Report {
 		}
 		if alive && sm.AtExit != nil {
 			ctx := &Ctx{Env: c.env, Node: g.Exit, MatchPos: g.Exit.Pos(),
-				State: c.state, eng: r, ruleTag: "at-exit"}
+				State: c.state, eng: r, ruleTag: "at-exit", trace: c.trace}
 			sm.AtExit(ctx)
 		}
 	}
+	r.flushMetrics()
 	return r.reports
 }
 

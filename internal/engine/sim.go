@@ -77,7 +77,7 @@ func (s *Sim) AtExit(c Config) {
 	}
 	g := s.r.g
 	ctx := &Ctx{Env: c.c.env, Node: g.Exit, MatchPos: g.Exit.Pos(),
-		State: c.c.state, eng: s.r, ruleTag: "at-exit"}
+		State: c.c.state, eng: s.r, ruleTag: "at-exit", trace: c.c.trace}
 	s.r.sm.AtExit(ctx)
 }
 

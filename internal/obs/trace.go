@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one Chrome trace_event record. Complete spans use phase
+// "X" with a microsecond timestamp and duration; chrome://tracing and
+// Perfetto render them as nested bars per (pid, tid).
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records hierarchical timed spans. A nil *Tracer is a valid
+// no-op recorder, so instrumented code paths never need to test
+// whether tracing is on:
+//
+//	sp := tracer.StartSpan("parse", 0)   // tracer may be nil
+//	defer sp.End()
+type Tracer struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []Event
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+
+// Span is one in-flight span; End records it.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int
+	start time.Time
+	args  map[string]any
+}
+
+// StartSpan opens a span on logical thread tid. Spans on the same tid
+// whose intervals nest render hierarchically in the trace viewer.
+func (t *Tracer) StartSpan(name string, tid int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, start: time.Now()}
+}
+
+// Arg attaches a key/value argument shown in the viewer's detail pane.
+func (s *Span) Arg(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = value
+	return s
+}
+
+// End closes the span, recording a complete ("X") event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.record(Event{
+		Name: s.name,
+		Ph:   "X",
+		TS:   float64(s.start.Sub(s.t.t0)) / float64(time.Microsecond),
+		Dur:  float64(time.Since(s.start)) / float64(time.Microsecond),
+		PID:  1,
+		TID:  s.tid,
+		Args: s.args,
+	})
+}
+
+// Instant records a zero-duration instant event (phase "i").
+func (t *Tracer) Instant(name string, tid int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{
+		Name: name, Ph: "i",
+		TS:  float64(time.Since(t.t0)) / float64(time.Microsecond),
+		PID: 1, TID: tid,
+	})
+}
+
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// traceFile is the Chrome trace_event JSON object form.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the trace in Chrome trace_event JSON object format,
+// loadable by chrome://tracing and ui.perfetto.dev.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateTrace checks that r holds Chrome trace_event JSON (object
+// form or bare array) containing at least one complete ("X") span
+// with a non-negative duration, returning the complete-span count.
+// cmd/obscheck uses it as the CI gate on -trace output.
+func ValidateTrace(r io.Reader) (int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	var events []Event
+	var obj traceFile
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		if aerr := json.Unmarshal(raw, &events); aerr != nil {
+			return 0, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+		}
+	} else {
+		events = obj.TraceEvents
+	}
+	complete := 0
+	for _, e := range events {
+		if e.Name == "" || e.Ph == "" {
+			return complete, fmt.Errorf("obs: trace event missing name or phase: %+v", e)
+		}
+		if e.Ph == "X" {
+			if e.Dur < 0 {
+				return complete, fmt.Errorf("obs: complete event %q has negative duration", e.Name)
+			}
+			complete++
+		}
+	}
+	if complete == 0 {
+		return 0, fmt.Errorf("obs: trace contains no complete (ph=X) span")
+	}
+	return complete, nil
+}

@@ -9,13 +9,22 @@ import (
 	"sync"
 	"time"
 
+	"flashmc/internal/cc/token"
 	"flashmc/internal/checkers"
 	"flashmc/internal/core"
 	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
 	"flashmc/internal/global"
+	"flashmc/internal/obs"
 )
+
+// reportsKind versions the depot's report-artifact format. Reports
+// gained witness traces; bumping the kind (rather than every checker
+// version) retires all pre-trace cached reports at once — including
+// those of ad-hoc checkers, which key on source hash alone and would
+// otherwise serve stale trace-less results.
+const reportsKind = "reports/v2"
 
 // Job is one checker to run over a program. Exactly one of SM, Run,
 // or Lanes is set:
@@ -60,6 +69,8 @@ type Stats struct {
 	TaskTime      time.Duration
 	// Elapsed is the wall time of the whole Check call.
 	Elapsed time.Duration
+	// QueueWait is the summed time tasks spent ready but unclaimed.
+	QueueWait time.Duration
 	// CacheHits and CacheMisses count depot lookups for this call.
 	CacheHits   int
 	CacheMisses int
@@ -88,6 +99,9 @@ type Analyzer struct {
 	Depot *depot.Depot
 	// Workers sizes the scheduler pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Tracer, when non-nil, records one span per scheduled task plus a
+	// span for the whole Check call.
+	Tracer *obs.Tracer
 }
 
 // runState accumulates one Check call's cache traffic.
@@ -128,6 +142,8 @@ func (rs *runState) markGlobal() {
 // byte-identical between warm and cold runs.
 func (a *Analyzer) Check(req Request) (*Result, error) {
 	start := time.Now()
+	sp := a.Tracer.StartSpan("check", 0)
+	defer sp.End()
 	d := a.Depot
 	if d == nil {
 		d, _ = depot.Open("")
@@ -210,7 +226,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 			smResults[ji] = make([][]engine.Report, len(p.Fns))
 			for i := range p.Fns {
 				i := i
-				key := depot.Key{Kind: "reports", Source: fps[i], Checker: job.Name,
+				key := depot.Key{Kind: reportsKind, Source: fps[i], Checker: job.Name,
 					Version: job.Version, Options: job.Options}
 				tasks = append(tasks, &Task{ID: fmt.Sprintf("sm:%d:%d", ji, i), Run: func() error {
 					var cached []engine.Report
@@ -234,7 +250,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				h := h
 				tasks = append(tasks, &Task{ID: fmt.Sprintf("lanes:%d:%s", ji, h), Deps: []string{"link"}, Run: func() error {
 					reach := linked.Reachable([]string{h})
-					key := depot.Key{Kind: "reports",
+					key := depot.Key{Kind: reportsKind,
 						Source:  reachFingerprint(h, reach, fpByFn),
 						Checker: job.Name, Version: job.Version, Options: job.Options}
 					var cached []engine.Report
@@ -251,7 +267,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 			}
 
 		case job.Run != nil:
-			key := depot.Key{Kind: "reports", Source: progFP, Checker: job.Name,
+			key := depot.Key{Kind: reportsKind, Source: progFP, Checker: job.Name,
 				Version: job.Version, Options: job.Options}
 			tasks = append(tasks, &Task{ID: fmt.Sprintf("glob:%d", ji), Run: func() error {
 				var cached []engine.Report
@@ -269,7 +285,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		}
 	}
 
-	stats, err := Run(a.Workers, tasks)
+	stats, err := RunTraced(a.Workers, a.Tracer, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +306,8 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				res.Reports = append(res.Reports, slot.reports[h]...)
 			}
 			for _, e := range linkErrs {
-				res.Reports = append(res.Reports, engine.Report{SM: job.Name, Rule: "link", Msg: e.Error()})
+				res.Reports = append(res.Reports, engine.Report{SM: job.Name, Rule: "link", Msg: e.Error(),
+					Trace: engine.Witness(token.Pos{}, "link", e.Error())})
 			}
 		case job.Run != nil:
 			res.Reports = append(res.Reports, globalResults[ji]...)
@@ -303,6 +320,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		MaxQueueDepth: stats.MaxQueueDepth,
 		TaskTime:      stats.TaskTime,
 		Elapsed:       time.Since(start),
+		QueueWait:     stats.QueueWait,
 		CacheHits:     rs.hits,
 		CacheMisses:   rs.misses,
 		GlobalReruns:  rs.globals,

@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"flashmc/internal/obs"
 )
 
 // Task is one schedulable unit of analysis.
@@ -33,6 +35,10 @@ type Task struct {
 	// Run does the work. An error fails the task and skips its
 	// transitive dependents.
 	Run func() error
+
+	// enqueuedAt stamps when the task became ready, for queue-wait
+	// accounting.
+	enqueuedAt time.Time
 }
 
 // RunStats describes one scheduler run.
@@ -44,13 +50,27 @@ type RunStats struct {
 	// TaskTime is the summed wall time of all task bodies; with W
 	// workers the elapsed time approaches TaskTime/W.
 	TaskTime time.Duration
+	// QueueWait is the summed time tasks spent ready but unclaimed.
+	QueueWait time.Duration
 }
+
+var (
+	mTasks     = obs.NewCounter("sched_tasks_total", "tasks executed by the DAG scheduler")
+	mTaskSecs  = obs.NewHistogram("sched_task_seconds", "wall time of task bodies", nil)
+	mQueueWait = obs.NewHistogram("sched_queue_wait_seconds", "time tasks spent ready but unclaimed", nil)
+)
 
 // Run executes tasks over workers goroutines, honoring dependency
 // edges. It returns the joined errors of all failed tasks; dependents
 // of a failed task are skipped and reported as skipped. A dependency
 // cycle or an edge to an unknown task fails before anything runs.
 func Run(workers int, tasks []*Task) (RunStats, error) {
+	return RunTraced(workers, nil, tasks)
+}
+
+// RunTraced is Run with a span per executed task recorded on tracer
+// (which may be nil), one trace lane per worker.
+func RunTraced(workers int, tracer *obs.Tracer, tasks []*Task) (RunStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -119,6 +139,7 @@ func Run(workers int, tasks []*Task) (RunStats, error) {
 		if queued > stats.MaxQueueDepth {
 			stats.MaxQueueDepth = queued
 		}
+		t.enqueuedAt = time.Now()
 		ready <- t
 	}
 	// finish marks t done (or failed), releasing or skipping its
@@ -166,22 +187,29 @@ func Run(workers int, tasks []*Task) (RunStats, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for t := range ready {
+				wait := time.Since(t.enqueuedAt)
 				mu.Lock()
 				queued--
 				mu.Unlock()
+				mQueueWait.ObserveDuration(wait)
+				sp := tracer.StartSpan(t.ID, lane)
 				start := time.Now()
 				err := t.Run()
 				dur := time.Since(start)
+				sp.End()
+				mTasks.Inc()
+				mTaskSecs.ObserveDuration(dur)
 				mu.Lock()
 				stats.Tasks++
 				stats.TaskTime += dur
+				stats.QueueWait += wait
 				finish(t, err)
 				mu.Unlock()
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 	return stats, errors.Join(errs...)
