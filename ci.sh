@@ -38,3 +38,14 @@ done
     -trace "$tmp/obs-trace.json" -metrics "$tmp/obs-metrics.txt" \
     "$tmp/corpus/sci"/*.c > /dev/null || true
 go run ./cmd/obscheck -prom "$tmp/obs-metrics.txt" -trace "$tmp/obs-trace.json"
+
+# Coverage & performance gate: the corpus coverage run must write a
+# valid coverage/v1 artifact (from both mcheck and paperbench), and
+# the measured wall time / configs explored must stay within 25% of
+# the committed baseline. After an intentional perf or corpus change,
+# regenerate it: go run ./cmd/paperbench -bench BENCH_PR4.json
+"$tmp/mcheck" -flash -cache "$tmp/depot" -coverage-out "$tmp/mcheck-cov.json" \
+    "$tmp/corpus/sci"/*.c > /dev/null 2>&1 || true
+go run ./cmd/paperbench -bench "$tmp/bench.json" -gate BENCH_PR4.json \
+    -coverage-out "$tmp/paperbench-cov.json"
+go run ./cmd/obscheck -coverage "$tmp/mcheck-cov.json" -coverage "$tmp/paperbench-cov.json"

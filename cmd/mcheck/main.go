@@ -23,6 +23,9 @@
 // writes a Chrome trace_event JSON file of the run (load it in
 // chrome://tracing or ui.perfetto.dev), -stats prints process metrics
 // to stderr, and -metrics writes them in Prometheus text format.
+// -coverage prints each checker's dynamic rule/state coverage and
+// wall-time attribution; -coverage-out writes the coverage/v1 JSON
+// artifact (validated by obscheck -coverage).
 //
 // With -lint every checker state machine is linted (package lint)
 // before anything runs; lint errors — dead rules, unreachable states,
@@ -50,6 +53,7 @@ import (
 	"flashmc/internal/cc/cpp"
 	"flashmc/internal/checkers"
 	"flashmc/internal/core"
+	"flashmc/internal/cover"
 	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
@@ -79,6 +83,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
 	stats := flag.Bool("stats", false, "print process metrics to stderr after the run")
 	metricsOut := flag.String("metrics", "", "write Prometheus text exposition of process metrics to this path")
+	coverage := flag.Bool("coverage", false, "collect per-checker rule/state coverage; print a table and timing attribution to stderr")
+	coverageOut := flag.String("coverage-out", "", "write the coverage/v1 JSON artifact to this path (implies -coverage)")
 	flag.Parse()
 
 	// -j must be a positive worker count; an unset (or zero) flag means
@@ -209,7 +215,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	analyzer := &sched.Analyzer{Depot: store, Workers: *workers, Tracer: tracer}
+	var covSet *cover.Set
+	if *coverage || *coverageOut != "" {
+		covSet = cover.NewSet()
+	}
+	analyzer := &sched.Analyzer{Depot: store, Workers: *workers, Tracer: tracer, Coverage: covSet}
 	res, err := analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs})
 	if err != nil {
 		fail("%v", err)
@@ -257,6 +267,38 @@ func main() {
 		}
 		if err := out.Close(); err != nil {
 			fail("trace: %v", err)
+		}
+	}
+	if covSet != nil {
+		snap := covSet.Snapshot()
+		fmt.Fprintln(os.Stderr, "coverage:")
+		snap.WriteTable(os.Stderr)
+		// Timing attribution is live-only: on a fully warm cache there is
+		// nothing to attribute and the section is silent.
+		if timings := covSet.Timings(); len(timings) > 0 {
+			fmt.Fprintln(os.Stderr, "timings:")
+			for _, t := range timings {
+				if t.Seconds == 0 && t.SlowestFn == "" {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "%-16s runs=%d total=%.3fs p50=%.3fms p95=%.3fms p99=%.3fms slowest=%s (%.3fms)\n",
+					t.Checker, t.Runs, t.Seconds,
+					t.P50*1000, t.P95*1000, t.P99*1000,
+					t.SlowestFn, t.SlowestSeconds*1000)
+			}
+		}
+		if *coverageOut != "" {
+			out, err := os.Create(*coverageOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := snap.WriteJSON(out); err != nil {
+				out.Close()
+				fail("coverage: %v", err)
+			}
+			if err := out.Close(); err != nil {
+				fail("coverage: %v", err)
+			}
 		}
 	}
 	if *metricsOut != "" {

@@ -17,6 +17,7 @@ import (
 	"flashmc/internal/cc/cpp"
 	"flashmc/internal/checkers"
 	"flashmc/internal/core"
+	"flashmc/internal/cover"
 	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
@@ -101,6 +102,7 @@ type server struct {
 	store    *depot.Depot
 	mux      *http.ServeMux
 	reg      *obs.Registry
+	coverage *cover.Set
 
 	requests    *obs.Counter
 	errored     *obs.Counter
@@ -126,11 +128,13 @@ type server struct {
 
 func newServer(store *depot.Depot, workers int) *server {
 	reg := obs.NewRegistry()
+	covSet := cover.NewSet()
 	s := &server{
-		analyzer: &sched.Analyzer{Depot: store, Workers: workers},
+		analyzer: &sched.Analyzer{Depot: store, Workers: workers, Coverage: covSet},
 		store:    store,
 		mux:      http.NewServeMux(),
 		reg:      reg,
+		coverage: covSet,
 		flights:  map[string]*flight{},
 
 		requests:    reg.Counter("mcheckd_requests_total", "POST /check requests received"),
@@ -161,6 +165,8 @@ func newServer(store *depot.Depot, workers int) *server {
 	s.mux.HandleFunc("/check", s.handleCheck)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/coverage", s.handleCoverage)
+	s.mux.HandleFunc("/debug/timings", s.handleTimings)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -465,6 +471,29 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Process-global metrics (engine, sched, depot) follow the
 	// per-server families; the name spaces are disjoint.
 	obs.Default.WritePrometheus(w)
+}
+
+// handleCoverage serves the accumulated coverage/v1 artifact: every
+// rule, state, pattern alternative and branch refinement each checker
+// has fired across all /check requests this process has served (warm
+// replays included — coverage rides in the depot artifact).
+func (s *server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.coverage.Snapshot().WriteJSON(w); err != nil {
+		log.Printf("mcheckd: /debug/coverage: %v", err)
+	}
+}
+
+// handleTimings serves the live wall-time attribution: per-checker
+// totals and quantiles, per-rule breakdowns, and the slowest function
+// each checker saw. Warm cache hits contribute no time, so a fully
+// cached process reports zeros here while /debug/coverage stays full.
+func (s *server) handleTimings(w http.ResponseWriter, r *http.Request) {
+	timings := s.coverage.Timings()
+	if timings == nil {
+		timings = []cover.Timing{}
+	}
+	writeJSON(w, http.StatusOK, timings)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

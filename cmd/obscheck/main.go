@@ -2,14 +2,18 @@
 //
 // Usage:
 //
-//	obscheck -prom metrics.txt    validate Prometheus text exposition
-//	obscheck -trace trace.json    validate Chrome trace_event JSON
+//	obscheck -prom metrics.txt         validate Prometheus text exposition
+//	obscheck -trace trace.json         validate Chrome trace_event JSON
+//	obscheck -coverage coverage.json   validate a coverage/v1 artifact
 //
 // -prom parses the file with the repo's own Prometheus text parser
 // (HELP/TYPE discipline, label syntax, histogram bucket contract) and
 // prints the family count. -trace requires well-formed trace_event
 // JSON with at least one complete ("ph":"X") span and prints the span
-// count. Either flag may be repeated; any failure exits nonzero.
+// count. -coverage checks kind, key shapes and count invariants of a
+// coverage artifact (mcheck -coverage-out, mcheckd /debug/coverage)
+// and prints the checker count. Any flag may be repeated; any failure
+// exits nonzero.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"flashmc/internal/cover"
 	"flashmc/internal/obs"
 )
 
@@ -27,13 +32,14 @@ func (s *stringList) String() string     { return strings.Join(*s, ",") }
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
-	var promFiles, traceFiles stringList
+	var promFiles, traceFiles, coverageFiles stringList
 	flag.Var(&promFiles, "prom", "Prometheus text exposition file to validate (repeatable)")
 	flag.Var(&traceFiles, "trace", "Chrome trace_event JSON file to validate (repeatable)")
+	flag.Var(&coverageFiles, "coverage", "coverage/v1 JSON artifact to validate (repeatable)")
 	flag.Parse()
 
-	if len(promFiles) == 0 && len(traceFiles) == 0 {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -prom and/or -trace")
+	if len(promFiles) == 0 && len(traceFiles) == 0 && len(coverageFiles) == 0 {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -prom, -trace and/or -coverage")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -79,6 +85,27 @@ func main() {
 			continue
 		}
 		fmt.Printf("obscheck: %s: %d complete spans\n", f, spans)
+	}
+	for _, f := range coverageFiles {
+		r, err := os.Open(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			ok = false
+			continue
+		}
+		n, err := cover.Validate(r)
+		r.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", f, err)
+			ok = false
+			continue
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: no checker entries\n", f)
+			ok = false
+			continue
+		}
+		fmt.Printf("obscheck: %s: %d checkers\n", f, n)
 	}
 	if !ok {
 		os.Exit(1)

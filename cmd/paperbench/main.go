@@ -5,9 +5,21 @@
 // Usage:
 //
 //	paperbench [-seed N] [-trials N] [-json]
+//	paperbench -bench out.json [-gate BENCH_PR4.json] [-coverage-out cov.json]
 //
 // -json replaces the rendered tables with one machine-readable JSON
-// object (for dashboards and CI trend tracking).
+// object (for dashboards and CI trend tracking). The payload carries a
+// "bench_schema" version and contains only deterministic quantities —
+// two runs with the same seed are byte-identical, which CI asserts.
+//
+// The bench flags measure instead of reproduce: -bench times a full
+// corpus coverage run (every checker over every protocol) and writes a
+// versioned bench JSON with wall time, configs explored and rules
+// fired; -gate compares that measurement against a committed baseline
+// and fails if wall time or configs explored regressed more than 25%;
+// -coverage-out writes the corpus coverage/v1 artifact (validated by
+// obscheck -coverage); -coverage prints the checker × protocol matrix
+// and any coverage-dead findings with the rendered tables.
 package main
 
 import (
@@ -15,16 +27,102 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"flashmc/internal/flash"
 	"flashmc/internal/flashgen"
+	"flashmc/internal/obs"
 	"flashmc/internal/paper"
 )
+
+// benchSchema versions every JSON payload paperbench writes.
+const benchSchema = 1
+
+// benchResult is the measured (non-deterministic) half: what the gate
+// compares. Field names are the schema; changing them bumps benchSchema.
+type benchResult struct {
+	BenchSchema     int     `json:"bench_schema"`
+	Seed            int64   `json:"seed"`
+	Protocols       int     `json:"protocols"`
+	Checkers        int     `json:"checkers"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	ConfigsExplored float64 `json:"configs_explored"`
+	RulesFired      float64 `json:"rules_fired"`
+}
+
+// renderJSON builds the deterministic -json payload: bench schema,
+// every table, the coverage matrix and the coverage-dead cross-check.
+// No timestamps and no wall times — byte-identical across runs for a
+// given seed.
+func renderJSON(c *paper.Corpus, m *paper.CoverageMatrix, seed int64, trials int) ([]byte, error) {
+	var dead []string
+	for _, d := range c.CoverageDead(m) {
+		dead = append(dead, d.String())
+	}
+	out := map[string]any{
+		"bench_schema":      benchSchema,
+		"seed":              seed,
+		"table1":            c.Table1(),
+		"table2":            c.Table2(),
+		"table3":            c.Table3(),
+		"table4":            c.Table4(),
+		"lanes":             c.Lanes(),
+		"table5":            c.Table5(),
+		"table6":            c.Table6(),
+		"table7":            c.Table7(),
+		"static_vs_dynamic": c.StaticVsDynamic(trials, seed),
+		"coverage":          m.Merged,
+		"coverage_dead":     dead,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// measure times one full corpus coverage run and attributes the engine
+// work counters to it.
+func measure(c *paper.Corpus, seed int64) (*paper.CoverageMatrix, benchResult) {
+	before := obs.Default.Snapshot()
+	t0 := time.Now()
+	m := c.Coverage()
+	wall := time.Since(t0).Seconds()
+	after := obs.Default.Snapshot()
+	return m, benchResult{
+		BenchSchema:     benchSchema,
+		Seed:            seed,
+		Protocols:       len(m.Protocols),
+		Checkers:        len(m.Checkers),
+		WallSeconds:     wall,
+		ConfigsExplored: after["engine_configs_explored_total"] - before["engine_configs_explored_total"],
+		RulesFired:      after["engine_rules_fired_total"] - before["engine_rules_fired_total"],
+	}
+}
+
+// gate compares a measurement against a committed baseline: wall time
+// and configs explored may regress at most 25%. Returns the violations.
+func gate(baseline, current benchResult) []string {
+	var bad []string
+	check := func(what string, base, cur float64) {
+		if base > 0 && cur > base*1.25 {
+			bad = append(bad, fmt.Sprintf("%s regressed: %.3f -> %.3f (+%.0f%%, limit 25%%)",
+				what, base, cur, 100*(cur-base)/base))
+		}
+	}
+	check("wall_seconds", baseline.WallSeconds, current.WallSeconds)
+	check("configs_explored", baseline.ConfigsExplored, current.ConfigsExplored)
+	if baseline.BenchSchema != current.BenchSchema {
+		bad = append(bad, fmt.Sprintf("bench_schema changed: %d -> %d (regenerate the baseline)",
+			baseline.BenchSchema, current.BenchSchema))
+	}
+	return bad
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	trials := flag.Int("trials", 120, "dynamic-testing trials per handler")
-	jsonOut := flag.Bool("json", false, "emit results as one JSON object instead of rendered tables")
+	jsonOut := flag.Bool("json", false, "emit results as one deterministic JSON object instead of rendered tables")
+	benchOut := flag.String("bench", "", "time a corpus coverage run and write the bench JSON to this path")
+	gateFile := flag.String("gate", "", "compare the bench measurement against this committed baseline; exit nonzero on >25% regression")
+	coverageOut := flag.String("coverage-out", "", "write the corpus coverage/v1 artifact to this path")
+	showCoverage := flag.Bool("coverage", false, "print the checker x protocol coverage matrix and coverage-dead findings")
 	flag.Parse()
 
 	c, err := paper.LoadCorpus(flashgen.Options{Seed: *seed})
@@ -33,25 +131,73 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *jsonOut {
-		out := map[string]any{
-			"seed":              *seed,
-			"table1":            c.Table1(),
-			"table2":            c.Table2(),
-			"table3":            c.Table3(),
-			"table4":            c.Table4(),
-			"lanes":             c.Lanes(),
-			"table5":            c.Table5(),
-			"table6":            c.Table6(),
-			"table7":            c.Table7(),
-			"static_vs_dynamic": c.StaticVsDynamic(*trials, *seed),
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+	// One coverage run feeds every consumer that needs it.
+	var matrix *paper.CoverageMatrix
+	var bench benchResult
+	if *jsonOut || *benchOut != "" || *gateFile != "" || *coverageOut != "" || *showCoverage {
+		matrix, bench = measure(c, *seed)
+	}
+
+	if *coverageOut != "" {
+		out, err := os.Create(*coverageOut)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}
+		if err := matrix.Merged.WriteJSON(out); err != nil {
+			out.Close()
+			fmt.Fprintf(os.Stderr, "paperbench: coverage: %v\n", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: coverage: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *gateFile != "" {
+		data, err := os.ReadFile(*gateFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: gate: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline benchResult
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: gate: %s: %v\n", *gateFile, err)
+			os.Exit(1)
+		}
+		if bad := gate(baseline, bench); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "paperbench: gate: %s\n", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("paperbench: gate ok: wall %.3fs (baseline %.3fs), %g configs (baseline %g)\n",
+			bench.WallSeconds, baseline.WallSeconds, bench.ConfigsExplored, baseline.ConfigsExplored)
+	}
+	if *benchOut != "" || *gateFile != "" || *coverageOut != "" {
+		if !*jsonOut && !*showCoverage {
+			return
+		}
+	}
+
+	if *jsonOut {
+		data, err := renderJSON(c, matrix, *seed, *trials)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
 		return
 	}
 
@@ -126,4 +272,17 @@ func main() {
 
 	fmt.Println("\n=== §2/§11: static vs dynamic detection ===")
 	fmt.Print(paper.RenderStaticVsDynamic(c.StaticVsDynamic(*trials, *seed)))
+
+	if *showCoverage {
+		fmt.Println("\n=== Checker coverage (rule firings per protocol) ===")
+		matrix.WriteTable(os.Stdout)
+		dead := c.CoverageDead(matrix)
+		if len(dead) == 0 {
+			fmt.Println("coverage-dead: none; every lint-clean rule fired on at least one protocol")
+		} else {
+			for _, d := range dead {
+				fmt.Printf("coverage-dead: %s\n", d)
+			}
+		}
+	}
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flashmc/internal/cover"
+	"flashmc/internal/flashgen"
+	"flashmc/internal/paper"
+)
+
+func loadBenchCorpus(t *testing.T, seed int64) *paper.Corpus {
+	t.Helper()
+	c, err := paper.LoadCorpus(flashgen.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Acceptance: two -json runs with the same seed are byte-identical —
+// the payload carries no timestamps and no wall times.
+func TestJSONDeterministic(t *testing.T) {
+	render := func() []byte {
+		c := loadBenchCorpus(t, 1)
+		m := c.Coverage()
+		data, err := renderJSON(c, m, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two -json runs with seed 1 differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// The -json payload is versioned and carries a valid coverage artifact.
+func TestJSONSchema(t *testing.T) {
+	c := loadBenchCorpus(t, 1)
+	m := c.Coverage()
+	data, err := renderJSON(c, m, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		BenchSchema int             `json:"bench_schema"`
+		Coverage    json.RawMessage `json:"coverage"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.BenchSchema != benchSchema {
+		t.Errorf("bench_schema = %d, want %d", payload.BenchSchema, benchSchema)
+	}
+	if n, err := cover.Validate(bytes.NewReader(payload.Coverage)); err != nil {
+		t.Errorf("embedded coverage artifact invalid: %v", err)
+	} else if n == 0 {
+		t.Error("embedded coverage artifact has no checkers")
+	}
+	if strings.Contains(string(data), "wall_seconds") {
+		t.Error("-json payload contains wall time; it must stay deterministic")
+	}
+}
+
+// The gate accepts its own baseline and flags >25% regressions.
+func TestGate(t *testing.T) {
+	base := benchResult{BenchSchema: benchSchema, WallSeconds: 2.0, ConfigsExplored: 1000}
+	if bad := gate(base, base); len(bad) != 0 {
+		t.Errorf("baseline vs itself flagged: %v", bad)
+	}
+	ok := base
+	ok.WallSeconds = 2.4 // +20%
+	if bad := gate(base, ok); len(bad) != 0 {
+		t.Errorf("+20%% flagged: %v", bad)
+	}
+	slow := base
+	slow.WallSeconds = 2.6 // +30%
+	if bad := gate(base, slow); len(bad) != 1 || !strings.Contains(bad[0], "wall_seconds") {
+		t.Errorf("+30%% wall time not flagged: %v", bad)
+	}
+	blown := base
+	blown.ConfigsExplored = 1300
+	if bad := gate(base, blown); len(bad) != 1 || !strings.Contains(bad[0], "configs_explored") {
+		t.Errorf("+30%% configs not flagged: %v", bad)
+	}
+	vers := base
+	vers.BenchSchema = benchSchema + 1
+	if bad := gate(base, vers); len(bad) != 1 || !strings.Contains(bad[0], "bench_schema") {
+		t.Errorf("schema change not flagged: %v", bad)
+	}
+}
+
+// The measured bench result counts real engine work.
+func TestMeasure(t *testing.T) {
+	c := loadBenchCorpus(t, 1)
+	m, bench := measure(c, 1)
+	if bench.BenchSchema != benchSchema {
+		t.Errorf("bench_schema = %d", bench.BenchSchema)
+	}
+	if bench.Protocols != len(m.Protocols) || bench.Checkers != len(m.Checkers) {
+		t.Errorf("shape mismatch: %+v vs %d protocols, %d checkers", bench, len(m.Protocols), len(m.Checkers))
+	}
+	if bench.WallSeconds <= 0 {
+		t.Errorf("wall_seconds = %g", bench.WallSeconds)
+	}
+	if bench.ConfigsExplored <= 0 || bench.RulesFired <= 0 {
+		t.Errorf("no engine work attributed: %+v", bench)
+	}
+}

@@ -62,6 +62,11 @@ func (b *bufferMgmt) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	return p.RunSM(sm)
 }
 
+func (b *bufferMgmt) CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage) {
+	sm, _ := b.BuildSM(spec)
+	return p.RunSMCov(sm)
+}
+
 func (b *bufferMgmt) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {
 	sm := buildBufferSM(spec)
 	sm.CorrelateBranches = b.correlate

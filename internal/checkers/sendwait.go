@@ -49,6 +49,10 @@ func (*sendWait) Check(p *core.Program, spec *flash.Spec) []engine.Report {
 	return p.RunSM(buildSendWaitSM())
 }
 
+func (*sendWait) CheckCov(p *core.Program, spec *flash.Spec) ([]engine.Report, []*engine.Coverage) {
+	return p.RunSMCov(buildSendWaitSM())
+}
+
 func (*sendWait) BuildSM(spec *flash.Spec) (*engine.SM, map[string]string) {
 	return buildSendWaitSM(), nil
 }

@@ -138,7 +138,18 @@ func (p *Program) Fn(name string) *ast.FuncDecl {
 // reports in function order. Functions are independent, so they are
 // checked concurrently; the result order is deterministic.
 func (p *Program) RunSM(sm *engine.SM) []engine.Report {
+	reports, _ := p.RunSMCov(sm)
+	return reports
+}
+
+// RunSMCov is RunSM plus the per-function dynamic coverage, in
+// function order with empty coverages (skipped functions) omitted.
+// Coverage counts are single-run facts, so concurrency does not
+// perturb them; only ordering could, and the function-order collection
+// fixes that.
+func (p *Program) RunSMCov(sm *engine.SM) ([]engine.Report, []*engine.Coverage) {
 	perFn := make([][]engine.Report, len(p.Graphs))
+	covs := make([]*engine.Coverage, len(p.Graphs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, g := range p.Graphs {
@@ -147,7 +158,7 @@ func (p *Program) RunSM(sm *engine.SM) []engine.Report {
 		go func(i int, g *cfg.Graph) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			perFn[i] = engine.Run(g, sm)
+			perFn[i], covs[i] = engine.RunCov(g, sm)
 		}(i, g)
 	}
 	wg.Wait()
@@ -155,7 +166,13 @@ func (p *Program) RunSM(sm *engine.SM) []engine.Report {
 	for _, rs := range perFn {
 		out = append(out, rs...)
 	}
-	return out
+	kept := covs[:0]
+	for _, c := range covs {
+		if !c.Empty() {
+			kept = append(kept, c)
+		}
+	}
+	return out, kept
 }
 
 // Count returns the number of sub-expressions matching pat across all

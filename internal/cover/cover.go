@@ -1,0 +1,370 @@
+// Package cover accumulates per-run engine.Coverage into per-checker
+// totals: which rules, states, pattern alternatives and branch
+// refinements of each checker ever fire, and where the wall time goes.
+//
+// The paper evaluates checkers by what they catch on the five FLASH
+// protocols (Table 7); this package measures the complementary
+// question — what each checker actually *exercises* — so a rule that
+// lint considers live but that never fires anywhere can be flagged
+// (the coverage-dead diagnostic in internal/lint) and slow checkers
+// can be attributed to the rules that cost the time.
+//
+// A Set splits cleanly into two views. Snapshot() is the
+// deterministic half: pure fire counts, byte-stable JSON (the
+// "coverage/v1" artifact), identical across -j levels and warm/cold
+// depot runs. Timings() is the live half: wall-time histograms with
+// quantiles and a slowest-function exemplar per checker, never stored
+// in artifacts because wall time is not reproducible.
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"flashmc/internal/engine"
+	"flashmc/internal/obs"
+)
+
+// Kind identifies the coverage artifact schema.
+const Kind = "coverage/v1"
+
+// CheckerCov is one checker's merged dynamic coverage.
+type CheckerCov struct {
+	// SM is the state machine the checker runs (often but not always
+	// the checker name — buffer_race runs wait_for_db).
+	SM string `json:"sm,omitempty"`
+	// Runs counts the non-empty per-function runs merged in.
+	Runs uint64 `json:"runs"`
+	// Rules, States, Patterns, Conds are summed fire counts keyed the
+	// same way engine.Coverage keys them.
+	Rules    map[string]uint64 `json:"rules,omitempty"`
+	States   map[string]uint64 `json:"states,omitempty"`
+	Patterns map[string]uint64 `json:"patterns,omitempty"`
+	Conds    map[string]uint64 `json:"conds,omitempty"`
+}
+
+// Artifact is the serializable coverage snapshot. encoding/json sorts
+// map keys, so marshaling an Artifact is deterministic for equal
+// counts regardless of merge order.
+type Artifact struct {
+	Kind     string                 `json:"kind"`
+	Checkers map[string]*CheckerCov `json:"checkers"`
+}
+
+// RuleTiming attributes wall time to one rule.
+type RuleTiming struct {
+	Seconds float64 `json:"seconds"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+}
+
+// Timing is one checker's wall-time profile: where the analysis time
+// went, and the single slowest function as a profiling entry point.
+type Timing struct {
+	Checker        string                `json:"checker"`
+	Runs           uint64                `json:"runs"`
+	Seconds        float64               `json:"seconds"`
+	P50            float64               `json:"p50"`
+	P95            float64               `json:"p95"`
+	P99            float64               `json:"p99"`
+	Rules          map[string]RuleTiming `json:"rules,omitempty"`
+	SlowestFn      string                `json:"slowest_fn,omitempty"`
+	SlowestSeconds float64               `json:"slowest_seconds,omitempty"`
+}
+
+// checkerAcc is the mutable accumulator behind one checker's entry.
+type checkerAcc struct {
+	cov       CheckerCov
+	elapsed   *obs.Histogram // per-run wall time
+	ruleHist  map[string]*obs.Histogram
+	ruleSecs  map[string]float64
+	slowFn    string
+	slowSecs  float64
+	anyTiming bool
+}
+
+// Set is a thread-safe coverage accumulator. The zero value is not
+// usable; call NewSet.
+type Set struct {
+	mu       sync.Mutex
+	checkers map[string]*checkerAcc
+}
+
+// NewSet returns an empty accumulator.
+func NewSet() *Set {
+	return &Set{checkers: map[string]*checkerAcc{}}
+}
+
+func addInto(dst *map[string]uint64, src map[string]uint64) {
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = map[string]uint64{}
+	}
+	for k, v := range src {
+		(*dst)[k] += v
+	}
+}
+
+// Record merges one run's coverage under the given checker id. Empty
+// coverages are dropped entirely (they are also never stored in depot
+// artifacts, which keeps warm and cold runs in lockstep). Counts
+// merge additively, so the result is independent of recording order —
+// the property the -j determinism gate tests.
+func (s *Set) Record(checker string, cov *engine.Coverage) {
+	if s == nil || cov.Empty() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc := s.checkers[checker]
+	if acc == nil {
+		acc = &checkerAcc{
+			elapsed:  obs.MakeHistogram(nil),
+			ruleHist: map[string]*obs.Histogram{},
+			ruleSecs: map[string]float64{},
+		}
+		s.checkers[checker] = acc
+	}
+	if acc.cov.SM == "" {
+		acc.cov.SM = cov.SM
+	}
+	acc.cov.Runs++
+	addInto(&acc.cov.Rules, cov.Rules)
+	addInto(&acc.cov.States, cov.States)
+	addInto(&acc.cov.Patterns, cov.Patterns)
+	addInto(&acc.cov.Conds, cov.Conds)
+
+	// Timing is absent when the coverage was replayed from a depot
+	// artifact; record only live measurements.
+	if cov.Elapsed > 0 {
+		acc.anyTiming = true
+		secs := cov.Elapsed.Seconds()
+		acc.elapsed.Observe(secs)
+		if secs > acc.slowSecs {
+			acc.slowSecs, acc.slowFn = secs, cov.Fn
+		}
+	}
+	for rule, secs := range cov.RuleSeconds {
+		acc.ruleSecs[rule] += secs
+		h := acc.ruleHist[rule]
+		if h == nil {
+			h = obs.MakeHistogram(nil)
+			acc.ruleHist[rule] = h
+		}
+		h.Observe(secs)
+	}
+}
+
+// Snapshot returns the deterministic half of the set: merged fire
+// counts per checker, as a coverage/v1 artifact. The maps are deep
+// copies; the caller may mutate them.
+func (s *Set) Snapshot() *Artifact {
+	a := &Artifact{Kind: Kind, Checkers: map[string]*CheckerCov{}}
+	if s == nil {
+		return a
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, acc := range s.checkers {
+		c := &CheckerCov{SM: acc.cov.SM, Runs: acc.cov.Runs}
+		addInto(&c.Rules, acc.cov.Rules)
+		addInto(&c.States, acc.cov.States)
+		addInto(&c.Patterns, acc.cov.Patterns)
+		addInto(&c.Conds, acc.cov.Conds)
+		a.Checkers[name] = c
+	}
+	return a
+}
+
+// Fired returns a copy of the merged rule fire counts for one checker
+// (nil when the checker never recorded anything). This is the join
+// point for the lint coverage-dead cross-check.
+func (s *Set) Fired(checker string) map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc := s.checkers[checker]
+	if acc == nil {
+		return nil
+	}
+	var out map[string]uint64
+	addInto(&out, acc.cov.Rules)
+	return out
+}
+
+// CondsFired is Fired for branch-condition rules.
+func (s *Set) CondsFired(checker string) map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc := s.checkers[checker]
+	if acc == nil {
+		return nil
+	}
+	var out map[string]uint64
+	addInto(&out, acc.cov.Conds)
+	return out
+}
+
+// Timings returns the live half of the set: per-checker wall-time
+// profiles sorted by total seconds descending (ties by name), rule
+// attribution included. Checkers that only ever replayed depot
+// coverage (no live timing) report zero seconds.
+func (s *Set) Timings() []Timing {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Timing, 0, len(s.checkers))
+	for name, acc := range s.checkers {
+		t := Timing{
+			Checker:        name,
+			Runs:           acc.cov.Runs,
+			SlowestFn:      acc.slowFn,
+			SlowestSeconds: acc.slowSecs,
+		}
+		if acc.anyTiming {
+			t.Seconds = acc.elapsed.Sum()
+			t.P50 = acc.elapsed.Quantile(0.50)
+			t.P95 = acc.elapsed.Quantile(0.95)
+			t.P99 = acc.elapsed.Quantile(0.99)
+		}
+		if len(acc.ruleSecs) > 0 {
+			t.Rules = map[string]RuleTiming{}
+			for rule, secs := range acc.ruleSecs {
+				h := acc.ruleHist[rule]
+				t.Rules[rule] = RuleTiming{
+					Seconds: secs,
+					P50:     h.Quantile(0.50),
+					P95:     h.Quantile(0.95),
+					P99:     h.Quantile(0.99),
+				}
+			}
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Checker < out[j].Checker
+	})
+	return out
+}
+
+// WriteJSON writes the artifact as indented, deterministic JSON.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteTable renders the artifact as a human-readable coverage table:
+// one line per checker, rules with fire counts sorted by key.
+func (a *Artifact) WriteTable(w io.Writer) {
+	names := make([]string, 0, len(a.Checkers))
+	for n := range a.Checkers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-16s %-14s %6s  %s\n", "CHECKER", "SM", "RUNS", "RULES FIRED")
+	for _, n := range names {
+		c := a.Checkers[n]
+		rules := make([]string, 0, len(c.Rules))
+		for r := range c.Rules {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		parts := make([]string, len(rules))
+		for i, r := range rules {
+			parts[i] = fmt.Sprintf("%s=%d", r, c.Rules[r])
+		}
+		fired := "-"
+		if len(parts) > 0 {
+			fired = ""
+			for i, p := range parts {
+				if i > 0 {
+					fired += " "
+				}
+				fired += p
+			}
+		}
+		sm := c.SM
+		if sm == "" {
+			sm = "-"
+		}
+		fmt.Fprintf(w, "%-16s %-14s %6d  %s\n", n, sm, c.Runs, fired)
+	}
+}
+
+// Validate parses and checks a coverage artifact: the kind must be
+// coverage/v1, every checker entry must have a non-empty name and
+// positive counts, and every pattern alternative must belong to a
+// fired rule. Returns the number of checker entries.
+func Validate(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var a Artifact
+	if err := dec.Decode(&a); err != nil {
+		return 0, fmt.Errorf("coverage: %w", err)
+	}
+	if a.Kind != Kind {
+		return 0, fmt.Errorf("coverage: kind %q, want %q", a.Kind, Kind)
+	}
+	for name, c := range a.Checkers {
+		if name == "" {
+			return 0, fmt.Errorf("coverage: empty checker name")
+		}
+		if c == nil {
+			return 0, fmt.Errorf("coverage: checker %s: null entry", name)
+		}
+		for section, m := range map[string]map[string]uint64{
+			"rules": c.Rules, "states": c.States,
+			"patterns": c.Patterns, "conds": c.Conds,
+		} {
+			for k, v := range m {
+				if k == "" {
+					return 0, fmt.Errorf("coverage: checker %s: empty %s key", name, section)
+				}
+				if v == 0 {
+					return 0, fmt.Errorf("coverage: checker %s: %s[%s] is zero (zero counts must be absent)", name, section, k)
+				}
+			}
+		}
+		for p := range c.Patterns {
+			rule, ok := splitAlt(p)
+			if !ok {
+				return 0, fmt.Errorf("coverage: checker %s: malformed pattern key %q", name, p)
+			}
+			if c.Rules[rule] == 0 {
+				return 0, fmt.Errorf("coverage: checker %s: pattern %q for unfired rule %q", name, p, rule)
+			}
+		}
+	}
+	return len(a.Checkers), nil
+}
+
+// splitAlt splits a "rule/altN" pattern key into its rule part.
+func splitAlt(p string) (string, bool) {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			rest := p[i+1:]
+			if len(rest) > 3 && rest[:3] == "alt" {
+				return p[:i], true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"flashmc/internal/cc/ast"
 	"flashmc/internal/cc/token"
@@ -413,6 +414,12 @@ type runner struct {
 	reports []Report
 	seen    map[string]bool
 
+	// cov tallies rule/state/pattern/cond firings for this run;
+	// ruleKeys and condKeys are the precomputed coverage keys.
+	cov      *Coverage
+	ruleKeys map[*Rule]string
+	condKeys []string
+
 	// local metric shadows, flushed once by flushMetrics.
 	nConfigs int
 	nRules   int
@@ -448,14 +455,43 @@ func (r *runner) report(rule string, pos token.Pos, state, msg string, tr *trace
 
 // Run executes sm over g and returns its reports.
 func Run(g *cfg.Graph, sm *SM) []Report {
+	reports, _ := RunCov(g, sm)
+	return reports
+}
+
+// newRunner builds a runner with its coverage bookkeeping in place:
+// every runner carries a Coverage (pathmode and Sim discard theirs)
+// and the precomputed rule/cond keys it is tallied under.
+func newRunner(sm *SM, g *cfg.Graph) *runner {
+	r := &runner{sm: sm, g: g, seen: map[string]bool{},
+		cov: &Coverage{SM: sm.Name, Fn: g.Fn.Name}}
+	r.ruleKeys = make(map[*Rule]string, len(sm.Rules))
+	for i, rule := range sm.Rules {
+		r.ruleKeys[rule] = RuleKey(sm, i)
+	}
+	r.condKeys = make([]string, len(sm.Cond))
+	for i := range sm.Cond {
+		r.condKeys[i] = CondKey(sm, i)
+	}
+	return r
+}
+
+// RunCov is Run plus the run's dynamic coverage: which rules, states,
+// pattern alternatives and branch refinements fired, and where the
+// wall time went. The coverage is never nil (it is Empty when the SM
+// skipped the function).
+func RunCov(g *cfg.Graph, sm *SM) ([]Report, *Coverage) {
+	t0 := time.Now()
+	cov := &Coverage{SM: sm.Name, Fn: g.Fn.Name}
 	start := sm.Start
 	if sm.StartFor != nil {
 		start = sm.StartFor(g.Fn)
 	}
 	if start == "" {
-		return nil
+		return nil, cov
 	}
-	r := &runner{sm: sm, g: g, seen: map[string]bool{}}
+	r := newRunner(sm, g)
+	r.cov = cov
 
 	// out[n] = configurations holding immediately after n's event.
 	out := make([]configSet, len(g.Nodes))
@@ -472,6 +508,7 @@ func Run(g *cfg.Graph, sm *SM) []Report {
 	for _, c := range r.transfer(g.Entry, seed) {
 		if out[g.Entry.ID].add(c) {
 			r.nConfigs++
+			cov.hitState(c.state)
 		}
 	}
 	inWork[g.Entry.ID] = false
@@ -505,6 +542,7 @@ func Run(g *cfg.Graph, sm *SM) []Report {
 			for _, nc := range r.transfer(n, c) {
 				if out[n.ID].add(nc) {
 					r.nConfigs++
+					cov.hitState(nc.state)
 					changed = true
 				}
 			}
@@ -527,7 +565,8 @@ func Run(g *cfg.Graph, sm *SM) []Report {
 		}
 	}
 	r.flushMetrics()
-	return r.reports
+	cov.Elapsed = time.Since(t0)
+	return r.reports, cov
 }
 
 // refine applies branch-correlation pruning and CondRules to a
@@ -550,7 +589,7 @@ func (r *runner) refine(c config, e *cfg.Edge) (config, bool) {
 			}
 		}
 	}
-	for _, cr := range r.sm.Cond {
+	for ci, cr := range r.sm.Cond {
 		if cr.State != c.state && cr.State != All {
 			continue
 		}
@@ -558,6 +597,7 @@ func (r *runner) refine(c config, e *cfg.Edge) (config, bool) {
 		if len(results) == 0 {
 			continue
 		}
+		r.cov.hitCond(r.condKeys[ci])
 		isTrue := e.Label == cfg.True
 		if negated {
 			isTrue = !isTrue
@@ -644,13 +684,18 @@ func (r *runner) transfer(n *cfg.Node, c config) []config {
 	}
 
 	// State-specific rules first, then all-state rules (paper §5).
+	t0 := time.Now()
 	fire := func(rules []*Rule) ([]config, bool) {
 		for _, rule := range rules {
-			env, pos, ok := matchRule(rule, event, c.env)
+			env, pos, alt, ok := matchRule(rule, event, c.env)
 			if !ok {
 				continue
 			}
 			r.nRules++
+			key := r.ruleKeys[rule]
+			r.cov.hitRule(key)
+			r.cov.hitPattern(key, alt)
+			defer func() { r.cov.addRuleSeconds(key, time.Since(t0)) }()
 			to := rule.Target
 			if to == "" {
 				to = c.state
@@ -694,31 +739,33 @@ func (r *runner) transfer(n *cfg.Node, c config) []config {
 	return []config{c}
 }
 
-// matchRule tries each alternative of a rule against the event.
-func matchRule(rule *Rule, event ast.Node, env match.Env) (match.Env, token.Pos, bool) {
-	for _, p := range rule.Patterns {
+// matchRule tries each alternative of a rule against the event. The
+// int result is the index of the alternative that matched, for
+// per-alternative coverage.
+func matchRule(rule *Rule, event ast.Node, env match.Env) (match.Env, token.Pos, int, bool) {
+	for i, p := range rule.Patterns {
 		if p.Stmt != nil {
 			if s, ok := event.(ast.Stmt); ok {
 				if got, ok2 := match.Stmt(p.Stmt, s, env); ok2 {
-					return got, s.Pos(), true
+					return got, s.Pos(), i, true
 				}
 			}
 			// Expression-statement patterns also match as
 			// sub-expressions of any event.
 			if es, ok := p.Stmt.(*ast.ExprStmt); ok {
 				if results := match.Find(es.X, event, env); len(results) > 0 {
-					return results[0].Env, results[0].Expr.Pos(), true
+					return results[0].Env, results[0].Expr.Pos(), i, true
 				}
 			}
 			continue
 		}
 		if p.Expr != nil {
 			if results := match.Find(p.Expr, event, env); len(results) > 0 {
-				return results[0].Env, results[0].Expr.Pos(), true
+				return results[0].Env, results[0].Expr.Pos(), i, true
 			}
 		}
 	}
-	return nil, token.Pos{}, false
+	return nil, token.Pos{}, 0, false
 }
 
 // Count returns how many sub-expressions across fn bodies match pat —

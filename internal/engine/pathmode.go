@@ -21,7 +21,7 @@ func RunPaths(g *cfg.Graph, sm *SM, limit int) []Report {
 	if start == "" {
 		return nil
 	}
-	r := &runner{sm: sm, g: g, seen: map[string]bool{}}
+	r := newRunner(sm, g)
 	for _, path := range paths.Enumerate(g, limit) {
 		r.nPaths++
 		c := config{state: start, env: match.Env{}}

@@ -39,7 +39,7 @@ func NewSim(g *cfg.Graph, sm *SM) *Sim {
 	if sm.StartFor != nil {
 		start = sm.StartFor(g.Fn)
 	}
-	return &Sim{r: &runner{sm: sm, g: g, seen: map[string]bool{}}, start: start}
+	return &Sim{r: newRunner(sm, g), start: start}
 }
 
 // Start returns the initial configuration. ok is false when the SM

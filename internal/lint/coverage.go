@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+
+	"flashmc/internal/engine"
+)
+
+// CoverageDead cross-checks a state machine's static liveness against
+// its dynamic coverage. rulesFired and condsFired are merged fire
+// counts keyed the way engine.Coverage keys them (engine.RuleKey /
+// engine.CondKey — the same labels this package's own diagnostics
+// use), typically aggregated across every protocol in a corpus by
+// internal/cover.
+//
+// A rule the static passes consider live but that fired nowhere is
+// the paper's §11 failure measured instead of inferred: the checker
+// looks healthy, lints clean, and silently checks nothing. Rules (and
+// whole states) that CheckSM already flags Error are excluded — they
+// are dead for a known static reason and diagnosed by the pass that
+// found them.
+//
+// Coverage-dead findings are Warn, not Error: the rule may be live on
+// protocols outside the corpus, so the finding is a prompt to extend
+// the corpus or retire the rule, not proof of a broken checker.
+func CoverageDead(t Target, rulesFired, condsFired map[string]uint64) []Diag {
+	sm := t.SM
+	deadRules := map[string]bool{}
+	deadStates := map[string]bool{}
+	for _, d := range Errors(CheckSM(t)) {
+		switch d.Pass {
+		case "shadowed-rule":
+			deadRules[d.Rule] = true
+		case "unreachable-state":
+			deadStates[d.State] = true
+		}
+	}
+
+	var diags []Diag
+	for i, r := range sm.Rules {
+		label := engine.RuleKey(sm, i)
+		if deadRules[label] || deadStates[r.State] {
+			continue
+		}
+		if rulesFired[label] > 0 {
+			continue
+		}
+		diags = append(diags, Diag{
+			Pass: "coverage-dead", Severity: Warn,
+			SM: sm.Name, State: r.State, Rule: label,
+			Msg: fmt.Sprintf("rule %s is lint-clean but fired on no protocol in the corpus: the checker may be silently blind here", label),
+		})
+	}
+	for i, cr := range sm.Cond {
+		key := engine.CondKey(sm, i)
+		if deadStates[cr.State] {
+			continue
+		}
+		if condsFired[key] > 0 {
+			continue
+		}
+		diags = append(diags, Diag{
+			Pass: "coverage-dead", Severity: Warn,
+			SM: sm.Name, State: cr.State, Rule: key,
+			Msg: fmt.Sprintf("branch-condition rule %s matched no branch on any protocol in the corpus", key),
+		})
+	}
+	sortDiags(diags)
+	return diags
+}

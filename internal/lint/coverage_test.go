@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"flashmc/internal/engine"
+)
+
+// covSM builds a small SM: two live rules plus one rule whose only
+// pattern is shadowed by an earlier rule (statically dead).
+func covSM(t *testing.T) *engine.SM {
+	w := map[string]string{"x": ""}
+	read := stmtPat(t, "read(x);", w)
+	return &engine.SM{
+		Name:  "covsm",
+		Start: "start",
+		Rules: []*engine.Rule{
+			{State: "start", Tag: "open", Patterns: []engine.Pattern{stmtPat(t, "open(x);", w)}, Target: "opened"},
+			{State: "opened", Tag: "read", Patterns: []engine.Pattern{read}},
+			{State: "opened", Tag: "read-again", Patterns: []engine.Pattern{read}},
+		},
+		Cond: []*engine.CondRule{
+			{State: "opened", Pattern: exprPat(t, "is_ok(x)", w).Expr, TrueTarget: "start"},
+		},
+	}
+}
+
+func TestCoverageDeadFlagsUnfiredLiveRule(t *testing.T) {
+	sm := covSM(t)
+	// "open" fired, "read" did not; "read-again" is statically dead
+	// (shadowed) and must NOT be reported by coverage-dead.
+	fired := map[string]uint64{"open": 3}
+	conds := map[string]uint64{"cond#0": 1}
+	diags := CoverageDead(Target{SM: sm}, fired, conds)
+	var rules []string
+	for _, d := range diags {
+		if d.Pass != "coverage-dead" {
+			t.Errorf("unexpected pass %q", d.Pass)
+		}
+		if d.Severity != Warn {
+			t.Errorf("severity %v, want Warn", d.Severity)
+		}
+		rules = append(rules, d.Rule)
+	}
+	joined := strings.Join(rules, ",")
+	if !strings.Contains(joined, "read") {
+		t.Errorf("unfired live rule not flagged: %v", rules)
+	}
+	if strings.Contains(joined, "read-again") {
+		t.Errorf("statically dead rule double-reported: %v", rules)
+	}
+	if strings.Contains(joined, "open") {
+		t.Errorf("fired rule flagged dead: %v", rules)
+	}
+}
+
+func TestCoverageDeadAllFired(t *testing.T) {
+	sm := covSM(t)
+	fired := map[string]uint64{"open": 1, "read": 2}
+	conds := map[string]uint64{"cond#0": 1}
+	if diags := CoverageDead(Target{SM: sm}, fired, conds); len(diags) != 0 {
+		t.Errorf("fully covered SM produced diags: %v", diags)
+	}
+}
+
+func TestCoverageDeadCondRule(t *testing.T) {
+	sm := covSM(t)
+	fired := map[string]uint64{"open": 1, "read": 2}
+	diags := CoverageDead(Target{SM: sm}, fired, nil)
+	found := false
+	for _, d := range diags {
+		if d.Rule == "cond#0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unfired cond rule not flagged: %v", diags)
+	}
+}
+
+func TestCoverageDeadSkipsUnreachableState(t *testing.T) {
+	w := map[string]string{"x": ""}
+	sm := &engine.SM{
+		Name:  "unreach",
+		Start: "start",
+		Rules: []*engine.Rule{
+			{State: "start", Tag: "go", Patterns: []engine.Pattern{stmtPat(t, "go_on(x);", w)}},
+			// "island" is unreachable: CheckSM flags it Error, so its
+			// unfired rule is not coverage-dead.
+			{State: "island", Tag: "lost", Patterns: []engine.Pattern{stmtPat(t, "lost(x);", w)}},
+		},
+	}
+	diags := CoverageDead(Target{SM: sm}, map[string]uint64{"go": 1}, nil)
+	for _, d := range diags {
+		if d.Rule == "lost" {
+			t.Errorf("rule in unreachable state reported coverage-dead: %v", d)
+		}
+	}
+}
+
+// The coverage keys engine produces and the labels lint uses must
+// agree, or the cross-check silently flags everything.
+func TestCoverageKeysMatchRuleLabels(t *testing.T) {
+	sm := covSM(t)
+	for i, r := range sm.Rules {
+		if got, want := engine.RuleKey(sm, i), ruleLabel(sm, r); got != want {
+			t.Errorf("rule %d: engine key %q != lint label %q", i, got, want)
+		}
+	}
+}

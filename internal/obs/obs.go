@@ -164,6 +164,43 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the bucket that holds
+// the target rank, the same estimator Prometheus's histogram_quantile
+// uses. The lowest bucket interpolates from 0; ranks that land in the
+// +Inf overflow bucket clamp to the highest finite bound (the true
+// value is unbounded, so this is a floor, not an estimate). Returns
+// NaN when the histogram is empty or q is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, b := range h.bounds {
+		in := float64(h.buckets[i].Load())
+		if cum+in >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if in == 0 {
+				return b
+			}
+			return lo + (b-lo)*(rank-cum)/in
+		}
+		cum += in
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // metric kinds for registry bookkeeping.
 const (
 	kindCounter   = "counter"
@@ -241,13 +278,21 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // with the given buckets if needed (nil buckets use DefBuckets).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.lookup(name, help, kindHistogram, func(f *family) {
-		if buckets == nil {
-			buckets = DefBuckets
-		}
-		bounds := append([]float64(nil), buckets...)
-		sort.Float64s(bounds)
-		f.histogram = &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+		f.histogram = MakeHistogram(buckets)
 	}).histogram
+}
+
+// MakeHistogram returns a standalone histogram that is not registered
+// anywhere (nil buckets use DefBuckets). For accumulators that manage
+// their own histogram lifetimes, like per-checker timing in
+// internal/cover.
+func MakeHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
 }
 
 // NewCounter registers a counter in the Default registry.
@@ -348,6 +393,11 @@ func (r *Registry) Snapshot() map[string]float64 {
 		case f.histogram != nil:
 			out[f.name+"_count"] = float64(f.histogram.Count())
 			out[f.name+"_sum"] = f.histogram.Sum()
+			if f.histogram.Count() > 0 {
+				out[f.name+"_p50"] = f.histogram.Quantile(0.50)
+				out[f.name+"_p95"] = f.histogram.Quantile(0.95)
+				out[f.name+"_p99"] = f.histogram.Quantile(0.99)
+			}
 		}
 	}
 	return out

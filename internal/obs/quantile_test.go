@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
+	// 10 observations in (1,2]: ranks spread linearly across the bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := h.Quantile(1.0); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("p100 = %v, want 2.0 (bucket upper bound)", got)
+	}
+	// First bucket interpolates from zero.
+	h2 := r.Histogram("q2_seconds", "", []float64{1, 2, 4})
+	for i := 0; i < 4; i++ {
+		h2.Observe(0.5)
+	}
+	if got := h2.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 in first bucket = %v, want 0.5", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qa_seconds", "", []float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5) // bucket (0,1]
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(3) // bucket (2,4]
+	}
+	if got := h.Quantile(0.25); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p25 = %v, want 0.5", got)
+	}
+	// p75 is the midpoint of the (2,4] bucket: rank 75 of 100, with 50
+	// below the bucket and 50 inside it.
+	if got := h.Quantile(0.75); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("p75 = %v, want 3.0", got)
+	}
+}
+
+func TestQuantileOverflowClampsToTopBound(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qo_seconds", "", []float64{1, 2})
+	h.Observe(100) // lands in +Inf overflow bucket
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qe_seconds", "", []float64{1})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	h.Observe(0.5)
+	if got := h.Quantile(-0.1); !math.IsNaN(got) {
+		t.Errorf("q<0 = %v, want NaN", got)
+	}
+	if got := h.Quantile(1.5); !math.IsNaN(got) {
+		t.Errorf("q>1 = %v, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil histogram quantile = %v, want NaN", got)
+	}
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sq_seconds", "", []float64{1, 2, 4})
+	snap := r.Snapshot()
+	if _, ok := snap["sq_seconds_p50"]; ok {
+		t.Error("empty histogram should not publish quantiles")
+	}
+	for i := 0; i < 8; i++ {
+		h.Observe(1.5)
+	}
+	snap = r.Snapshot()
+	for _, k := range []string{"sq_seconds_p50", "sq_seconds_p95", "sq_seconds_p99"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing %s: %v", k, snap)
+		}
+	}
+	if got := snap["sq_seconds_p50"]; math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("snapshot p50 = %v, want 1.5", got)
+	}
+}
+
+// Satellite: escaped label values must round-trip exactly, and each
+// escape must be rejected when malformed.
+func TestParseEscapedLabelValues(t *testing.T) {
+	cases := map[string]string{
+		`m{l="a\"b"} 1` + "\n":   "a\"b",
+		`m{l="a\\b"} 1` + "\n":   `a\b`,
+		`m{l="a\nb"} 1` + "\n":   "a\nb",
+		`m{l="\\\"\n"} 1` + "\n": "\\\"\n",
+	}
+	for input, want := range cases {
+		fams, err := ParsePrometheus(strings.NewReader(input))
+		if err != nil {
+			t.Errorf("%q: %v", input, err)
+			continue
+		}
+		if got := fams["m"].Samples[0].Labels["l"]; got != want {
+			t.Errorf("%q: label = %q, want %q", input, got, want)
+		}
+	}
+	bad := []string{
+		`m{l="a\tb"} 1` + "\n", // \t is not a legal escape
+		`m{l="a\"} 1` + "\n",   // escape eats the closing quote
+		`m{l="a` + "\n",        // unterminated value
+	}
+	for _, input := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(input)); err == nil {
+			t.Errorf("parser accepted malformed escape %q", input)
+		}
+	}
+}
+
+// Satellite: histogram bucket bounds must be strictly ascending.
+func TestParseRejectsBadBucketOrder(t *testing.T) {
+	cases := map[string]string{
+		"non-ascending le": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+		"duplicate le": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="1"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+		"unparsable le": "# TYPE h histogram\n" +
+			`h_bucket{le="wide"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, input)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package paper
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"flashmc/internal/cover"
+)
+
+var (
+	matrixOnce sync.Once
+	matrix     *CoverageMatrix
+)
+
+// testMatrix builds the corpus coverage matrix once; running all nine
+// checkers over six protocols is the expensive part of this file.
+func testMatrix(t *testing.T) *CoverageMatrix {
+	t.Helper()
+	c := testCorpus(t)
+	matrixOnce.Do(func() { matrix = c.Coverage() })
+	return matrix
+}
+
+// Acceptance: every one of the checkers reports at least one
+// dynamically-fired rule somewhere on the corpus.
+func TestEveryCheckerFiresOnCorpus(t *testing.T) {
+	m := testMatrix(t)
+	if len(m.Checkers) == 0 || len(m.Protocols) == 0 {
+		t.Fatalf("empty matrix: %d checkers, %d protocols", len(m.Checkers), len(m.Protocols))
+	}
+	for _, chk := range m.Checkers {
+		c := m.Merged.Checkers[chk]
+		if c == nil || len(c.Rules) == 0 {
+			t.Errorf("checker %s fired no rules on any corpus protocol", chk)
+		}
+	}
+}
+
+// The merged artifact must be a valid coverage/v1 artifact.
+func TestCorpusCoverageValidates(t *testing.T) {
+	m := testMatrix(t)
+	var buf bytes.Buffer
+	if err := m.Merged.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cover.Validate(&buf); err != nil {
+		t.Fatalf("corpus coverage artifact invalid: %v", err)
+	} else if n != len(m.Checkers) {
+		t.Errorf("artifact has %d checkers, matrix has %d", n, len(m.Checkers))
+	}
+}
+
+// Acceptance: coverage-dead is emitted only for rules that fired on no
+// protocol — every diag's rule must have a zero merged count, and
+// every merged-fired rule must be absent from the diags.
+func TestCoverageDeadOnlyForUnfiredRules(t *testing.T) {
+	c := testCorpus(t)
+	m := testMatrix(t)
+	diags := c.CoverageDead(m)
+	for _, d := range diags {
+		if d.Pass != "coverage-dead" {
+			t.Errorf("unexpected pass %q in cross-check output", d.Pass)
+		}
+		for name, cc := range m.Merged.Checkers {
+			if cc.SM != d.SM {
+				continue
+			}
+			if cc.Rules[d.Rule] > 0 || cc.Conds[d.Rule] > 0 {
+				t.Errorf("checker %s: rule %s reported coverage-dead but fired %d/%d times",
+					name, d.Rule, cc.Rules[d.Rule], cc.Conds[d.Rule])
+			}
+		}
+	}
+	// Dedup must hold: one diag per (SM, rule).
+	seen := map[string]bool{}
+	for _, d := range diags {
+		key := d.SM + "\x00" + d.Rule
+		if seen[key] {
+			t.Errorf("duplicate coverage-dead diag for %s/%s", d.SM, d.Rule)
+		}
+		seen[key] = true
+	}
+}
+
+// The matrix cell accessor and the table rendering agree with the
+// per-protocol artifacts.
+func TestMatrixTable(t *testing.T) {
+	m := testMatrix(t)
+	var buf bytes.Buffer
+	m.WriteTable(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "CHECKER") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, chk := range m.Checkers {
+		if !strings.Contains(out, chk) {
+			t.Errorf("checker %s missing from table:\n%s", chk, out)
+		}
+	}
+	for _, p := range m.Protocols {
+		if !strings.Contains(out, p) {
+			t.Errorf("protocol %s missing from table:\n%s", p, out)
+		}
+	}
+	// Spot-check one cell against the artifact.
+	for _, chk := range m.Checkers {
+		for _, p := range m.Protocols {
+			var want uint64
+			if a := m.ByProto[p]; a != nil && a.Checkers[chk] != nil {
+				for _, v := range a.Checkers[chk].Rules {
+					want += v
+				}
+			}
+			if got := m.Fires(chk, p); got != want {
+				t.Errorf("Fires(%s, %s) = %d, artifact sums to %d", chk, p, got, want)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"flashmc/internal/cc/token"
 	"flashmc/internal/checkers"
 	"flashmc/internal/core"
+	"flashmc/internal/cover"
 	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
@@ -19,12 +20,33 @@ import (
 	"flashmc/internal/obs"
 )
 
-// reportsKind versions the depot's report-artifact format. Reports
-// gained witness traces; bumping the kind (rather than every checker
-// version) retires all pre-trace cached reports at once — including
-// those of ad-hoc checkers, which key on source hash alone and would
-// otherwise serve stale trace-less results.
-const reportsKind = "reports/v2"
+// reportsKind versions the depot's report-artifact format. v2 added
+// witness traces; v3 stores the run's dynamic coverage alongside the
+// reports, so a warm run replays exactly the coverage the cold run
+// measured — the property the warm==cold coverage gate tests. Bumping
+// the kind (rather than every checker version) retires all stale
+// cached payloads at once, including those of ad-hoc checkers.
+const reportsKind = "reports/v3"
+
+// artifact is the depot payload for report-producing tasks: the
+// reports plus the non-empty coverages the run recorded. Coverage
+// timing fields are excluded from JSON (see engine.Coverage), so the
+// payload stays byte-deterministic.
+type artifact struct {
+	Reports  []engine.Report    `json:"reports"`
+	Coverage []*engine.Coverage `json:"coverage,omitempty"`
+}
+
+// mkArtifact bundles reports with the non-empty subset of covs.
+func mkArtifact(reports []engine.Report, covs ...*engine.Coverage) artifact {
+	a := artifact{Reports: reports}
+	for _, c := range covs {
+		if !c.Empty() {
+			a.Coverage = append(a.Coverage, c)
+		}
+	}
+	return a
+}
 
 // Job is one checker to run over a program. Exactly one of SM, Run,
 // or Lanes is set:
@@ -44,9 +66,13 @@ type Job struct {
 	// options, ad-hoc checker source.
 	Options string
 
-	SM    *engine.SM
-	Run   func(p *core.Program) []engine.Report
-	Lanes bool
+	SM *engine.SM
+	// Run is a whole-program pass. RunCov, when set, is preferred: it
+	// also returns the pass's dynamic coverage (FlashJobs wires it for
+	// checkers implementing checkers.CoverageProvider).
+	Run    func(p *core.Program) []engine.Report
+	RunCov func(p *core.Program) ([]engine.Report, []*engine.Coverage)
+	Lanes  bool
 }
 
 // Request is one analysis of one loaded program.
@@ -102,6 +128,11 @@ type Analyzer struct {
 	// Tracer, when non-nil, records one span per scheduled task plus a
 	// span for the whole Check call.
 	Tracer *obs.Tracer
+	// Coverage, when non-nil, accumulates every job's dynamic coverage
+	// keyed by job name. Cache hits replay the coverage stored in the
+	// artifact, so the merged counts are identical warm or cold and at
+	// any worker count (the set's merge is additive and commutative).
+	Coverage *cover.Set
 }
 
 // runState accumulates one Check call's cache traffic.
@@ -229,14 +260,18 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				key := depot.Key{Kind: reportsKind, Source: fps[i], Checker: job.Name,
 					Version: job.Version, Options: job.Options}
 				tasks = append(tasks, &Task{ID: fmt.Sprintf("sm:%d:%d", ji, i), Run: func() error {
-					var cached []engine.Report
+					var cached artifact
 					if rs.lookup(d, key, &cached) {
-						smResults[ji][i] = cached
+						smResults[ji][i] = cached.Reports
+						a.recordCoverage(job.Name, cached.Coverage)
 						return nil
 					}
 					rs.markFn(p.Fns[i].Name)
-					smResults[ji][i] = engine.Run(p.Graphs[i], job.SM)
-					return d.PutJSON(key, smResults[ji][i])
+					reports, cov := engine.RunCov(p.Graphs[i], job.SM)
+					smResults[ji][i] = reports
+					art := mkArtifact(reports, cov)
+					a.recordCoverage(job.Name, art.Coverage)
+					return d.PutJSON(key, art)
 				}})
 			}
 
@@ -253,35 +288,46 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 					key := depot.Key{Kind: reportsKind,
 						Source:  reachFingerprint(h, reach, fpByFn),
 						Checker: job.Name, Version: job.Version, Options: job.Options}
-					var cached []engine.Report
+					var cached artifact
 					if rs.lookup(d, key, &cached) {
-						slot.set(h, cached)
+						slot.set(h, cached.Reports)
+						a.recordCoverage(job.Name, cached.Coverage)
 						return nil
 					}
 					rs.markFn(h)
 					one := &flash.Spec{Hardware: []string{h}, Allowance: specAllowance(req.Spec)}
-					got := checkers.CheckLanes(linked, one)
+					got, cov := checkers.CheckLanesCov(linked, one)
 					slot.set(h, got)
-					return d.PutJSON(key, got)
+					art := mkArtifact(got, cov)
+					a.recordCoverage(job.Name, art.Coverage)
+					return d.PutJSON(key, art)
 				}})
 			}
 
-		case job.Run != nil:
+		case job.Run != nil || job.RunCov != nil:
 			key := depot.Key{Kind: reportsKind, Source: progFP, Checker: job.Name,
 				Version: job.Version, Options: job.Options}
 			tasks = append(tasks, &Task{ID: fmt.Sprintf("glob:%d", ji), Run: func() error {
-				var cached []engine.Report
+				var cached artifact
 				if rs.lookup(d, key, &cached) {
-					globalResults[ji] = cached
+					globalResults[ji] = cached.Reports
+					a.recordCoverage(job.Name, cached.Coverage)
 					return nil
 				}
 				rs.markGlobal()
-				globalResults[ji] = job.Run(p)
-				return d.PutJSON(key, globalResults[ji])
+				var covs []*engine.Coverage
+				if job.RunCov != nil {
+					globalResults[ji], covs = job.RunCov(p)
+				} else {
+					globalResults[ji] = job.Run(p)
+				}
+				art := mkArtifact(globalResults[ji], covs...)
+				a.recordCoverage(job.Name, art.Coverage)
+				return d.PutJSON(key, art)
 			}})
 
 		default:
-			return nil, fmt.Errorf("sched: job %s: no SM, Run, or Lanes", job.Name)
+			return nil, fmt.Errorf("sched: job %s: no SM, Run, RunCov, or Lanes", job.Name)
 		}
 	}
 
@@ -309,7 +355,11 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				res.Reports = append(res.Reports, engine.Report{SM: job.Name, Rule: "link", Msg: e.Error(),
 					Trace: engine.Witness(token.Pos{}, "link", e.Error())})
 			}
-		case job.Run != nil:
+			// Link runs live on every call (it is the barrier, never
+			// cached), so its coverage is recorded here identically on
+			// warm and cold paths.
+			a.Coverage.Record(job.Name, checkers.LinkCoverage(len(linkErrs)))
+		case job.Run != nil || job.RunCov != nil:
 			res.Reports = append(res.Reports, globalResults[ji]...)
 		}
 	}
@@ -330,6 +380,17 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 	}
 	sort.Strings(res.Stats.Reanalyzed)
 	return res, nil
+}
+
+// recordCoverage replays a slice of coverages into the analyzer's
+// coverage set (no-op when coverage collection is off).
+func (a *Analyzer) recordCoverage(checker string, covs []*engine.Coverage) {
+	if a.Coverage == nil {
+		return
+	}
+	for _, c := range covs {
+		a.Coverage.Record(checker, c)
+	}
 }
 
 // laneSlot collects one lane job's per-handler reports; tasks write
@@ -373,6 +434,11 @@ func FlashJobs(spec *flash.Spec) []Job {
 		} else {
 			chk := chk
 			job.Run = func(p *core.Program) []engine.Report { return chk.Check(p, spec) }
+			if prov, ok := chk.(checkers.CoverageProvider); ok {
+				job.RunCov = func(p *core.Program) ([]engine.Report, []*engine.Coverage) {
+					return prov.CheckCov(p, spec)
+				}
+			}
 		}
 		jobs = append(jobs, job)
 	}
