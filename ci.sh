@@ -30,6 +30,24 @@ for proto in bitvector dyn_ptr sci coma rac common; do
     cmp "$tmp/cold.$proto" "$tmp/warm.$proto"
 done
 
+# Depot-churn gate: fill a tiny sharded depot past its byte budget and
+# let LRU eviction run between a cold and a warm pass of every
+# protocol. Evicted artifacts recompute, surviving ones replay, and
+# either way the warm report stream must stay byte-identical to cold;
+# the -stats dump must attribute a nonzero depot_gc_evicted_bytes_total
+# or the budget never actually evicted and the gate is vacuous.
+for proto in bitvector dyn_ptr sci coma rac common; do
+    "$tmp/mcheck" -flash -cache "$tmp/churn-depot" -cache-shards 4 \
+        -cache-max-bytes 65536 "$tmp/corpus/$proto"/*.c \
+        > "$tmp/churn-cold.$proto" || true
+    "$tmp/mcheck" -flash -cache "$tmp/churn-depot" -cache-shards 4 \
+        -cache-max-bytes 65536 -stats "$tmp/corpus/$proto"/*.c \
+        > "$tmp/churn-warm.$proto" 2> "$tmp/churn-stats.$proto" || true
+    cmp "$tmp/churn-cold.$proto" "$tmp/churn-warm.$proto"
+done
+grep "^depot_gc_evicted_bytes_total" "$tmp/churn-stats.common"
+! grep -qx "depot_gc_evicted_bytes_total 0" "$tmp/churn-stats.common"
+
 # Observability gate: a real corpus run must emit (a) Prometheus text
 # that the repo's own parser accepts and (b) a Chrome trace_event file
 # containing at least one complete span. obscheck exits nonzero on

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	mcheckd [-addr :8181] [-cache DIR] [-j N] [-gc AGE]
+//	mcheckd [-addr :8181] [-cache DIR] [-cache-shards N]
+//	        [-cache-max-bytes N] [-j N] [-gc AGE]
 //
 // Endpoints:
 //
@@ -25,8 +26,14 @@
 //
 // -cache names the artifact depot shared with mcheck -cache; without
 // it the depot lives in memory for the life of the process (still
-// warm across requests). -gc prunes depot entries older than the
-// given age at startup and every AGE thereafter.
+// warm across requests). -cache-shards fans the depot out over N
+// independently locked shard roots (0 adopts whatever layout the
+// directory already holds; the count is pinned in the depot's DEPOT
+// manifest and a mismatch refuses to start). -gc prunes depot entries
+// unused for the given age; -cache-max-bytes bounds the depot, with
+// least-recently-used artifacts evicted first. Either option starts a
+// background sweeper (interval: the GC age when set, else one
+// minute).
 package main
 
 import (
@@ -44,6 +51,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8181", "listen address")
 	cacheDir := flag.String("cache", "", "artifact depot directory (default: in-memory, per-process)")
+	cacheShards := flag.Int("cache-shards", 0, "depot shard count (0: adopt the directory's existing layout)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "if set, evict least-recently-used depot artifacts beyond this many bytes")
 	workers := flag.Int("j", 0, "parallel analysis workers (default GOMAXPROCS)")
 	gcAge := flag.Duration("gc", 0, "if set, evict depot entries unused for this long (runs at startup and periodically)")
 	flag.Parse()
@@ -63,23 +72,28 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	store, err := depot.Open(*cacheDir)
+	store, err := depot.OpenSharded(*cacheDir, *cacheShards)
 	if err != nil {
 		log.Fatalf("mcheckd: %v", err)
 	}
-	if *gcAge > 0 {
-		if n, err := store.GC(*gcAge); err != nil {
-			log.Printf("mcheckd: gc: %v", err)
-		} else if n > 0 {
-			log.Printf("mcheckd: gc evicted %d entries", n)
+	if *gcAge > 0 || *cacheMaxBytes > 0 {
+		sweep := func() {
+			if n, err := store.GC(*gcAge, *cacheMaxBytes); err != nil {
+				log.Printf("mcheckd: gc: %v", err)
+			} else if n > 0 {
+				log.Printf("mcheckd: gc evicted %d entries", n)
+			}
+		}
+		sweep()
+		// Sweep on the age cadence when one is set; a pure byte budget
+		// has no natural period, so sweep once a minute.
+		interval := *gcAge
+		if interval <= 0 {
+			interval = time.Minute
 		}
 		go func() {
-			for range time.Tick(*gcAge) {
-				if n, err := store.GC(*gcAge); err != nil {
-					log.Printf("mcheckd: gc: %v", err)
-				} else if n > 0 {
-					log.Printf("mcheckd: gc evicted %d entries", n)
-				}
+			for range time.Tick(interval) {
+				sweep()
 			}
 		}()
 	}

@@ -98,11 +98,12 @@ type flight struct {
 // not share counters; /metrics appends the process-global obs.Default
 // registry (engine, sched, depot metrics) after it.
 type server struct {
-	analyzer *sched.Analyzer
-	store    *depot.Depot
-	mux      *http.ServeMux
-	reg      *obs.Registry
-	coverage *cover.Set
+	analyzer  *sched.Analyzer
+	store     *depot.Depot
+	progCache *sched.ProgramCache
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	coverage  *cover.Set
 
 	requests    *obs.Counter
 	errored     *obs.Counter
@@ -112,8 +113,11 @@ type server struct {
 	hits        *obs.Counter
 	misses      *obs.Counter
 	sfShared    *obs.Counter
+	pcHits      *obs.Counter
+	pcMisses    *obs.Counter
 	inflight    *obs.Gauge
 	queueMax    *obs.Gauge
+	shardBytes  *obs.GaugeVec
 
 	nextReqID atomic.Uint64
 
@@ -130,12 +134,13 @@ func newServer(store *depot.Depot, workers int) *server {
 	reg := obs.NewRegistry()
 	covSet := cover.NewSet()
 	s := &server{
-		analyzer: &sched.Analyzer{Depot: store, Workers: workers, Coverage: covSet},
-		store:    store,
-		mux:      http.NewServeMux(),
-		reg:      reg,
-		coverage: covSet,
-		flights:  map[string]*flight{},
+		analyzer:  &sched.Analyzer{Depot: store, Workers: workers, Coverage: covSet},
+		store:     store,
+		progCache: &sched.ProgramCache{Depot: store},
+		mux:       http.NewServeMux(),
+		reg:       reg,
+		coverage:  covSet,
+		flights:   map[string]*flight{},
 
 		requests:    reg.Counter("mcheckd_requests_total", "POST /check requests received"),
 		errored:     reg.Counter("mcheckd_request_errors_total", "requests answered with an error status"),
@@ -145,8 +150,11 @@ func newServer(store *depot.Depot, workers int) *server {
 		hits:        reg.Counter("mcheckd_cache_hits_total", "depot lookups served from cache"),
 		misses:      reg.Counter("mcheckd_cache_misses_total", "depot lookups that required analysis"),
 		sfShared:    reg.Counter("mcheckd_singleflight_shared_total", "/check requests that shared an identical in-flight computation"),
+		pcHits:      reg.Counter("mcheckd_program_cache_hits_total", "/check requests whose parsed program was served from the program cache (frontend skipped)"),
+		pcMisses:    reg.Counter("mcheckd_program_cache_misses_total", "/check requests that ran the frontend"),
 		inflight:    reg.Gauge("mcheckd_inflight_requests", "/check requests currently executing"),
 		queueMax:    reg.Gauge("mcheckd_queue_depth_max", "largest ready-queue depth seen in any request"),
+		shardBytes:  reg.GaugeVec("depot_shard_bytes", "bytes of artifacts per depot shard", "shard"),
 	}
 	reg.GaugeFunc("mcheckd_cache_hit_rate", "hits / (hits + misses) over the process lifetime", func() float64 {
 		h, m := s.hits.Value(), s.misses.Value()
@@ -227,12 +235,25 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	prog, err := core.Load("mcheckd", cpp.Layered(cpp.MapSource(req.Files), flash.HeaderSource()), roots)
+	// The program cache serves identical source trees without running
+	// the frontend: a hit returns the already-parsed (immutable)
+	// program plus its fingerprints, so the warm path goes straight to
+	// the scheduler. Concurrent misses for one tree parse once.
+	srcHash := sched.SourceHash(req.Files, roots)
+	cp, warmProg, err := s.progCache.Load(srcHash, func() (*core.Program, error) {
+		return core.Load("mcheckd", cpp.Layered(cpp.MapSource(req.Files), flash.HeaderSource()), roots)
+	})
 	if err != nil {
 		status = http.StatusBadRequest
 		s.fail(w, status, "load: %v", err)
 		return
 	}
+	if warmProg {
+		s.pcHits.Inc()
+	} else {
+		s.pcMisses.Inc()
+	}
+	prog := cp.Prog
 	resp := checkResponse{Reports: []reportJSON{}}
 	for _, e := range prog.ParseErrors {
 		resp.ParseErrors = append(resp.ParseErrors, e.Error())
@@ -289,7 +310,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// Single-flight: concurrent requests for the same program, job
 	// list, and triage mode share one computation. The key is the
 	// program fingerprint plus everything that shapes the response.
-	fl, leader := s.joinFlight(flightKey(prog, jobs, req.Triage))
+	fl, leader := s.joinFlight(flightKey(cp.ProgramFP, jobs, req.Triage))
 	if !leader {
 		// Counted at join time: this request will reuse the leader's
 		// work whether or not it has finished yet.
@@ -311,7 +332,8 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.testLeaderHook()
 	}
 
-	res, err := s.analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs})
+	res, err := s.analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs,
+		Fingerprints: cp.Fingerprints, ProgramFP: cp.ProgramFP})
 	if err != nil {
 		status = http.StatusInternalServerError
 		fl.code, fl.err = status, fmt.Sprintf("check: %v", err)
@@ -345,10 +367,12 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// flightKey content-addresses one /check computation.
-func flightKey(prog *core.Program, jobs []sched.Job, triage bool) string {
+// flightKey content-addresses one /check computation. The program
+// fingerprint comes from the program cache, so joining a flight never
+// re-walks the AST.
+func flightKey(progFP string, jobs []sched.Job, triage bool) string {
 	h := sha256.New()
-	h.Write([]byte(sched.ProgramFingerprint(prog, sched.Fingerprints(prog))))
+	h.Write([]byte(progFP))
 	for _, j := range jobs {
 		fmt.Fprintf(h, "|%s|%s|%s", j.Name, j.Version, j.Options)
 	}
@@ -467,6 +491,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// Per-shard occupancy is sampled at scrape time; the shard set is
+	// fixed for the depot's lifetime, so samples never go stale.
+	for i, ss := range s.store.Stats().Shards {
+		s.shardBytes.With(fmt.Sprint(i)).Set(float64(ss.Bytes))
+	}
 	s.reg.WritePrometheus(w)
 	// Process-global metrics (engine, sched, depot) follow the
 	// per-server families; the name spaces are disjoint.

@@ -6,9 +6,11 @@ import (
 	"strings"
 	"testing"
 
+	"flashmc/internal/core"
 	"flashmc/internal/cover"
 	"flashmc/internal/flashgen"
 	"flashmc/internal/paper"
+	"flashmc/internal/sched"
 )
 
 func loadBenchCorpus(t *testing.T, seed int64) *paper.Corpus {
@@ -92,6 +94,43 @@ func TestGate(t *testing.T) {
 	if bad := gate(base, vers); len(bad) != 1 || !strings.Contains(bad[0], "bench_schema") {
 		t.Errorf("schema change not flagged: %v", bad)
 	}
+}
+
+// BenchmarkWarmFrontend measures what mcheckd's program cache saves:
+// a cold frontend pass over one protocol (cpp, lex, parse, typecheck,
+// CFG, fingerprint walk) versus a ProgramCache hit on the same tree,
+// which skips all of it and returns the resident parse.
+func BenchmarkWarmFrontend(b *testing.B) {
+	gen := flashgen.Generate(flashgen.Options{Seed: 1})
+	p := gen.Protocol("bitvector")
+	if p == nil {
+		b.Fatal("protocol bitvector not generated")
+	}
+	parse := func() (*core.Program, error) {
+		return core.Load(p.Name, p.Source(), p.RootFiles)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prog, err := parse()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched.ProgramFingerprint(prog, sched.Fingerprints(prog))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := &sched.ProgramCache{}
+		hash := sched.SourceHash(p.Files, p.RootFiles)
+		if _, _, err := cache.Load(hash, parse); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, hit, err := cache.Load(hash, parse); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+	})
 }
 
 // The measured bench result counts real engine work.

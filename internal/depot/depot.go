@@ -3,8 +3,8 @@
 // persists per-function annotated flow graphs to files; the depot
 // generalizes that file-based design into a cache every analysis
 // artifact flows through: parsed-AST fingerprints, per-function
-// CFG/summary blobs (internal/global's JSON format), and per-function
-// checker reports.
+// CFG/summary blobs (internal/global's JSON format), per-function
+// checker reports, and whole-program parse manifests.
 //
 // Artifacts are addressed by Key — hash(preprocessed source) ×
 // checker-id × checker-version × engine-options — so a change to any
@@ -12,16 +12,34 @@
 // under) misses the cache instead of serving a stale result. Writes
 // are atomic (temp file + rename), so a depot directory can be shared
 // by concurrent mcheck runs and a live mcheckd without torn reads.
+//
+// Storage scales out across N shard roots (OpenSharded): the key id
+// deterministically selects a shard, each shard has its own lock
+// domain, LRU index and stats, and a shard root can be a directory on
+// its own volume. The shard count is pinned in a DEPOT manifest file;
+// reopening with a different -cache-shards refuses rather than
+// silently splitting the key space two ways.
+//
+// GC supports both an age bound and a byte budget: artifacts unused
+// for maxAge go first, then least-recently-used artifacts are evicted
+// until the depot fits maxBytes. Recency comes from a per-shard LRU
+// index rebuilt from file mtimes on open (Get bumps mtimes, so the
+// index survives restarts) and persisted to a per-shard lru.idx file
+// on every sweep.
 package depot
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,13 +56,27 @@ var (
 	mPutBytes   = obs.NewCounter("depot_put_bytes_total", "bytes of artifacts stored")
 	mGCRuns     = obs.NewCounter("depot_gc_runs_total", "GC sweeps")
 	mGCRemovals = obs.NewCounter("depot_gc_removed_total", "artifacts removed by GC")
+	mGCEvicted  = obs.NewCounter("depot_gc_evicted_bytes_total", "bytes reclaimed by GC (age, budget, and temp sweeps)")
+)
+
+const (
+	// manifestName pins the shard layout at the depot root. No .json
+	// extension: artifact walks only consider *.json files.
+	manifestName = "DEPOT"
+	// indexName is the per-shard persisted LRU index.
+	indexName = "lru.idx"
+	// tempGrace is how old an orphaned Put temp file must be before a
+	// GC sweep reclaims it. Live writers rename within milliseconds;
+	// anything this stale belongs to a crashed writer.
+	tempGrace = 15 * time.Minute
 )
 
 // Key addresses one artifact. Every field participates in the
 // content address; the zero value of unused fields is fine (summary
 // blobs, for example, carry no checker id).
 type Key struct {
-	// Kind is the artifact class: "summary", "reports", "program", ...
+	// Kind is the artifact class: "summary", "reports/v3",
+	// "programs/v1", ...
 	Kind string
 	// Source is the content hash of the analyzed unit — a function's
 	// parsed-AST fingerprint, or a whole-program fingerprint for
@@ -71,57 +103,213 @@ func (k Key) ID() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// memEntry is one in-memory artifact plus the recency state that
+// makes age- and budget-GC behave like the on-disk depot.
+type memEntry struct {
+	data  []byte
+	atime time.Time
+	seq   uint64
+}
+
+// shard is one storage root with its own lock domain. atimes is the
+// shard's LRU index: last-access times, seeded from file mtimes (and
+// the persisted lru.idx) on open and bumped by Get/Put. It is an
+// overlay, not the source of truth — GC re-walks the shard so writes
+// by other processes sharing the depot are seen too.
+type shard struct {
+	root string
+
+	mu     sync.Mutex
+	atimes map[string]time.Time
+}
+
+func (s *shard) touch(id string, at time.Time) {
+	s.mu.Lock()
+	if old, ok := s.atimes[id]; !ok || at.After(old) {
+		s.atimes[id] = at
+	}
+	s.mu.Unlock()
+}
+
 // Depot is the store. A Depot with an empty directory lives in
 // memory (useful for tests and for running without -cache); otherwise
-// artifacts are files under dir, sharded by the first address byte.
+// artifacts are files spread across shard roots under dir, fanned out
+// by the first address byte within each shard.
 type Depot struct {
-	dir string
+	dir    string
+	shards []*shard
 
 	mu  sync.Mutex
-	mem map[string][]byte
+	mem map[string]*memEntry
+	seq uint64
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	puts   atomic.Uint64
 }
 
+// manifest is the DEPOT file pinning the on-disk layout.
+type manifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
 // Open returns a depot rooted at dir, creating it if needed; an empty
-// dir opens an in-memory depot.
-func Open(dir string) (*Depot, error) {
+// dir opens an in-memory depot. The shard count is adopted from the
+// directory's manifest (legacy depots without one are single-shard).
+func Open(dir string) (*Depot, error) { return OpenSharded(dir, 0) }
+
+// OpenSharded opens a depot with an explicit shard count. shards == 0
+// adopts the existing layout (or 1 for a fresh directory); shards >= 1
+// must match the layout already on disk — a mismatch is refused, since
+// the id → shard mapping would otherwise split the key space.
+func OpenSharded(dir string, shards int) (*Depot, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("depot: shard count %d must be >= 0", shards)
+	}
 	d := &Depot{dir: dir}
 	if dir == "" {
-		d.mem = map[string][]byte{}
+		d.mem = map[string]*memEntry{}
 		return d, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("depot: %w", err)
 	}
+
+	existing := 0
+	mf := filepath.Join(dir, manifestName)
+	if raw, err := os.ReadFile(mf); err == nil {
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil || m.Shards < 1 {
+			return nil, fmt.Errorf("depot: corrupt manifest %s", mf)
+		}
+		existing = m.Shards
+	} else if hasSubdirs(dir) {
+		// Legacy depots predate the manifest and used one flat root.
+		existing = 1
+	}
+	if shards > 0 && existing > 0 && shards != existing {
+		return nil, fmt.Errorf("depot: %s holds a %d-shard layout; refusing to open with %d shards (use -cache-shards %d or a fresh directory)",
+			dir, existing, shards, existing)
+	}
+	n := shards
+	if n == 0 {
+		n = existing
+	}
+	if n == 0 {
+		n = 1
+	}
+	if existing == 0 {
+		raw, _ := json.Marshal(manifest{Version: 1, Shards: n})
+		if err := os.WriteFile(mf, append(raw, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("depot: %w", err)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		root := dir
+		if n > 1 {
+			root = filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+		}
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, fmt.Errorf("depot: %w", err)
+		}
+		sh := &shard{root: root, atimes: map[string]time.Time{}}
+		sh.rebuildIndex()
+		d.shards = append(d.shards, sh)
+	}
 	return d, nil
 }
 
-// path returns the on-disk location of an address.
-func (d *Depot) path(id string) string {
-	return filepath.Join(d.dir, id[:2], id+".json")
+// hasSubdirs reports whether dir already contains directories (the
+// id-prefix fan-out of a legacy single-root depot).
+func hasSubdirs(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardCount returns the number of shard roots (1 for in-memory).
+func (d *Depot) ShardCount() int {
+	if d.mem != nil {
+		return 1
+	}
+	return len(d.shards)
+}
+
+// shardOf deterministically maps an address to a shard: the first
+// four hex bytes of the id, modulo the shard count. It is a pure
+// function of (id, shard count), so every process sharing a depot
+// agrees on the placement.
+func (d *Depot) shardOf(id string) *shard {
+	return d.shards[shardIndex(id, len(d.shards))]
+}
+
+// shardIndex is the placement function, exported through tests: the
+// same id must land on the same shard in every process.
+func shardIndex(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	v, err := strconv.ParseUint(id[:8], 16, 64)
+	if err != nil {
+		// Non-hex ids cannot come from Key.ID; fold bytes instead.
+		v = 0
+		for i := 0; i < len(id); i++ {
+			v = v*131 + uint64(id[i])
+		}
+	}
+	return int(v % uint64(n))
+}
+
+// path returns the on-disk location of an address within its shard.
+func (s *shard) path(id string) string {
+	return filepath.Join(s.root, id[:2], id+".json")
 }
 
 // Get returns the artifact stored under key, if present. Hits bump
-// the entry's mtime so GC retains recently used artifacts.
+// the entry's recency (mtime plus the shard's LRU index) so GC
+// retains recently used artifacts.
 func (d *Depot) Get(key Key) ([]byte, bool) {
 	id := key.ID()
+	now := time.Now()
 	if d.mem != nil {
 		d.mu.Lock()
-		b, ok := d.mem[id]
+		e, ok := d.mem[id]
+		var b []byte
+		if ok {
+			b = e.data
+			e.atime = now
+			d.seq++
+			e.seq = d.seq
+		}
 		d.mu.Unlock()
 		d.count(ok)
 		return b, ok
 	}
-	b, err := os.ReadFile(d.path(id))
+	sh := d.shardOf(id)
+	b, err := os.ReadFile(sh.path(id))
 	if err != nil {
 		d.count(false)
 		return nil, false
 	}
-	now := time.Now()
-	os.Chtimes(d.path(id), now, now) // best effort, for GC recency
+	// Best-effort recency bump. GC may have removed the file between
+	// the read and the bump (fs.ErrNotExist), or a concurrent Put may
+	// have renamed a new generation into place so the bump lands on a
+	// file that is already at least this fresh — both are harmless, so
+	// every failure is tolerated. The shard index records the access
+	// either way, keeping this process's LRU ordering exact.
+	if err := os.Chtimes(sh.path(id), now, now); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		_ = err // permission/IO failures: recency falls back to the last good bump
+	}
+	sh.touch(id, now)
 	d.count(true)
 	return b, true
 }
@@ -144,13 +332,16 @@ func (d *Depot) Put(key Key, blob []byte) error {
 	d.puts.Add(1)
 	mPuts.Inc()
 	mPutBytes.Add(float64(len(blob)))
+	now := time.Now()
 	if d.mem != nil {
 		d.mu.Lock()
-		d.mem[id] = append([]byte(nil), blob...)
+		d.seq++
+		d.mem[id] = &memEntry{data: append([]byte(nil), blob...), atime: now, seq: d.seq}
 		d.mu.Unlock()
 		return nil
 	}
-	dst := d.path(id)
+	sh := d.shardOf(id)
+	dst := sh.path(id)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("depot: %w", err)
 	}
@@ -171,6 +362,7 @@ func (d *Depot) Put(key Key, blob []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("depot: %w", err)
 	}
+	sh.touch(id, now)
 	return nil
 }
 
@@ -198,15 +390,31 @@ func (d *Depot) GetJSON(key Key, v any) bool {
 	return true
 }
 
+// ShardStats describes one shard root's current contents.
+type ShardStats struct {
+	Root      string
+	Entries   int
+	Bytes     int64
+	TempFiles int
+	TempBytes int64
+}
+
 // Stats describes the depot's contents and this process's traffic.
 type Stats struct {
-	// Entries and Bytes describe what is stored now.
+	// Entries and Bytes describe the artifacts stored now.
 	Entries int
 	Bytes   int64
+	// TempFiles and TempBytes count orphaned Put temp files — debris
+	// from crashed writers, reclaimed by GC once they outlive the
+	// grace period.
+	TempFiles int
+	TempBytes int64
 	// Hits, Misses and Puts count this process's Get/Put traffic.
 	Hits   uint64
 	Misses uint64
 	Puts   uint64
+	// Shards breaks Entries/Bytes down per shard root (nil in-memory).
+	Shards []ShardStats
 }
 
 // HitRate is hits/(hits+misses), 0 with no traffic.
@@ -224,58 +432,290 @@ func (d *Depot) Stats() Stats {
 	if d.mem != nil {
 		d.mu.Lock()
 		st.Entries = len(d.mem)
-		for _, b := range d.mem {
-			st.Bytes += int64(len(b))
+		for _, e := range d.mem {
+			st.Bytes += int64(len(e.data))
 		}
 		d.mu.Unlock()
 		return st
 	}
-	filepath.WalkDir(d.dir, func(path string, e fs.DirEntry, err error) error {
-		if err != nil || e.IsDir() || filepath.Ext(path) != ".json" {
-			return nil
+	for _, sh := range d.shards {
+		ss := ShardStats{Root: sh.root}
+		for _, f := range sh.scan() {
+			if f.temp {
+				ss.TempFiles++
+				ss.TempBytes += f.size
+			} else {
+				ss.Entries++
+				ss.Bytes += f.size
+			}
 		}
-		if info, err := e.Info(); err == nil {
-			st.Entries++
-			st.Bytes += info.Size()
-		}
-		return nil
-	})
+		st.Entries += ss.Entries
+		st.Bytes += ss.Bytes
+		st.TempFiles += ss.TempFiles
+		st.TempBytes += ss.TempBytes
+		st.Shards = append(st.Shards, ss)
+	}
 	return st
 }
 
-// GC removes artifacts not read or written within maxAge and returns
-// how many were removed. The in-memory depot has no timestamps; GC
-// with maxAge <= 0 clears it (and, on disk, removes everything).
-func (d *Depot) GC(maxAge time.Duration) (int, error) {
-	mGCRuns.Inc()
-	if d.mem != nil {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		if maxAge <= 0 {
-			n := len(d.mem)
-			d.mem = map[string][]byte{}
-			mGCRemovals.Add(float64(n))
-			return n, nil
+// scanFile is one file found by a shard walk.
+type scanFile struct {
+	path  string
+	id    string // artifact id ("" for temp files)
+	size  int64
+	mtime time.Time
+	temp  bool
+}
+
+// scan walks the shard root and returns its artifacts and temp files.
+// The persisted index and manifest carry no .json extension and no
+// ".tmp" infix, so they are invisible here.
+func (s *shard) scan() []scanFile {
+	var out []scanFile
+	filepath.WalkDir(s.root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return nil
 		}
-		return 0, nil
-	}
-	cutoff := time.Now().Add(-maxAge)
-	removed := 0
-	err := filepath.WalkDir(d.dir, func(path string, e fs.DirEntry, err error) error {
-		if err != nil || e.IsDir() || filepath.Ext(path) != ".json" {
+		name := e.Name()
+		temp := strings.Contains(name, ".tmp")
+		if !temp && filepath.Ext(name) != ".json" {
 			return nil
 		}
 		info, err := e.Info()
 		if err != nil {
 			return nil
 		}
-		if maxAge <= 0 || info.ModTime().Before(cutoff) {
-			if os.Remove(path) == nil {
-				removed++
-			}
+		f := scanFile{path: path, size: info.Size(), mtime: info.ModTime(), temp: temp}
+		if !temp {
+			f.id = strings.TrimSuffix(name, ".json")
 		}
+		out = append(out, f)
 		return nil
 	})
+	return out
+}
+
+// lruIndex is the persisted form of a shard's access order.
+type lruIndex struct {
+	Version int              `json:"version"`
+	Atimes  map[string]int64 `json:"atimes"` // id -> last access, unix nanos
+}
+
+// rebuildIndex seeds the shard's LRU index from file mtimes (Get
+// bumps them, so mtime is last access across restarts) merged with
+// the finer-grained persisted index from the last GC sweep.
+func (s *shard) rebuildIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range s.scan() {
+		if f.temp {
+			continue
+		}
+		s.atimes[f.id] = f.mtime
+	}
+	raw, err := os.ReadFile(filepath.Join(s.root, indexName))
+	if err != nil {
+		return
+	}
+	var idx lruIndex
+	if json.Unmarshal(raw, &idx) != nil {
+		return
+	}
+	for id, ns := range idx.Atimes {
+		if mt, ok := s.atimes[id]; ok { // only files still on disk
+			if at := time.Unix(0, ns); at.After(mt) {
+				s.atimes[id] = at
+			}
+		}
+	}
+}
+
+// writeIndex persists the shard's current access order (best effort:
+// the index is an optimization over mtimes, not the source of truth).
+func (s *shard) writeIndex() {
+	s.mu.Lock()
+	idx := lruIndex{Version: 1, Atimes: make(map[string]int64, len(s.atimes))}
+	for id, at := range s.atimes {
+		idx.Atimes[id] = at.UnixNano()
+	}
+	s.mu.Unlock()
+	raw, err := json.Marshal(idx)
+	if err != nil {
+		return
+	}
+	dst := filepath.Join(s.root, indexName)
+	tmp := dst + ".new"
+	if os.WriteFile(tmp, raw, 0o644) == nil {
+		os.Rename(tmp, dst)
+	}
+}
+
+// GC reclaims space in two passes and returns how many files it
+// removed. With maxAge > 0, artifacts unused for longer are removed
+// (unused = not read or written, across every process sharing the
+// depot). With maxBytes > 0, least-recently-used artifacts are then
+// evicted until the stored bytes fit the budget. maxAge <= 0 &&
+// maxBytes <= 0 clears the depot. Every sweep also reclaims orphaned
+// Put temp files older than a grace period — debris from crashed
+// writers that would otherwise be invisible and immortal.
+func (d *Depot) GC(maxAge time.Duration, maxBytes int64) (int, error) {
+	mGCRuns.Inc()
+	if d.mem != nil {
+		return d.gcMem(maxAge, maxBytes), nil
+	}
+
+	now := time.Now()
+	clearAll := maxAge <= 0 && maxBytes <= 0
+	removed := 0
+	var evictedBytes int64
+
+	// Scan every shard, reconcile each LRU index with what is on disk
+	// (other processes may have added or dropped artifacts), sweep
+	// stale temp files, and apply the age bound.
+	type candidate struct {
+		sh *shard
+		scanFile
+		atime time.Time
+	}
+	var survivors []candidate
+	var total int64
+	cutoff := now.Add(-maxAge)
+	for _, sh := range d.shards {
+		files := sh.scan()
+		live := map[string]bool{}
+		for _, f := range files {
+			if f.temp {
+				if now.Sub(f.mtime) > tempGrace {
+					if os.Remove(f.path) == nil {
+						removed++
+						evictedBytes += f.size
+					}
+				}
+				continue
+			}
+			live[f.id] = true
+		}
+		sh.mu.Lock()
+		for id := range sh.atimes {
+			if !live[id] {
+				delete(sh.atimes, id) // removed by another process
+			}
+		}
+		for _, f := range files {
+			if f.temp {
+				continue
+			}
+			at := f.mtime
+			if known, ok := sh.atimes[f.id]; ok && known.After(at) {
+				at = known
+			} else {
+				sh.atimes[f.id] = at
+			}
+			c := candidate{sh: sh, scanFile: f, atime: at}
+			if clearAll || (maxAge > 0 && at.Before(cutoff)) {
+				if os.Remove(f.path) == nil {
+					removed++
+					evictedBytes += f.size
+					delete(sh.atimes, f.id)
+				}
+				continue
+			}
+			survivors = append(survivors, c)
+			total += f.size
+		}
+		sh.mu.Unlock()
+	}
+
+	// Byte budget: evict globally least-recently-used first. A
+	// survivor whose mtime advanced since the scan was re-put or read
+	// concurrently; it is fresh again, so skip it.
+	if maxBytes > 0 && total > maxBytes {
+		sort.Slice(survivors, func(i, j int) bool { return survivors[i].atime.Before(survivors[j].atime) })
+		for _, c := range survivors {
+			if total <= maxBytes {
+				break
+			}
+			if info, err := os.Stat(c.path); err != nil || info.ModTime().After(c.atime) {
+				if err != nil {
+					total -= c.size // already gone
+				}
+				continue
+			}
+			if os.Remove(c.path) == nil {
+				removed++
+				evictedBytes += c.size
+				total -= c.size
+				c.sh.mu.Lock()
+				delete(c.sh.atimes, c.id)
+				c.sh.mu.Unlock()
+			}
+		}
+	}
+
+	for _, sh := range d.shards {
+		sh.writeIndex()
+	}
 	mGCRemovals.Add(float64(removed))
-	return removed, err
+	mGCEvicted.Add(float64(evictedBytes))
+	return removed, nil
+}
+
+// gcMem applies the same age/budget semantics to the in-memory depot:
+// entries carry last-access times and an access sequence, so age-based
+// GC and LRU eviction behave identically to the on-disk store.
+func (d *Depot) gcMem(maxAge time.Duration, maxBytes int64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	removed := 0
+	var evictedBytes int64
+	if maxAge <= 0 && maxBytes <= 0 {
+		removed = len(d.mem)
+		for _, e := range d.mem {
+			evictedBytes += int64(len(e.data))
+		}
+		d.mem = map[string]*memEntry{}
+	} else {
+		if maxAge > 0 {
+			cutoff := time.Now().Add(-maxAge)
+			for id, e := range d.mem {
+				if e.atime.Before(cutoff) {
+					removed++
+					evictedBytes += int64(len(e.data))
+					delete(d.mem, id)
+				}
+			}
+		}
+		if maxBytes > 0 {
+			var total int64
+			for _, e := range d.mem {
+				total += int64(len(e.data))
+			}
+			if total > maxBytes {
+				ids := make([]string, 0, len(d.mem))
+				for id := range d.mem {
+					ids = append(ids, id)
+				}
+				sort.Slice(ids, func(i, j int) bool {
+					a, b := d.mem[ids[i]], d.mem[ids[j]]
+					if !a.atime.Equal(b.atime) {
+						return a.atime.Before(b.atime)
+					}
+					return a.seq < b.seq // same instant: access order decides
+				})
+				for _, id := range ids {
+					if total <= maxBytes {
+						break
+					}
+					n := int64(len(d.mem[id].data))
+					delete(d.mem, id)
+					removed++
+					evictedBytes += n
+					total -= n
+				}
+			}
+		}
+	}
+	mGCRemovals.Add(float64(removed))
+	mGCEvicted.Add(float64(evictedBytes))
+	return removed
 }

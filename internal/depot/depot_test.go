@@ -157,10 +157,10 @@ func TestGC(t *testing.T) {
 	}
 	// Age one artifact past the cutoff.
 	stale := time.Now().Add(-2 * time.Hour)
-	if err := os.Chtimes(filepath.Join(dir, old.ID()[:2], old.ID()+".json"), stale, stale); err != nil {
+	if err := d.backdate(old, stale); err != nil {
 		t.Fatal(err)
 	}
-	removed, err := d.GC(time.Hour)
+	removed, err := d.GC(time.Hour, 0)
 	if err != nil || removed != 1 {
 		t.Fatalf("GC removed %d, err %v", removed, err)
 	}
@@ -170,7 +170,7 @@ func TestGC(t *testing.T) {
 	if _, ok := d.Get(fresh); !ok {
 		t.Fatal("fresh artifact removed by GC")
 	}
-	if removed, err = d.GC(0); err != nil || removed != 1 {
+	if removed, err = d.GC(0, 0); err != nil || removed != 1 {
 		t.Fatalf("GC(0) removed %d, err %v", removed, err)
 	}
 	if d.Stats().Entries != 0 {

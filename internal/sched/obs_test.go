@@ -39,7 +39,7 @@ func TestGCDuringWarmCheck(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := d.GC(0); err != nil {
+			if _, err := d.GC(0, 0); err != nil {
 				t.Errorf("GC: %v", err)
 				return
 			}

@@ -83,6 +83,13 @@ type Request struct {
 	// requests produce byte-identical report streams whether results
 	// come from the cache or from execution.
 	Jobs []Job
+	// Fingerprints and ProgramFP, when both set and Fingerprints is
+	// parallel to Prog.Fns, skip the fingerprint walk (a ProgramCache
+	// hit supplies them). They must equal Fingerprints(Prog) and
+	// ProgramFingerprint(Prog, fps) — wrong values mis-address the
+	// cache. Left empty, Check computes them.
+	Fingerprints []string
+	ProgramFP    string
 }
 
 // Stats describes one Check call.
@@ -182,8 +189,11 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 	p := req.Prog
 	rs := &runState{reanalyzed: map[string]bool{}}
 
-	fps := Fingerprints(p)
-	progFP := ProgramFingerprint(p, fps)
+	fps, progFP := req.Fingerprints, req.ProgramFP
+	if len(fps) != len(p.Fns) || progFP == "" {
+		fps = Fingerprints(p)
+		progFP = ProgramFingerprint(p, fps)
+	}
 	fpByFn := make(map[string]string, len(p.Fns))
 	for i, fn := range p.Fns {
 		if _, ok := fpByFn[fn.Name]; !ok { // duplicates keep the first, like global.Link

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"sort"
+	"sync"
+
+	"flashmc/internal/core"
+	"flashmc/internal/depot"
+)
+
+// programsKind versions the depot's parse-manifest artifact: the
+// function list, per-function fingerprints, and program fingerprint of
+// one loaded source set, keyed by SourceHash. It lets a warm process
+// skip the fingerprint walk after a parse, and is the persisted half
+// of the cross-request program cache.
+const programsKind = "programs/v1"
+
+// FrontendVersion salts program-cache keys with the frontend's
+// identity. Bump it when the preprocessor, parser, type checker, CFG
+// builder, or fingerprint function changes observable output — a
+// stale manifest or cached program must miss, not serve old shapes.
+const FrontendVersion = "frontend/v1"
+
+// SourceHash content-addresses one frontend invocation: the file set
+// (names and contents), the root ordering, and the frontend version.
+// Two requests with the same hash parse to identical programs, which
+// is what makes the cached *core.Program safely shareable.
+func SourceHash(files map[string]string, roots []string) string {
+	h := sha256.New()
+	io.WriteString(h, FrontendVersion)
+	h.Write([]byte{0})
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		io.WriteString(h, files[name])
+		h.Write([]byte{0})
+	}
+	io.WriteString(h, "roots")
+	h.Write([]byte{0})
+	for _, r := range roots {
+		io.WriteString(h, r)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CachedProgram is a parsed program plus its precomputed fingerprints,
+// ready to feed Analyzer.Check without re-running the frontend.
+type CachedProgram struct {
+	Prog *core.Program
+	// Fingerprints is parallel to Prog.Fns; ProgramFP is the
+	// whole-program fingerprint over it.
+	Fingerprints []string
+	ProgramFP    string
+}
+
+// programManifest is the programs/v1 depot payload.
+type programManifest struct {
+	Functions    []string `json:"functions"`
+	Fingerprints []string `json:"fingerprints"`
+	ProgramFP    string   `json:"program_fingerprint"`
+}
+
+// matches reports whether the manifest describes exactly prog's
+// function list (same definitions, same order).
+func (m programManifest) matches(p *core.Program) bool {
+	if len(m.Functions) != len(p.Fns) || len(m.Fingerprints) != len(p.Fns) || m.ProgramFP == "" {
+		return false
+	}
+	for i, fn := range p.Fns {
+		if m.Functions[i] != fn.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// ProgramCache shares parsed programs across requests, keyed by
+// SourceHash. A hit serves the live *core.Program — loaded programs
+// are immutable after Load, so concurrent checks can share one — and
+// skips the frontend (cpp, lex, parse, typecheck, CFG) entirely.
+// Concurrent misses for the same hash are single-flighted: one parse,
+// every waiter shares it. Parse manifests persist in the Depot under
+// programs/v1, so even a cold process skips the fingerprint walk when
+// the depot has seen the source before.
+type ProgramCache struct {
+	// Depot persists programs/v1 manifests; nil skips persistence.
+	Depot *depot.Depot
+	// Cap bounds how many parsed programs stay resident (LRU evicted
+	// beyond it); <= 0 means 8.
+	Cap int
+
+	mu      sync.Mutex
+	seq     uint64
+	entries map[string]*pcEntry
+	flights map[string]*pcFlight
+}
+
+type pcEntry struct {
+	cp  *CachedProgram
+	seq uint64
+}
+
+type pcFlight struct {
+	done chan struct{}
+	cp   *CachedProgram
+	err  error
+}
+
+func (c *ProgramCache) cap() int {
+	if c.Cap <= 0 {
+		return 8
+	}
+	return c.Cap
+}
+
+// Len returns the number of resident programs.
+func (c *ProgramCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Load returns the program for srcHash, parsing with parse() only on
+// a miss. hit reports whether the frontend was skipped — true both
+// for resident programs and for followers that shared a leader's
+// in-flight parse. Parse failures are returned, never cached.
+func (c *ProgramCache) Load(srcHash string, parse func() (*core.Program, error)) (cp *CachedProgram, hit bool, err error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = map[string]*pcEntry{}
+		c.flights = map[string]*pcFlight{}
+	}
+	if e, ok := c.entries[srcHash]; ok {
+		c.seq++
+		e.seq = c.seq
+		c.mu.Unlock()
+		return e.cp, true, nil
+	}
+	if fl, ok := c.flights[srcHash]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		return fl.cp, fl.err == nil, fl.err
+	}
+	fl := &pcFlight{done: make(chan struct{})}
+	c.flights[srcHash] = fl
+	c.mu.Unlock()
+
+	fl.cp, fl.err = c.build(srcHash, parse)
+
+	c.mu.Lock()
+	delete(c.flights, srcHash)
+	if fl.err == nil {
+		c.seq++
+		c.entries[srcHash] = &pcEntry{cp: fl.cp, seq: c.seq}
+		for len(c.entries) > c.cap() {
+			lruHash, lruSeq := "", uint64(0)
+			for h, e := range c.entries {
+				if lruHash == "" || e.seq < lruSeq {
+					lruHash, lruSeq = h, e.seq
+				}
+			}
+			delete(c.entries, lruHash)
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.cp, false, fl.err
+}
+
+// build runs the frontend and attaches fingerprints, reusing the
+// depot's programs/v1 manifest when it describes this exact parse.
+func (c *ProgramCache) build(srcHash string, parse func() (*core.Program, error)) (*CachedProgram, error) {
+	p, err := parse()
+	if err != nil {
+		return nil, err
+	}
+	cp := &CachedProgram{Prog: p}
+	key := depot.Key{Kind: programsKind, Source: srcHash, Version: FrontendVersion}
+	var m programManifest
+	if c.Depot != nil && c.Depot.GetJSON(key, &m) && m.matches(p) {
+		cp.Fingerprints = m.Fingerprints
+		cp.ProgramFP = m.ProgramFP
+		return cp, nil
+	}
+	cp.Fingerprints = Fingerprints(p)
+	cp.ProgramFP = ProgramFingerprint(p, cp.Fingerprints)
+	if c.Depot != nil {
+		names := make([]string, len(p.Fns))
+		for i, fn := range p.Fns {
+			names[i] = fn.Name
+		}
+		c.Depot.PutJSON(key, programManifest{
+			Functions: names, Fingerprints: cp.Fingerprints, ProgramFP: cp.ProgramFP,
+		})
+	}
+	return cp, nil
+}

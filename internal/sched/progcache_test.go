@@ -1,0 +1,271 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flashmc/internal/core"
+	"flashmc/internal/depot"
+)
+
+func TestSourceHash(t *testing.T) {
+	files := map[string]string{"a.c": "int x;", "b.c": "int y;"}
+	roots := []string{"a.c"}
+	base := SourceHash(files, roots)
+	if base != SourceHash(map[string]string{"b.c": "int y;", "a.c": "int x;"}, []string{"a.c"}) {
+		t.Fatal("hash depends on map iteration order")
+	}
+	variants := []string{
+		SourceHash(map[string]string{"a.c": "int x;", "b.c": "int z;"}, roots),
+		SourceHash(map[string]string{"a.c": "int x;", "c.c": "int y;"}, roots),
+		SourceHash(files, []string{"b.c"}),
+		SourceHash(files, []string{"a.c", "b.c"}),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+	// Name/content boundaries must not be ambiguous.
+	if SourceHash(map[string]string{"ab": "c"}, nil) == SourceHash(map[string]string{"a": "bc"}, nil) {
+		t.Fatal("file name/content concatenation is ambiguous")
+	}
+}
+
+// TestProgramCacheHitSkipsParse: a resident program is served without
+// re-running the frontend, and its fingerprints match a direct
+// computation (warm Check must address the same depot keys as cold).
+func TestProgramCacheHitSkipsParse(t *testing.T) {
+	_, prog := loadProto(t, nil)
+	var parses atomic.Int32
+	parse := func() (*core.Program, error) {
+		parses.Add(1)
+		return prog, nil
+	}
+	c := &ProgramCache{}
+	cp, hit, err := c.Load("h1", parse)
+	if err != nil || hit {
+		t.Fatalf("first load: hit=%v err=%v", hit, err)
+	}
+	cp2, hit, err := c.Load("h1", parse)
+	if err != nil || !hit {
+		t.Fatalf("second load: hit=%v err=%v", hit, err)
+	}
+	if parses.Load() != 1 {
+		t.Fatalf("frontend ran %d times, want 1", parses.Load())
+	}
+	if cp2.Prog != cp.Prog {
+		t.Fatal("hit returned a different program instance")
+	}
+	wantFPs := Fingerprints(prog)
+	if len(cp.Fingerprints) != len(wantFPs) {
+		t.Fatalf("cached %d fingerprints, want %d", len(cp.Fingerprints), len(wantFPs))
+	}
+	for i := range wantFPs {
+		if cp.Fingerprints[i] != wantFPs[i] {
+			t.Fatalf("fingerprint %d differs from direct computation", i)
+		}
+	}
+	if cp.ProgramFP != ProgramFingerprint(prog, wantFPs) {
+		t.Fatal("cached program fingerprint differs from direct computation")
+	}
+}
+
+// TestProgramCacheSingleFlight: concurrent misses on one hash share a
+// single parse.
+func TestProgramCacheSingleFlight(t *testing.T) {
+	_, prog := loadProto(t, nil)
+	var parses atomic.Int32
+	gate := make(chan struct{})
+	parse := func() (*core.Program, error) {
+		parses.Add(1)
+		<-gate
+		return prog, nil
+	}
+	c := &ProgramCache{}
+	var wg sync.WaitGroup
+	cps := make([]*CachedProgram, 8)
+	for i := range cps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, _, err := c.Load("h", parse)
+			if err != nil {
+				t.Errorf("load %d: %v", i, err)
+			}
+			cps[i] = cp
+		}(i)
+	}
+	// Let followers queue behind the leader, then release the parse.
+	for parses.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if parses.Load() != 1 {
+		t.Fatalf("frontend ran %d times under concurrent misses, want 1", parses.Load())
+	}
+	for i, cp := range cps {
+		if cp == nil || cp.Prog != cps[0].Prog {
+			t.Fatalf("waiter %d got a different program", i)
+		}
+	}
+}
+
+// TestProgramCacheErrorNotCached: parse failures propagate and the
+// next Load retries.
+func TestProgramCacheErrorNotCached(t *testing.T) {
+	_, prog := loadProto(t, nil)
+	var parses atomic.Int32
+	boom := errors.New("cpp exploded")
+	c := &ProgramCache{}
+	if _, _, err := c.Load("h", func() (*core.Program, error) {
+		parses.Add(1)
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if _, hit, err := c.Load("h", func() (*core.Program, error) {
+		parses.Add(1)
+		return prog, nil
+	}); err != nil || hit {
+		t.Fatalf("retry after failure: hit=%v err=%v", hit, err)
+	}
+	if parses.Load() != 2 {
+		t.Fatalf("parse ran %d times, want 2 (failure must not be cached)", parses.Load())
+	}
+}
+
+// TestProgramCacheLRUCap: beyond Cap resident programs, the least
+// recently used one is evicted and must re-parse.
+func TestProgramCacheLRUCap(t *testing.T) {
+	_, prog := loadProto(t, nil)
+	parses := map[string]int{}
+	load := func(c *ProgramCache, h string) bool {
+		_, hit, err := c.Load(h, func() (*core.Program, error) {
+			parses[h]++
+			return prog, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	c := &ProgramCache{Cap: 2}
+	load(c, "a")
+	load(c, "b")
+	if !load(c, "a") { // a is now most recently used
+		t.Fatal("a evicted below cap")
+	}
+	load(c, "c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("resident %d programs, cap 2", c.Len())
+	}
+	if !load(c, "a") {
+		t.Fatal("recently used a was evicted")
+	}
+	if load(c, "b") {
+		t.Fatal("b survived past the cap")
+	}
+	if parses["b"] != 2 {
+		t.Fatalf("b parsed %d times, want 2 (evicted then reloaded)", parses["b"])
+	}
+}
+
+// TestProgramCacheManifestReuse: a fresh process (new cache, same
+// depot) must take fingerprints from the programs/v1 manifest instead
+// of re-walking the AST — observable because a sentinel manifest's
+// values are served verbatim — while a manifest whose function list
+// does not match the parse is ignored.
+func TestProgramCacheManifestReuse(t *testing.T) {
+	_, prog := loadProto(t, nil)
+	d, err := depot.Open(filepath.Join(t.TempDir(), "depot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := &ProgramCache{Depot: d}
+	cp, _, err := warm.Load("h", func() (*core.Program, error) { return prog, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite the persisted manifest with sentinel fingerprints.
+	names := make([]string, len(prog.Fns))
+	sentinel := make([]string, len(prog.Fns))
+	for i, fn := range prog.Fns {
+		names[i] = fn.Name
+		sentinel[i] = fmt.Sprintf("sentinel-%d", i)
+	}
+	key := depot.Key{Kind: programsKind, Source: "h", Version: FrontendVersion}
+	if err := d.PutJSON(key, programManifest{Functions: names, Fingerprints: sentinel, ProgramFP: "sentinel-prog"}); err != nil {
+		t.Fatal(err)
+	}
+	cold := &ProgramCache{Depot: d}
+	got, hit, err := cold.Load("h", func() (*core.Program, error) { return prog, nil })
+	if err != nil || hit {
+		t.Fatalf("cold load: hit=%v err=%v", hit, err)
+	}
+	if got.ProgramFP != "sentinel-prog" || got.Fingerprints[0] != "sentinel-0" {
+		t.Fatal("fingerprints recomputed instead of read from the programs/v1 manifest")
+	}
+
+	// A manifest that disagrees with the parse (wrong function list)
+	// must be ignored and overwritten with a correct one.
+	if err := d.PutJSON(key, programManifest{Functions: []string{"bogus"}, Fingerprints: []string{"f"}, ProgramFP: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &ProgramCache{Depot: d}
+	got, _, err = fresh.Load("h", func() (*core.Program, error) { return prog, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProgramFP != cp.ProgramFP {
+		t.Fatal("mismatched manifest was trusted")
+	}
+	var m programManifest
+	if !d.GetJSON(key, &m) || m.ProgramFP != cp.ProgramFP {
+		t.Fatal("corrected manifest not persisted")
+	}
+}
+
+// TestCheckWithCachedFingerprints: Check fed a ProgramCache's
+// fingerprints must address the same depot artifacts and render the
+// same reports as a Check that computes them itself — the invariant
+// that makes the warm mcheckd path byte-identical to cold.
+func TestCheckWithCachedFingerprints(t *testing.T) {
+	proto, prog := loadProto(t, nil)
+	spec := proto.Spec
+	d, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := &Analyzer{Depot: d}
+
+	cold, err := an.Check(Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := &ProgramCache{}
+	cp, _, err := c.Load("h", func() (*core.Program, error) { return prog, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := an.Check(Request{Prog: cp.Prog, Spec: spec, Jobs: FlashJobs(spec),
+		Fingerprints: cp.Fingerprints, ProgramFP: cp.ProgramFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(cold.Reports), render(warm.Reports)) {
+		t.Fatal("cached fingerprints changed the report stream")
+	}
+	if warm.Stats.CacheMisses != 0 {
+		t.Fatalf("warm run missed %d artifacts: fingerprints from the cache address different keys", warm.Stats.CacheMisses)
+	}
+}
