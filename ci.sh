@@ -67,3 +67,23 @@ go run ./cmd/obscheck -prom "$tmp/obs-metrics.txt" -trace "$tmp/obs-trace.json"
 go run ./cmd/paperbench -bench "$tmp/bench.json" -gate BENCH_PR4.json \
     -coverage-out "$tmp/paperbench-cov.json"
 go run ./cmd/obscheck -coverage "$tmp/mcheck-cov.json" -coverage "$tmp/paperbench-cov.json"
+
+# Symbolic-triage gate: over the seeded corpus the sym ladder must
+# keep every one of the 34 true errors certain and demote strictly
+# more false-positive sites than slicing's 24 (TestFPTriageSym pins
+# the per-checker table against the flashgen manifest). Alongside it,
+# the ranked stream must be deterministic: -j 1 cold vs -j 4 warm
+# through one verdict depot must print byte-identical rankings.
+go test -count=1 -run 'TestFPTriage$|TestFPTriageSym' ./internal/paper/
+for proto in bitvector dyn_ptr sci coma rac common; do
+    "$tmp/mcheck" -flash -triage sym -j 1 -cache "$tmp/tri-depot" \
+        "$tmp/corpus/$proto"/*.c > "$tmp/tri-cold.$proto" || true
+    "$tmp/mcheck" -flash -triage sym -j 4 -cache "$tmp/tri-depot" \
+        "$tmp/corpus/$proto"/*.c > "$tmp/tri-warm.$proto" || true
+    cmp "$tmp/tri-cold.$proto" "$tmp/tri-warm.$proto"
+done
+
+# Soundness fuzz: the symbolic evaluator must never refute a path a
+# concrete execution can take. Short budget; minimization capped (the
+# default spends 60s shrinking every new interesting input).
+go test -run FuzzSymEval -fuzz FuzzSymEval -fuzztime 15s -fuzzminimizetime 1x ./internal/sym/

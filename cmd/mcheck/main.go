@@ -4,7 +4,8 @@
 // Usage:
 //
 //	mcheck [-I dir]... [-checker file.metal]... [-flash] [-j N]
-//	       [-cache DIR] [-cache-shards N] [-cache-max-bytes N] file.c...
+//	       [-cache DIR] [-cache-shards N] [-cache-max-bytes N]
+//	       [-triage slice|sym] file.c...
 //	mcheck -emit summaries.json file.c...     (local pass, paper §3.2)
 //	mcheck -link summaries.json...            (global lane pass, §7)
 //
@@ -31,6 +32,15 @@
 // -coverage prints each checker's dynamic rule/state coverage and
 // wall-time attribution; -coverage-out writes the coverage/v1 JSON
 // artifact (validated by obscheck -coverage).
+//
+// With -triage every SM report is ranked by path feasibility before
+// printing: 'slice' replays reports over loop-bounded paths and
+// demotes those firing only on branch-contradictory paths to
+// likely-fp; 'sym' additionally runs a bounded symbolic evaluator
+// over each firing path and demotes reports whose every path is
+// provably unsatisfiable to infeasible. Certain reports print first.
+// Verdicts are cached in -cache keyed by program fingerprint, checker,
+// triage version, and options, so a warm re-triage skips the replay.
 //
 // With -lint every checker state machine is linted (package lint)
 // before anything runs; lint errors — dead rules, unreachable states,
@@ -92,7 +102,14 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write Prometheus text exposition of process metrics to this path")
 	coverage := flag.Bool("coverage", false, "collect per-checker rule/state coverage; print a table and timing attribution to stderr")
 	coverageOut := flag.String("coverage-out", "", "write the coverage/v1 JSON artifact to this path (implies -coverage)")
+	triageFlag := flag.String("triage", "", "rank reports by path feasibility: 'slice' (correlated-branch slicing) or 'sym' (slicing plus bounded symbolic evaluation); verdicts cache in -cache")
 	flag.Parse()
+
+	triageMode, ok := parseTriageMode(*triageFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mcheck: -triage %q: want 'slice' or 'sym'\n", *triageFlag)
+		os.Exit(2)
+	}
 
 	// -j must be a positive worker count; an unset (or zero) flag means
 	// "use every CPU" rather than silently misbehaving.
@@ -165,6 +182,10 @@ func main() {
 		jobs        []sched.Job
 		lintTargets []lintTarget
 	)
+	// Triage keys machines and cache versions by the name reports
+	// carry (sm.Name, which can differ from the registry name).
+	triageSMs := map[string]*engine.SM{}
+	triageVersions := map[string]string{}
 
 	spec := sched.ConventionSpec(prog)
 	specOpt := sched.SpecHash(spec)
@@ -181,9 +202,12 @@ func main() {
 		// takes that role in the depot key, so editing the .metal
 		// file invalidates its cached results.
 		srcHash := sha256.Sum256([]byte(src))
-		jobs = append(jobs, sched.Job{Name: mp.Name, Version: "adhoc-" + hex.EncodeToString(srcHash[:8]),
+		version := "adhoc-" + hex.EncodeToString(srcHash[:8])
+		jobs = append(jobs, sched.Job{Name: mp.Name, Version: version,
 			Options: specOpt, SM: mp.SM})
 		lintTargets = append(lintTargets, lintTarget{sm: mp.SM, decls: mp.Decls})
+		triageSMs[mp.SM.Name] = mp.SM
+		triageVersions[mp.SM.Name] = version
 	}
 	if *flashSuite {
 		jobs = append(jobs, sched.FlashJobs(spec)...)
@@ -191,6 +215,8 @@ func main() {
 			if prov, ok := chk.(checkers.SMProvider); ok {
 				sm, decls := prov.BuildSM(spec)
 				lintTargets = append(lintTargets, lintTarget{sm: sm, decls: decls})
+				triageSMs[sm.Name] = sm
+				triageVersions[sm.Name] = chk.Version()
 			}
 		}
 	}
@@ -247,18 +273,40 @@ func main() {
 			len(st.Reanalyzed), st.Elapsed.Round(1000000))
 	}
 
-	sort.Slice(reports, func(i, j int) bool {
-		a, b := reports[i], reports[j]
-		if a.Pos.File != b.Pos.File {
-			return a.Pos.File < b.Pos.File
+	if triageMode != "" {
+		// Second triage rung: rank every report by path feasibility,
+		// serving verdicts from the depot when the program, checker,
+		// and triage options are unchanged.
+		ranked, tst := analyzer.TriageReports(sched.TriageRequest{Prog: prog,
+			SMs: triageSMs, Versions: triageVersions, Reports: reports,
+			Options: lint.TriageOptions{Mode: triageMode}})
+		if *verbose {
+			fmt.Printf("triage: %d verdict groups from cache, %d recomputed\n",
+				tst.CacheHits, tst.CacheMisses)
 		}
-		return a.Pos.Line < b.Pos.Line
-	})
-	for _, r := range reports {
-		fmt.Printf("%s: [%s] %s\n", r.Pos, r.SM, r.Msg)
-		if *why {
-			for i, s := range r.Trace {
-				fmt.Printf("    #%d %s\n", i+1, s)
+		lint.SortRanked(ranked)
+		for _, r := range ranked {
+			fmt.Printf("%s: [%s] %s (%s: %s)\n", r.Pos, r.SM, r.Msg, r.Confidence, r.Reason)
+			if *why {
+				for i, s := range r.Trace {
+					fmt.Printf("    #%d %s\n", i+1, s)
+				}
+			}
+		}
+	} else {
+		sort.Slice(reports, func(i, j int) bool {
+			a, b := reports[i], reports[j]
+			if a.Pos.File != b.Pos.File {
+				return a.Pos.File < b.Pos.File
+			}
+			return a.Pos.Line < b.Pos.Line
+		})
+		for _, r := range reports {
+			fmt.Printf("%s: [%s] %s\n", r.Pos, r.SM, r.Msg)
+			if *why {
+				for i, s := range r.Trace {
+					fmt.Printf("    #%d %s\n", i+1, s)
+				}
 			}
 		}
 	}
@@ -388,6 +436,20 @@ func linkPass(files []string) int {
 		return 1
 	}
 	return 0
+}
+
+// parseTriageMode maps the -triage flag value to a lint mode; the
+// empty string keeps triage off.
+func parseTriageMode(v string) (lint.TriageMode, bool) {
+	switch v {
+	case "":
+		return "", true
+	case "slice":
+		return lint.ModeSlice, true
+	case "sym":
+		return lint.ModeSym, true
+	}
+	return "", false
 }
 
 func fail(format string, args ...any) {

@@ -31,13 +31,35 @@ import (
 // translation units to parse (default: every *.c file, sorted).
 // Checkers maps names to ad-hoc metal checker sources. Flash selects
 // the built-in suite (default true). Triage replays each SM report
-// over feasible paths and ranks it certain / likely-fp.
+// over feasible paths and ranks it certain / likely-fp; TriageMode
+// picks the ladder ("slice", or "sym" to add the bounded symbolic
+// evaluator, whose refutations rank infeasible) and implies Triage.
+// Verdicts are cached in the server depot, so a warm re-triage of an
+// unchanged tree skips path replay.
 type checkRequest struct {
-	Files    map[string]string `json:"files"`
-	Roots    []string          `json:"roots,omitempty"`
-	Checkers map[string]string `json:"checkers,omitempty"`
-	Flash    *bool             `json:"flash,omitempty"`
-	Triage   bool              `json:"triage,omitempty"`
+	Files      map[string]string `json:"files"`
+	Roots      []string          `json:"roots,omitempty"`
+	Checkers   map[string]string `json:"checkers,omitempty"`
+	Flash      *bool             `json:"flash,omitempty"`
+	Triage     bool              `json:"triage,omitempty"`
+	TriageMode string            `json:"triage_mode,omitempty"`
+}
+
+// triageMode resolves the request's effective triage ladder: the
+// empty mode means triage is off.
+func (r checkRequest) triageMode() (lint.TriageMode, bool) {
+	switch r.TriageMode {
+	case "":
+		if r.Triage {
+			return lint.ModeSlice, true
+		}
+		return "", true
+	case "slice":
+		return lint.ModeSlice, true
+	case "sym":
+		return lint.ModeSym, true
+	}
+	return "", false
 }
 
 type traceStepJSON struct {
@@ -220,6 +242,12 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, status, "no files")
 		return
 	}
+	triageMode, ok := req.triageMode()
+	if !ok {
+		status = http.StatusBadRequest
+		s.fail(w, status, "triage_mode %q: want \"slice\" or \"sym\"", req.TriageMode)
+		return
+	}
 	roots := req.Roots
 	if len(roots) == 0 {
 		for name := range req.Files {
@@ -271,6 +299,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	specOpt := sched.SpecHash(spec)
 	var jobs []sched.Job
 	smByName := map[string]*engine.SM{}
+	smVersions := map[string]string{}
 	adhoc := make([]string, 0, len(req.Checkers))
 	for name := range req.Checkers {
 		adhoc = append(adhoc, name)
@@ -285,9 +314,11 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		srcHash := sha256.Sum256([]byte(src))
-		jobs = append(jobs, sched.Job{Name: mp.Name, Version: "adhoc-" + hex.EncodeToString(srcHash[:8]),
+		version := "adhoc-" + hex.EncodeToString(srcHash[:8])
+		jobs = append(jobs, sched.Job{Name: mp.Name, Version: version,
 			Options: specOpt, SM: mp.SM})
 		smByName[mp.SM.Name] = mp.SM
+		smVersions[mp.SM.Name] = version
 	}
 	if req.Flash == nil || *req.Flash {
 		jobs = append(jobs, sched.FlashJobs(spec)...)
@@ -298,6 +329,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			if prov, ok := chk.(checkers.SMProvider); ok {
 				sm, _ := prov.BuildSM(spec)
 				smByName[sm.Name] = sm
+				smVersions[sm.Name] = chk.Version()
 			}
 		}
 	}
@@ -310,7 +342,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// Single-flight: concurrent requests for the same program, job
 	// list, and triage mode share one computation. The key is the
 	// program fingerprint plus everything that shapes the response.
-	fl, leader := s.joinFlight(flightKey(cp.ProgramFP, jobs, req.Triage))
+	fl, leader := s.joinFlight(flightKey(cp.ProgramFP, jobs, triageMode))
 	if !leader {
 		// Counted at join time: this request will reuse the leader's
 		// work whether or not it has finished yet.
@@ -349,7 +381,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.misses.Add(float64(res.Stats.CacheMisses))
 	s.queueMax.SetMax(float64(res.Stats.MaxQueueDepth))
 
-	resp.Reports = rankReports(prog, res.Reports, smByName, req.Triage)
+	resp.Reports = s.rankReports(prog, cp.ProgramFP, res.Reports, smByName, smVersions, triageMode)
 	resp.Stats = statsJSON{
 		Functions:     res.Stats.Functions,
 		Tasks:         res.Stats.Tasks,
@@ -370,13 +402,13 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // flightKey content-addresses one /check computation. The program
 // fingerprint comes from the program cache, so joining a flight never
 // re-walks the AST.
-func flightKey(progFP string, jobs []sched.Job, triage bool) string {
+func flightKey(progFP string, jobs []sched.Job, mode lint.TriageMode) string {
 	h := sha256.New()
 	h.Write([]byte(progFP))
 	for _, j := range jobs {
 		fmt.Fprintf(h, "|%s|%s|%s", j.Name, j.Version, j.Options)
 	}
-	fmt.Fprintf(h, "|triage=%v", triage)
+	fmt.Fprintf(h, "|triage=%s", mode)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -409,52 +441,31 @@ func (s *server) finishFlight(fl *flight) {
 }
 
 // rankReports orders the combined report stream for the response:
-// with triage, each SM report is replayed over feasible paths and
-// certain reports rank above likely false positives; within a rank,
+// with triage, each SM report is replayed over feasible paths (the
+// verdicts served from the depot when warm) and certain reports rank
+// above demoted ones (likely-fp, then infeasible); within a rank,
 // position order. Without triage every report keeps the CLI's
 // position order and carries no confidence.
-func rankReports(prog *core.Program, reports []engine.Report, smByName map[string]*engine.SM, triage bool) []reportJSON {
-	ranked := make([]lint.RankedReport, 0, len(reports))
-	if triage {
-		// Group by checker, preserving order, so TriageProgram sees
-		// each machine's reports together.
-		var order []string
-		byChecker := map[string][]engine.Report{}
-		for _, r := range reports {
-			if _, ok := byChecker[r.SM]; !ok {
-				order = append(order, r.SM)
-			}
-			byChecker[r.SM] = append(byChecker[r.SM], r)
-		}
-		for _, name := range order {
-			if sm := smByName[name]; sm != nil {
-				ranked = append(ranked, lint.TriageProgram(prog, sm, byChecker[name], lint.TriageOptions{})...)
-			} else {
-				ranked = append(ranked, lint.PassThrough(byChecker[name], "not an SM checker; not triaged")...)
-			}
-		}
+func (s *server) rankReports(prog *core.Program, progFP string, reports []engine.Report, smByName map[string]*engine.SM, smVersions map[string]string, mode lint.TriageMode) []reportJSON {
+	var ranked []lint.RankedReport
+	if mode != "" {
+		ranked, _ = s.analyzer.TriageReports(sched.TriageRequest{Prog: prog,
+			ProgramFP: progFP, SMs: smByName, Versions: smVersions,
+			Reports: reports, Options: lint.TriageOptions{Mode: mode}})
+		lint.SortRanked(ranked)
 	} else {
+		ranked = make([]lint.RankedReport, 0, len(reports))
 		for _, r := range reports {
 			ranked = append(ranked, lint.RankedReport{Report: r})
 		}
+		sort.SliceStable(ranked, func(i, j int) bool {
+			a, b := ranked[i], ranked[j]
+			if a.Pos.File != b.Pos.File {
+				return a.Pos.File < b.Pos.File
+			}
+			return a.Pos.Line < b.Pos.Line
+		})
 	}
-
-	rank := func(c lint.Confidence) int {
-		if c == lint.LikelyFP {
-			return 1
-		}
-		return 0
-	}
-	sort.SliceStable(ranked, func(i, j int) bool {
-		a, b := ranked[i], ranked[j]
-		if triage && rank(a.Confidence) != rank(b.Confidence) {
-			return rank(a.Confidence) < rank(b.Confidence)
-		}
-		if a.Pos.File != b.Pos.File {
-			return a.Pos.File < b.Pos.File
-		}
-		return a.Pos.Line < b.Pos.Line
-	})
 
 	out := make([]reportJSON, 0, len(ranked))
 	for _, r := range ranked {

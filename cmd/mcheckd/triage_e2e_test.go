@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flashmc/internal/depot"
+)
+
+// symFixture pairs a genuine race (one certain report) with a
+// buffer leak that fires only on a value-correlated impossible path:
+// after t0 |= 2 the else arm of `if (t0 & 2)` cannot execute, which
+// only the symbolic rung can prove.
+const symFixture = `#include "flash-includes.h"
+void h_local_get(void) {
+    unsigned a;
+    unsigned b;
+    MISCBUS_READ_DB(a, b);
+    WAIT_FOR_DB_FULL(a);
+    MISCBUS_READ_DB(a, b);
+}
+void h_masked_put(void) {
+    unsigned t0;
+    t0 = t0 | 2;
+    if (t0 & 2) {
+        DEC_DB_REF(0);
+    }
+}
+`
+
+// metricValue extracts one counter's value from a Prometheus text
+// dump (0 when absent).
+func metricValue(t *testing.T, metrics, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestServerSymTriageWarmPath: /check with triage_mode "sym" ranks the
+// provably-impossible leak infeasible below the certain race, and the
+// second identical request serves its verdicts from the depot —
+// counter-gated via sched_triage_cache_{hits,misses}_total — with a
+// byte-identical report stream.
+func TestServerSymTriageWarmPath(t *testing.T) {
+	store, err := depot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(store, 2))
+	defer ts.Close()
+
+	body := `{"files": {"proto.c": ` + mustQuote(symFixture) + `}, "triage_mode": "sym"}`
+
+	before := scrapeMetrics(t, ts)
+	cold, coldRaw := postCheck(t, ts, body)
+
+	var leak *reportJSON
+	for i, r := range cold.Reports {
+		if r.Checker == "buffer_mgmt" && r.Fn == "h_masked_put" {
+			leak = &cold.Reports[i]
+		}
+	}
+	if leak == nil {
+		t.Fatalf("no buffer_mgmt report for h_masked_put:\n%s", coldRaw)
+	}
+	if leak.Confidence != "infeasible" {
+		t.Fatalf("impossible-path leak ranked %q, want infeasible: %+v", leak.Confidence, *leak)
+	}
+	// Ranked stream: every certain report sorts before the demoted leak.
+	seenLeak := false
+	for _, r := range cold.Reports {
+		if r.Checker == "buffer_mgmt" && r.Fn == "h_masked_put" {
+			seenLeak = true
+		} else if r.Confidence == "certain" && seenLeak {
+			t.Fatalf("certain report ranked below the infeasible leak:\n%s", coldRaw)
+		}
+	}
+
+	mid := scrapeMetrics(t, ts)
+	coldMisses := metricValue(t, mid, "sched_triage_cache_misses_total") -
+		metricValue(t, before, "sched_triage_cache_misses_total")
+	if coldMisses == 0 {
+		t.Fatal("cold request recomputed no triage verdict groups")
+	}
+
+	warm, warmRaw := postCheck(t, ts, body)
+	coldReports, _ := json.Marshal(cold.Reports)
+	warmReports, _ := json.Marshal(warm.Reports)
+	if !bytes.Equal(coldReports, warmReports) {
+		t.Fatalf("warm reports differ from cold:\ncold %s\nwarm %s", coldRaw, warmRaw)
+	}
+
+	after := scrapeMetrics(t, ts)
+	if d := metricValue(t, after, "sched_triage_cache_misses_total") -
+		metricValue(t, mid, "sched_triage_cache_misses_total"); d != 0 {
+		t.Errorf("warm request recomputed %v triage verdict groups; want 0", d)
+	}
+	if d := metricValue(t, after, "sched_triage_cache_hits_total") -
+		metricValue(t, mid, "sched_triage_cache_hits_total"); d != coldMisses {
+		t.Errorf("warm request served %v verdict groups from the depot, want %v", d, coldMisses)
+	}
+}
+
+// TestServerBadTriageMode: an unknown triage_mode is a client error,
+// not a silent fallback.
+func TestServerBadTriageMode(t *testing.T) {
+	store, err := depot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(store, 2))
+	defer ts.Close()
+
+	body := `{"files": {"proto.c": ` + mustQuote(symFixture) + `}, "triage_mode": "psychic"}`
+	resp, err := http.Post(ts.URL+"/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("triage_mode=psychic: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	metalint [-I dir]... [-c file.c]... [-flash] [-triage] [-v] checker.metal...
+//	metalint [-I dir]... [-c file.c]... [-flash] [-triage slice|sym] [-v] checker.metal...
 //
 // Each checker.metal argument is compiled and run through the SM lint
 // passes: unreachable states, shadowed/overlapping rules, unused
@@ -19,8 +19,10 @@
 // non-identifier branch conditions the engine's correlated-branch
 // pruner cannot see (its key-space bound), and -triage additionally
 // runs every linted checker over the program and prints each report
-// with a certain / likely-fp confidence from the slicing-based
-// feasibility replay.
+// with a confidence from the feasibility replay: 'slice' ranks
+// certain / likely-fp from path slicing alone, 'sym' adds the bounded
+// symbolic evaluator, which can prove firing paths unsatisfiable and
+// demote their reports to infeasible.
 //
 // Exit status: 2 on usage errors, 1 if any Error-severity finding (or
 // any certain report under -triage) was produced, 0 otherwise.
@@ -51,7 +53,7 @@ func main() {
 	flag.Var(&includes, "I", "include search directory (repeatable)")
 	flag.Var(&cFiles, "c", "protocol-C source to load (repeatable)")
 	flashSuite := flag.Bool("flash", false, "lint the built-in FLASH checker suite")
-	triage := flag.Bool("triage", false, "run linted checkers over -c sources and rank each report")
+	triage := flag.String("triage", "", "run linted checkers over -c sources and rank each report: 'slice' or 'sym'")
 	verbose := flag.Bool("v", false, "print Info-level findings too")
 	flag.Parse()
 
@@ -135,13 +137,24 @@ func main() {
 	}
 
 	certain := 0
-	if *triage {
+	if *triage != "" {
+		var mode lint.TriageMode
+		switch *triage {
+		case "slice":
+			mode = lint.ModeSlice
+		case "sym":
+			mode = lint.ModeSym
+		default:
+			fail("-triage %q: want 'slice' or 'sym'", *triage)
+		}
 		if prog == nil {
 			fail("-triage needs -c sources to run the checkers over")
 		}
 		for _, t := range targets {
 			reports := prog.RunSM(t.sm)
-			for _, rr := range lint.TriageProgram(prog, t.sm, reports, lint.TriageOptions{}) {
+			ranked := lint.TriageProgram(prog, t.sm, reports, lint.TriageOptions{Mode: mode})
+			lint.SortRanked(ranked)
+			for _, rr := range ranked {
 				fmt.Printf("%s: [%s] %s (%s: %s)\n", rr.Pos, t.name, rr.Msg, rr.Confidence, rr.Reason)
 				if rr.Confidence == lint.Certain {
 					certain++

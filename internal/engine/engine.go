@@ -255,6 +255,18 @@ func Witness(pos token.Pos, rule, event string) []TraceStep {
 	return []TraceStep{{Pos: pos, Rule: rule, Event: event}}
 }
 
+// TracePositions returns the ordered source positions the report's
+// witness trace visits. Triage uses them to seed path exploration:
+// CFG paths touching the witness positions are replayed first, so the
+// common feasible case short-circuits before the full enumeration.
+func (r Report) TracePositions() []token.Pos {
+	out := make([]token.Pos, 0, len(r.Trace))
+	for _, s := range r.Trace {
+		out = append(out, s.Pos)
+	}
+	return out
+}
+
 // traceNode is a persistent (shared-tail) list of witness steps hung
 // off a configuration. It is deliberately NOT part of config.key():
 // configurations that differ only in how they got somewhere still

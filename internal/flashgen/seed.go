@@ -301,12 +301,14 @@ func (g *protoGen) emitBufMgmtSites(b *fileBuilder) {
 		f := g.fn(b, g.uniqueName("h_datadep"), flash.HardwareHandler)
 		f.open(false)
 		f.declScratch(1)
+		f.stmt("t0 = t0 | 2;")
 		f.stmt("if (t0 & 2) {")
 		f.stmt("\tDEC_DB_REF(0);")
 		f.stmt("} else {")
 		a := g.annotation(f, "no_free_needed()", "\t")
 		f.stmt("}")
-		g.site("buffer_mgmt", ClassUseless, b.name, a, "data-dependent free")
+		g.site("buffer_mgmt", ClassUseless, b.name, a,
+			"value-correlated impossible path (mask set above)")
 		f.close(false)
 	}
 }

@@ -1,11 +1,17 @@
 package lint
 
 import (
+	"fmt"
+	"sort"
+	"time"
+
 	"flashmc/internal/cc/ast"
 	"flashmc/internal/cc/token"
 	"flashmc/internal/cfg"
 	"flashmc/internal/core"
 	"flashmc/internal/engine"
+	"flashmc/internal/obs"
+	"flashmc/internal/sym"
 )
 
 // The report-triage passes. The paper (§6) attributes most of the 69
@@ -39,7 +45,72 @@ const (
 	// LikelyFP marks reports that only arise on branch-correlated
 	// infeasible paths.
 	LikelyFP Confidence = "likely-fp"
+	// Infeasible marks reports whose every firing path the symbolic
+	// evaluator proved unsatisfiable — the strongest demotion the
+	// triage ladder can issue. Still a report, never silence.
+	Infeasible Confidence = "infeasible"
 )
+
+// Rank orders confidences for display: the stronger the demotion
+// evidence, the later the report sorts.
+func (c Confidence) Rank() int {
+	switch c {
+	case LikelyFP:
+		return 1
+	case Infeasible:
+		return 2
+	}
+	return 0
+}
+
+// SortRanked orders a ranked stream for presentation: confidence
+// rank first (certain above demoted), then position, then checker,
+// rule, and message as tiebreakers. The comparison is a total order
+// over every field that prints, so equal report sets render
+// byte-identically regardless of input order, worker count, or cache
+// temperature.
+func SortRanked(rs []RankedReport) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if ar, br := a.Confidence.Rank(), b.Confidence.Rank(); ar != br {
+			return ar < br
+		}
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.SM != b.SM {
+			return a.SM < b.SM
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// TriageMode selects the triage ladder height.
+type TriageMode string
+
+// Triage modes.
+const (
+	// ModeSlice (the default) is the PR 1 ladder: slicing plus
+	// syntactic branch-outcome contradiction.
+	ModeSlice TriageMode = "slice"
+	// ModeSym adds the bounded symbolic evaluator: paths surviving
+	// the syntactic rung are walked symbolically and the report is
+	// demoted to Infeasible when every firing path is refuted.
+	ModeSym TriageMode = "sym"
+)
+
+// TriageVersion names the triage algorithm revision; it keys depot
+// artifacts so verdicts recompute when the ladder changes.
+const TriageVersion = "1"
 
 // RankedReport is an engine report plus a triage verdict.
 type RankedReport struct {
@@ -54,6 +125,11 @@ type TriageOptions struct {
 	MaxPaths int
 	// MaxSteps caps DFS steps per report (default 200000).
 	MaxSteps int
+	// Mode selects the ladder height (default ModeSlice).
+	Mode TriageMode
+	// SymMaxSteps caps symbolic evaluation steps per path (default
+	// package sym's own).
+	SymMaxSteps int
 }
 
 func (o TriageOptions) withDefaults() TriageOptions {
@@ -63,8 +139,40 @@ func (o TriageOptions) withDefaults() TriageOptions {
 	if o.MaxSteps <= 0 {
 		o.MaxSteps = 200000
 	}
+	if o.Mode == "" {
+		o.Mode = ModeSlice
+	}
 	return o
 }
+
+// Fingerprint renders the options canonically for cache keying: two
+// runs with equal fingerprints produce identical verdicts.
+func (o TriageOptions) Fingerprint() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("mode=%s,paths=%d,steps=%d,symsteps=%d,alg=%s",
+		o.Mode, o.MaxPaths, o.MaxSteps, o.SymMaxSteps, TriageVersion)
+}
+
+// Conservative-fallback and verdict reasons. Every RankedReport.Reason
+// is one of these (pinned by the reason table test); tools may switch
+// on them.
+const (
+	ReasonFnNotFound   = "function not found; not triaged"
+	ReasonSiteNotFound = "report site not located in CFG; not triaged"
+	ReasonBudget       = "path budget exhausted; kept conservatively"
+	ReasonUnreachable  = "report site unreachable from function entry; kept conservatively"
+	ReasonFeasible     = "reproduced on a feasible path"
+	ReasonContradicted = "fires only on paths taking contradictory outcomes of a repeated branch condition"
+	ReasonNotOnPath    = "not reproduced within path bounds; kept conservatively"
+	ReasonSymUndecided = "fires on a path the symbolic evaluator cannot decide; kept conservatively"
+	ReasonSymRefuted   = "every path the report fires on is provably unsatisfiable"
+	ReasonSymMixed     = "fires only on symbolically refuted or branch-contradictory paths"
+	ReasonGlobalPass   = "global pass; not path-triaged"
+)
+
+// Triage latency, per report (both modes).
+var mTriageLatency = obs.NewHistogram("triage_report_seconds",
+	"wall time spent ranking one report", obs.DefBuckets)
 
 // PassThrough ranks every report Certain with the given reason; used
 // for checkers that are not SM-based (global passes have no per-path
@@ -85,10 +193,10 @@ func TriageProgram(p *core.Program, sm *engine.SM, reports []engine.Report, opt 
 		g := p.Graph(r.Fn)
 		if g == nil {
 			out = append(out, RankedReport{Report: r, Confidence: Certain,
-				Reason: "function not found; not triaged"})
+				Reason: ReasonFnNotFound})
 			continue
 		}
-		out = append(out, triageOne(g, sm, r, opt.withDefaults()))
+		out = append(out, triageTimed(g, sm, r, opt.withDefaults()))
 	}
 	return out
 }
@@ -97,43 +205,133 @@ func TriageProgram(p *core.Program, sm *engine.SM, reports []engine.Report, opt 
 func TriageSM(g *cfg.Graph, sm *engine.SM, reports []engine.Report, opt TriageOptions) []RankedReport {
 	out := make([]RankedReport, 0, len(reports))
 	for _, r := range reports {
-		out = append(out, triageOne(g, sm, r, opt.withDefaults()))
+		out = append(out, triageTimed(g, sm, r, opt.withDefaults()))
 	}
 	return out
+}
+
+func triageTimed(g *cfg.Graph, sm *engine.SM, r engine.Report, opt TriageOptions) RankedReport {
+	start := time.Now()
+	rr := triageOne(g, sm, r, opt)
+	mTriageLatency.ObserveDuration(time.Since(start))
+	return rr
 }
 
 func triageOne(g *cfg.Graph, sm *engine.SM, r engine.Report, opt TriageOptions) RankedReport {
 	targets := reportTargets(g, r)
 	if len(targets) == 0 {
 		return RankedReport{Report: r, Confidence: Certain,
-			Reason: "report site not located in CFG; not triaged"}
+			Reason: ReasonSiteNotFound}
 	}
 
 	paths, complete := enumeratePaths(g, targets, opt)
 	if !complete {
 		return RankedReport{Report: r, Confidence: Certain,
-			Reason: "path budget exhausted; kept conservatively"}
+			Reason: ReasonBudget}
+	}
+	if len(paths) == 0 {
+		// The site exists but no entry path reaches it (dead code
+		// behind a return, or an orphaned label). Distinct from "not
+		// reproduced": nothing was replayed at all.
+		return RankedReport{Report: r, Confidence: Certain,
+			Reason: ReasonUnreachable}
+	}
+	seedPaths(paths, r)
+
+	// Second-rung evaluator, built lazily on the first path that
+	// survives the syntactic rung.
+	var ev *sym.Evaluator
+	symEval := func(path []*cfg.Edge) sym.Verdict {
+		if opt.Mode != ModeSym {
+			return sym.Feasible // rung disabled: treat as unrefuted
+		}
+		if ev == nil {
+			ev = sym.NewEvaluator(g, sym.Options{MaxSteps: opt.SymMaxSteps})
+		}
+		return ev.Path(path)
 	}
 
-	reproduced := false
+	var fired, contradicted, refuted, undecided int
 	for _, path := range paths {
-		fired, infeasible := replayPath(g, sm, r, path)
-		if fired && !infeasible {
+		hit, contra := replayPath(g, sm, r, path)
+		if !hit {
+			continue
+		}
+		fired++
+		v := symEval(path)
+		switch {
+		case v == sym.Infeasible:
+			refuted++
+		case contra:
+			// The syntactic rung's evidence stands on its own.
+			contradicted++
+		case v == sym.Undecided:
+			undecided++
+		default:
+			// Feasible as far as both rungs can tell: the report is
+			// evidence. Short-circuit — no stronger demotion exists.
 			return RankedReport{Report: r, Confidence: Certain,
-				Reason: "reproduced on a feasible path"}
-		}
-		if fired {
-			reproduced = true
+				Reason: ReasonFeasible}
 		}
 	}
-	if reproduced {
+
+	switch {
+	case fired == 0:
+		// Fired in the fixed point but on no bounded path:
+		// loop-carried state our bounded enumeration cannot
+		// reconstruct. Keep it.
+		return RankedReport{Report: r, Confidence: Certain,
+			Reason: ReasonNotOnPath}
+	case undecided > 0:
+		return RankedReport{Report: r, Confidence: Certain,
+			Reason: ReasonSymUndecided}
+	case refuted == fired:
+		return RankedReport{Report: r, Confidence: Infeasible,
+			Reason: ReasonSymRefuted}
+	case refuted > 0:
 		return RankedReport{Report: r, Confidence: LikelyFP,
-			Reason: "fires only on paths taking contradictory outcomes of a repeated branch condition"}
+			Reason: ReasonSymMixed}
+	default:
+		return RankedReport{Report: r, Confidence: LikelyFP,
+			Reason: ReasonContradicted}
 	}
-	// Fired in the fixed point but on no bounded path: loop-carried
-	// state our bounded enumeration cannot reconstruct. Keep it.
-	return RankedReport{Report: r, Confidence: Certain,
-		Reason: "not reproduced within path bounds; kept conservatively"}
+}
+
+// seedPaths stably reorders the enumerated paths so the ones touching
+// the report's witness-trace positions replay first: the common
+// feasible case then short-circuits on path one instead of after the
+// whole enumeration.
+func seedPaths(paths [][]*cfg.Edge, r engine.Report) {
+	witness := map[token.Pos]bool{}
+	for _, pos := range r.TracePositions() {
+		witness[pos] = true
+	}
+	if len(witness) == 0 {
+		return
+	}
+	scores := make([]int, len(paths))
+	for i, path := range paths {
+		seen := map[token.Pos]bool{}
+		for _, e := range path {
+			p := e.To.Pos()
+			if witness[p] && !seen[p] {
+				seen[p] = true
+				scores[i]++
+			}
+		}
+	}
+	order := make([]int, len(paths))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return scores[order[i]] > scores[order[j]]
+	})
+	reordered := make([][]*cfg.Edge, len(paths))
+	for i, idx := range order {
+		reordered[i] = paths[idx]
+	}
+	copy(paths, reordered)
 }
 
 // reportTargets locates the CFG nodes whose event contains the

@@ -74,8 +74,16 @@ var paperFPByChecker = map[string]int{
 	"alloc": 2, "directory": 31, "sendwait": 8,
 }
 
-// FPTriage runs the triage pipeline over the stripped corpus.
+// FPTriage runs the slicing-based triage pipeline over the stripped
+// corpus (the PR 1 baseline).
 func FPTriage() (FPTriageResult, error) {
+	return FPTriageMode(lint.ModeSlice)
+}
+
+// FPTriageMode runs the triage pipeline under the given mode, letting
+// the table compare slicing alone against slicing plus the symbolic
+// evaluator's second rung.
+func FPTriageMode(mode lint.TriageMode) (FPTriageResult, error) {
 	c, err := LoadCorpus(flashgen.Options{Seed: 1, StripAnnotations: true})
 	if err != nil {
 		return FPTriageResult{}, err
@@ -106,11 +114,11 @@ func FPTriage() (FPTriageResult, error) {
 			var ranked []lint.RankedReport
 			if prov, ok := ch.(checkers.SMProvider); ok {
 				sm, _ := prov.BuildSM(proto.Spec)
-				ranked = lint.TriageProgram(prog, sm, reports, lint.TriageOptions{})
+				ranked = lint.TriageProgram(prog, sm, reports, lint.TriageOptions{Mode: mode})
 			} else {
 				// Global (non-SM) checkers have no path structure to
 				// replay; their reports pass through as certain.
-				ranked = lint.PassThrough(reports, "global pass; not path-triaged")
+				ranked = lint.PassThrough(reports, lint.ReasonGlobalPass)
 			}
 			a := get(ch.Name())
 			scoreTriaged(proto, prog, ch.Name(), ranked, a)
@@ -189,7 +197,7 @@ func scoreTriaged(proto *flashgen.Protocol, prog *core.Program, checker string, 
 			continue // stray (e.g. a stripped useful annotation's report)
 		}
 		h.reports++
-		if rr.Confidence == lint.LikelyFP {
+		if rr.Confidence.Rank() > 0 { // likely-fp or infeasible
 			h.likelyFP++
 		} else {
 			h.certain++

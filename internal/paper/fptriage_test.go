@@ -1,6 +1,10 @@
 package paper
 
-import "testing"
+import (
+	"testing"
+
+	"flashmc/internal/lint"
+)
 
 // TestFPTriage is the acceptance bar for the triage layer: across the
 // stripped corpus it must demote at least 20 of the paper's 69 false
@@ -39,13 +43,56 @@ func TestFPTriage(t *testing.T) {
 		switch row.Checker {
 		case "buffer_mgmt":
 			// The 22 duplicated-condition annotations demote; the 3
-			// data-dependent ones are feasible and stay.
+			// value-correlated ones need symbolic reasoning slicing
+			// does not have, so they stay under slice mode.
 			if row.Demoted < 20 {
 				t.Errorf("buffer_mgmt: demoted %d, want the dupcond class (>= 20)", row.Demoted)
 			}
 		case "msglen":
 			if row.Demoted != 2 {
 				t.Errorf("msglen: demoted %d, want the variant pair (2)", row.Demoted)
+			}
+		case "directory", "sendwait", "alloc", "buffer_race":
+			if row.Demoted != 0 {
+				t.Errorf("%s: demoted %d feasible-path FPs; want 0", row.Checker, row.Demoted)
+			}
+		}
+	}
+}
+
+// TestFPTriageSym is the acceptance bar for the symbolic second rung:
+// under -triage=sym the pipeline must demote strictly more sites than
+// slicing alone (the three value-correlated buffer_mgmt shapes join
+// the 24 slicing already catches) while every seeded true error still
+// keeps its certain rank — undecidable paths must fall back to
+// certain, never to a demotion.
+func TestFPTriageSym(t *testing.T) {
+	res, err := FPTriageMode(lint.ModeSym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+	tot := res.Totals()
+
+	if tot.Errors != 34 {
+		t.Errorf("error sites reported: %d, want all 34 seeded errors", tot.Errors)
+	}
+	if tot.ErrorsCertain != tot.Errors {
+		t.Errorf("symbolic triage demoted %d true errors — must be zero",
+			tot.Errors-tot.ErrorsCertain)
+	}
+	if tot.Demoted < 25 {
+		t.Errorf("symbolic triage demoted %d sites; want strictly more than slicing's 24",
+			tot.Demoted)
+	}
+
+	for _, row := range res.Rows {
+		switch row.Checker {
+		case "buffer_mgmt":
+			// 22 dupcond + 3 value-correlated shapes.
+			if row.Demoted < 23 {
+				t.Errorf("buffer_mgmt: demoted %d, want dupcond plus the value-correlated class (>= 23)",
+					row.Demoted)
 			}
 		case "directory", "sendwait", "alloc", "buffer_race":
 			if row.Demoted != 0 {

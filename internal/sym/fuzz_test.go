@@ -1,0 +1,274 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/parser"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/cfg"
+)
+
+// FuzzSymEval is the soundness fuzzer: generate a random branchy
+// function over four unsigned locals, execute it concretely with
+// 32-bit wraparound semantics from fuzz-chosen initial values, record
+// the CFG path the execution takes, and demand the symbolic evaluator
+// never calls that concretely-executed path infeasible (and never
+// panics on any path). A failure here means a refutation rule is not
+// a proof.
+func FuzzSymEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 5, 7, 0, 2, 1, 1, 14})
+	f.Add([]byte{4, 0, 0, 2, 9, 0, 2, 13, 14})
+	f.Add([]byte{3, 1, 0, 1, 10, 1, 1, 0, 2, 7, 13, 8, 1, 14, 14})
+	f.Add([]byte{12, 0, 1, 10, 0, 5, 10, 1, 5, 14, 14, 14})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, inits := genFunc(data)
+		file, errs := parser.ParseText("fuzz.c", src)
+		if len(errs) != 0 || len(file.Funcs()) == 0 {
+			t.Fatalf("generator emitted unparseable source:\n%s\n%v", src, errs)
+		}
+		g := cfg.Build(file.Funcs()[0])
+		ev := NewEvaluator(g, Options{})
+
+		path, ok := concreteWalk(g, inits)
+		if ok {
+			if v := ev.Path(path); v == Infeasible {
+				t.Fatalf("refuted a concretely executable path (inits %v):\n%s", inits, src)
+			}
+		}
+
+		// Panic-safety over a bounded sample of paths, executable or
+		// not (sequential branches make the full set exponential).
+		for _, p := range pathsBounded(g, 256) {
+			ev.Path(p)
+		}
+	})
+}
+
+// pathsBounded enumerates entry-to-exit paths like allPaths but stops
+// after max paths, keeping fuzz iterations linear-ish.
+func pathsBounded(g *cfg.Graph, max int) [][]*cfg.Edge {
+	var paths [][]*cfg.Edge
+	var cur []*cfg.Edge
+	visits := map[*cfg.Edge]int{}
+	var dfs func(n *cfg.Node)
+	dfs = func(n *cfg.Node) {
+		if len(paths) >= max {
+			return
+		}
+		if n == g.Exit {
+			paths = append(paths, append([]*cfg.Edge(nil), cur...))
+			return
+		}
+		for _, e := range n.Succs {
+			if visits[e] >= 2 {
+				continue
+			}
+			visits[e]++
+			cur = append(cur, e)
+			dfs(e.To)
+			cur = cur[:len(cur)-1]
+			visits[e]--
+		}
+	}
+	dfs(g.Entry)
+	return paths
+}
+
+// genFunc renders fuzz bytes as one protocol-C function over locals
+// t0..t3, plus the initial values the concrete run starts from. Only
+// constructs the symbolic evaluator models are emitted; every program
+// is loop-free, so the concrete walk terminates.
+func genFunc(data []byte) (string, [4]uint32) {
+	var inits [4]uint32
+	for i := range inits {
+		if len(data) > 0 {
+			inits[i] = uint32(data[0]) | uint32(data[0])<<8
+			data = data[1:]
+		}
+	}
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+
+	var b strings.Builder
+	b.WriteString("void h(void) {\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "\tunsigned t%d;\n", i)
+	}
+	// elseOK[d] records whether the open block at depth d can still
+	// grow an else arm. Ops and nesting are capped so the rendered
+	// source stays small no matter how large the fuzz input grows.
+	const maxOps, maxDepth = 256, 24
+	var elseOK []bool
+	emit := func(s string) {
+		b.WriteByte('\t')
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	for ops := 0; len(data) > 0 && ops < maxOps; ops++ {
+		op := next() % 16
+		a := next() % 4
+		if op >= 7 && op <= 12 && len(elseOK) >= maxDepth {
+			op = 0 // too deep: degrade branch ops to a plain store
+		}
+		switch op {
+		case 0:
+			emit(fmt.Sprintf("t%d = %d;", a, next()%64))
+		case 1:
+			emit(fmt.Sprintf("t%d = t%d;", a, next()%4))
+		case 2:
+			emit(fmt.Sprintf("t%d = t%d + %d;", a, next()%4, next()%64))
+		case 3:
+			emit(fmt.Sprintf("t%d = t%d & %d;", a, next()%4, next()%64))
+		case 4:
+			emit(fmt.Sprintf("t%d = t%d | %d;", a, next()%4, next()%64))
+		case 5:
+			emit(fmt.Sprintf("t%d = t%d ^ %d;", a, next()%4, next()%64))
+		case 6:
+			emit(fmt.Sprintf("t%d = t%d - %d;", a, next()%4, next()%64))
+		case 7:
+			emit(fmt.Sprintf("if (t%d) {", a))
+			elseOK = append(elseOK, true)
+		case 8:
+			emit(fmt.Sprintf("if (!t%d) {", a))
+			elseOK = append(elseOK, true)
+		case 9:
+			emit(fmt.Sprintf("if (t%d & %d) {", a, next()%64))
+			elseOK = append(elseOK, true)
+		case 10:
+			emit(fmt.Sprintf("if (t%d == %d) {", a, next()%64))
+			elseOK = append(elseOK, true)
+		case 11:
+			emit(fmt.Sprintf("if (t%d < %d) {", a, next()%64))
+			elseOK = append(elseOK, true)
+		case 12:
+			emit(fmt.Sprintf("if (t%d != t%d) {", a, next()%4))
+			elseOK = append(elseOK, true)
+		case 13:
+			if n := len(elseOK); n > 0 && elseOK[n-1] {
+				elseOK[n-1] = false
+				b.WriteString("\t} else {\n")
+			}
+		case 14:
+			if n := len(elseOK); n > 0 {
+				elseOK = elseOK[:n-1]
+				b.WriteString("\t}\n")
+			}
+		case 15:
+			emit(fmt.Sprintf("t%d = t%d + t%d;", a, next()%4, next()%4))
+		}
+	}
+	for n := len(elseOK); n > 0; n-- {
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("}\n")
+	return b.String(), inits
+}
+
+// concreteWalk executes g with C unsigned-32 semantics from the given
+// initial values and returns the edge path taken.
+func concreteWalk(g *cfg.Graph, inits [4]uint32) ([]*cfg.Edge, bool) {
+	env := map[string]uint32{}
+	var path []*cfg.Edge
+	cur := g.Entry
+	for steps := 0; cur != g.Exit; steps++ {
+		if steps > 100000 {
+			return nil, false // defensive; generated code is loop-free
+		}
+		var edge *cfg.Edge
+		if cur.Kind == cfg.KindBranch {
+			want := cfg.False
+			if cEval(cur.Cond, env) != 0 {
+				want = cfg.True
+			}
+			for _, e := range cur.Succs {
+				if e.Label == want {
+					edge = e
+					break
+				}
+			}
+		} else if len(cur.Succs) > 0 {
+			edge = cur.Succs[0]
+		}
+		if edge == nil {
+			return nil, false
+		}
+		path = append(path, edge)
+		cur = edge.To
+		if cur.Kind == cfg.KindStmt {
+			switch s := cur.Stmt.(type) {
+			case *ast.ExprStmt:
+				cEval(s.X, env)
+			case *ast.DeclStmt:
+				// Uninitialized locals start from the fuzz-chosen
+				// values: every concrete choice is a legal execution.
+				idx := int(s.Decl.Name[len(s.Decl.Name)-1] - '0')
+				env[s.Decl.Name] = inits[idx%4]
+			}
+		}
+	}
+	return path, true
+}
+
+// cEval is the concrete reference interpreter for the generated
+// subset: unsigned 32-bit wraparound arithmetic.
+func cEval(e ast.Expr, env map[string]uint32) uint32 {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return env[x.Name]
+	case *ast.IntLit:
+		return uint32(x.Value)
+	case *ast.Paren:
+		return cEval(x.X, env)
+	case *ast.Unary:
+		if x.Op == token.Not {
+			if cEval(x.X, env) == 0 {
+				return 1
+			}
+			return 0
+		}
+		panic(fmt.Sprintf("cEval: unary op %v not in generated subset", x.Op))
+	case *ast.Assign:
+		v := cEval(x.RHS, env)
+		env[x.LHS.(*ast.Ident).Name] = v
+		return v
+	case *ast.Binary:
+		a := cEval(x.X, env)
+		bb := cEval(x.Y, env)
+		switch x.Op {
+		case token.Add:
+			return a + bb
+		case token.Sub:
+			return a - bb
+		case token.BitAnd:
+			return a & bb
+		case token.BitOr:
+			return a | bb
+		case token.BitXor:
+			return a ^ bb
+		case token.Eq:
+			return b2u(a == bb)
+		case token.NotEq:
+			return b2u(a != bb)
+		case token.Less:
+			return b2u(a < bb)
+		}
+	}
+	panic(fmt.Sprintf("cEval: node %T not in generated subset", e))
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

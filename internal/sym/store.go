@@ -1,0 +1,139 @@
+package sym
+
+import "flashmc/internal/cc/ast"
+
+// The constraint store binds local names to value cells. A cell is
+// one SSA-like path value: assignment rebinds the name to a fresh
+// cell, so facts recorded about the old cell (refinements,
+// disequalities) keep describing the old value and never leak onto
+// the new one. Equality is represented by aliasing — `x = y` binds
+// both names to one shared cell, so refining x through a later branch
+// refines y for free until either is rewritten.
+type cell struct{ v Val }
+
+type store struct {
+	max   int
+	cells map[string]*cell
+	// diseq records pairs of cells whose values are proven unequal.
+	diseq [][2]*cell
+}
+
+func newStore(max int) *store {
+	return &store{max: max, cells: map[string]*cell{}}
+}
+
+// value reads a name's current abstract value (top when unbound).
+func (s *store) value(name string) Val {
+	if c := s.cells[name]; c != nil {
+		return c.v
+	}
+	return top()
+}
+
+// bind rebinds name to a fresh cell holding v (a strong update).
+func (s *store) bind(name string, v Val) {
+	if len(s.cells) >= s.max {
+		if _, exists := s.cells[name]; !exists {
+			return // over budget: drop the fact, stay conservative
+		}
+	}
+	s.cells[name] = &cell{v: v}
+}
+
+// alias binds dst to src's cell, making them provably equal.
+func (s *store) alias(dst, src string) {
+	c := s.cells[src]
+	if c == nil {
+		if len(s.cells) >= s.max {
+			s.cells[dst] = nil
+			delete(s.cells, dst)
+			return
+		}
+		c = &cell{v: top()}
+		s.cells[src] = c
+	}
+	s.cells[dst] = c
+}
+
+// update refines name's current cell in place, which also refines
+// every alias of the same value.
+func (s *store) update(name string, v Val) {
+	c := s.cells[name]
+	if c == nil {
+		s.bind(name, v)
+		return
+	}
+	c.v = v
+}
+
+// diseqOrEq records an (in)equality between two expressions when both
+// are tracked bare identifiers. Equality merges the abstract values
+// in place (both cells narrow to the meet); disequality records the
+// cell pair.
+func (s *store) diseqOrEq(ev *Evaluator, x, y ast.Expr, equal bool) {
+	xn, ok1 := pureTrackedIdent(ev, x)
+	yn, ok2 := pureTrackedIdent(ev, y)
+	if !ok1 || !ok2 || xn == yn {
+		return
+	}
+	cx, cy := s.cells[xn], s.cells[yn]
+	if cx == nil {
+		cx = &cell{v: top()}
+		s.cells[xn] = cx
+	}
+	if cy == nil {
+		cy = &cell{v: top()}
+		s.cells[yn] = cy
+	}
+	if cx == cy {
+		if !equal {
+			// x != y on a shared cell: the values are identical, so
+			// the path is contradictory. Empty the cell.
+			cx.v = Val{Lo: 1, Hi: 0}
+		}
+		return
+	}
+	if equal {
+		m := meet(cx.v, cy.v)
+		cx.v = m
+		cy.v = m
+	} else if len(s.diseq) < s.max {
+		s.diseq = append(s.diseq, [2]*cell{cx, cy})
+	}
+}
+
+// checkUnsat reports whether the store is provably unsatisfiable:
+// some cell has an empty concretization, or a disequality pins two
+// cells to the same single point.
+func (s *store) checkUnsat() bool {
+	for _, c := range s.cells {
+		if c != nil && c.v.empty() {
+			return true
+		}
+	}
+	for _, pair := range s.diseq {
+		if pair[0].v.empty() || pair[1].v.empty() {
+			return true
+		}
+		a, aok := pair[0].v.point()
+		b, bok := pair[1].v.point()
+		if aok && bok && a == b {
+			return true
+		}
+	}
+	return false
+}
+
+// size counts store entries carrying information (non-top cells plus
+// disequalities); feeds the constraint-store histogram.
+func (s *store) size() int {
+	seen := map[*cell]bool{}
+	n := 0
+	for _, c := range s.cells {
+		if c != nil && !seen[c] && !c.v.isTop() {
+			seen[c] = true
+			n++
+		}
+	}
+	return n + len(s.diseq)
+}

@@ -1,0 +1,791 @@
+// Package sym is a bounded symbolic evaluator over the protocol-C
+// subset. It walks one loop-bounded CFG path at a time, maintaining a
+// per-path constraint store over the function's scalar locals
+// (intervals, known-bits congruences, equalities via shared value
+// cells, and disequalities), and declares the path Infeasible only
+// when the store is provably unsatisfiable. Everything it cannot
+// model — calls, pointer writes, side-effecting conditions, values
+// outside the wrap-free range — is handled by conservative havoc, so
+// a refutation is a proof while Feasible/Undecided are merely the
+// absence of one. The lint triage layer builds on that asymmetry: a
+// report is demoted only when every path it fires on is refuted.
+package sym
+
+import (
+	"flashmc/internal/cc/ast"
+	"flashmc/internal/cc/token"
+	"flashmc/internal/cfg"
+	"flashmc/internal/obs"
+)
+
+// Verdict is the outcome of evaluating one path.
+type Verdict int
+
+// Verdicts. Only Infeasible is a proof; the other two mean "no proof".
+const (
+	// Feasible: the walk completed and the store stayed satisfiable.
+	// The path may still be infeasible for reasons outside the domain.
+	Feasible Verdict = iota
+	// Infeasible: the constraint store became unsatisfiable — no
+	// concrete execution can follow this path.
+	Infeasible
+	// Undecided: the walk gave up (back edge on the path, or budget
+	// exhausted) before reaching a conclusion.
+	Undecided
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Undecided:
+		return "undecided"
+	}
+	return "?"
+}
+
+// Options bounds one evaluator.
+type Options struct {
+	// MaxSteps caps evaluation steps per path (default 4096); an
+	// exhausted budget yields Undecided, never Infeasible.
+	MaxSteps int
+	// MaxConstraints caps tracked store entries (cells plus
+	// disequalities, default 256); beyond it new facts are dropped.
+	MaxConstraints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 4096
+	}
+	if o.MaxConstraints <= 0 {
+		o.MaxConstraints = 256
+	}
+	return o
+}
+
+// Evaluator metrics (registered on the default observability registry).
+var (
+	mRefuted = obs.NewCounter("sym_paths_refuted_total",
+		"paths proven infeasible by the symbolic evaluator")
+	mFeasible = obs.NewCounter("sym_paths_feasible_total",
+		"paths the symbolic evaluator completed without refuting")
+	mUndecided = obs.NewCounter("sym_paths_undecided_total",
+		"paths the symbolic evaluator gave up on (back edge or budget)")
+	mStoreSize = obs.NewHistogram("sym_store_constraints",
+		"constraint-store entries at end of one path walk",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+)
+
+// Evaluator evaluates paths through one function's CFG. It is not
+// safe for concurrent use; each walk mutates a fresh store but shares
+// the precomputed function facts.
+type Evaluator struct {
+	g   *cfg.Graph
+	opt Options
+	// tracked names: scalar locals and parameters. Reads of anything
+	// else are top; writes to anything else are ignored (sound: the
+	// store simply says nothing about them).
+	tracked map[string]bool
+	// addrTaken locals can be written through pointers; they are
+	// havocked at every call and pointer store.
+	addrTaken map[string]bool
+	back      map[*cfg.Edge]bool
+}
+
+// NewEvaluator prepares an evaluator for g.
+func NewEvaluator(g *cfg.Graph, opt Options) *Evaluator {
+	ev := &Evaluator{
+		g:         g,
+		opt:       opt.withDefaults(),
+		tracked:   map[string]bool{},
+		addrTaken: map[string]bool{},
+		back:      g.BackEdges(),
+	}
+	for _, p := range g.Fn.Params {
+		ev.tracked[p.Name] = true
+	}
+	for _, n := range g.Nodes {
+		var x ast.Node
+		switch n.Kind {
+		case cfg.KindStmt:
+			x = n.Stmt
+		case cfg.KindBranch:
+			x = n.Cond
+		default:
+			continue
+		}
+		ast.Inspect(x, func(nd ast.Node) bool {
+			switch d := nd.(type) {
+			case *ast.DeclStmt:
+				ev.tracked[d.Decl.Name] = true
+			case *ast.Unary:
+				if d.Op == token.BitAnd {
+					if id, ok := unparen(d.X).(*ast.Ident); ok {
+						ev.addrTaken[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ev
+}
+
+// Path walks one edge sequence starting at the function entry (the
+// shape produced by the lint path enumerator) and returns its verdict.
+func (ev *Evaluator) Path(path []*cfg.Edge) Verdict {
+	// Paths that cross a back edge re-enter loop bodies the bounded
+	// enumeration unrolled; the store stays sound along them, but the
+	// enumeration itself under-approximates loop behavior, so refuting
+	// an unrolled path must not demote a report. Give up early.
+	for _, e := range path {
+		if ev.back[e] {
+			mUndecided.Inc()
+			return Undecided
+		}
+	}
+
+	w := &walk{ev: ev, st: newStore(ev.opt.MaxConstraints)}
+	v := w.run(path)
+	mStoreSize.Observe(float64(w.st.size()))
+	switch v {
+	case Infeasible:
+		mRefuted.Inc()
+	case Undecided:
+		mUndecided.Inc()
+	default:
+		mFeasible.Inc()
+	}
+	return v
+}
+
+// walk is the per-path evaluation state.
+type walk struct {
+	ev    *Evaluator
+	st    *store
+	steps int
+	over  bool // budget exhausted
+	unsat bool
+}
+
+func (w *walk) tick() bool {
+	w.steps++
+	if w.steps > w.ev.opt.MaxSteps {
+		w.over = true
+	}
+	return !w.over
+}
+
+func (w *walk) run(path []*cfg.Edge) Verdict {
+	for _, e := range path {
+		// Commit to the branch outcome this edge encodes.
+		if e.From.Kind == cfg.KindBranch {
+			w.assumeEdge(e)
+		}
+		if w.unsat {
+			return Infeasible
+		}
+		if w.over {
+			return Undecided
+		}
+		// Apply the effects of the node the edge enters.
+		switch e.To.Kind {
+		case cfg.KindStmt:
+			w.execStmt(e.To.Stmt)
+		case cfg.KindBranch:
+			// A side-effecting condition executes when reached; the
+			// outgoing edge then skips refinement (assumeEdge checks
+			// purity itself).
+			if !pure(e.To.Cond) {
+				w.exec(e.To.Cond)
+			}
+		}
+		if w.unsat {
+			// Effects alone never falsify the store (writes rebind);
+			// this only trips via refinement inside an impure-cond
+			// exec, which cannot happen — but stay defensive.
+			return Infeasible
+		}
+		if w.over {
+			return Undecided
+		}
+	}
+	return Feasible
+}
+
+// assumeEdge refines the store with the branch outcome edge e commits
+// to, and flags unsat when the outcome is provably impossible.
+func (w *walk) assumeEdge(e *cfg.Edge) {
+	cond := e.From.Cond
+	if cond == nil || !pure(cond) {
+		return
+	}
+	switch e.Label {
+	case cfg.True, cfg.False:
+		want := e.Label == cfg.True
+		v := w.exec(cond)
+		switch v.truth() {
+		case defTrue:
+			if !want {
+				w.unsat = true
+				return
+			}
+		case defFalse:
+			if want {
+				w.unsat = true
+				return
+			}
+		}
+		w.refineTruth(cond, want)
+	case cfg.CaseEq:
+		if e.CaseVal == nil || !pure(e.CaseVal) {
+			return
+		}
+		cv := w.exec(e.CaseVal)
+		tag := w.exec(cond)
+		if bothNonNeg(tag, cv) && cmpEq(tag, cv) == defFalse {
+			w.unsat = true
+			return
+		}
+		w.refineVal(cond, cv)
+	case cfg.Default:
+		// The default edge excludes every sibling case constant.
+		for _, sib := range e.From.Succs {
+			if sib.Label != cfg.CaseEq || sib.CaseVal == nil || !pure(sib.CaseVal) {
+				continue
+			}
+			if c, ok := w.exec(sib.CaseVal).point(); ok {
+				w.refineNotEq(cond, c)
+			}
+		}
+	}
+	if w.st.checkUnsat() {
+		w.unsat = true
+	}
+}
+
+// execStmt applies a statement's effects to the store.
+func (w *walk) execStmt(s ast.Stmt) {
+	if !w.tick() {
+		return
+	}
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		w.exec(x.X)
+	case *ast.DeclStmt:
+		d := x.Decl
+		if d.Init != nil {
+			if id, ok := pureTrackedIdent(w.ev, d.Init); ok {
+				w.st.alias(d.Name, id)
+				return
+			}
+			v := w.exec(d.Init)
+			w.st.bind(d.Name, v)
+			return
+		}
+		w.st.bind(d.Name, top())
+	case *ast.Return:
+		if x.X != nil {
+			w.exec(x.X)
+		}
+	}
+	// Break/Continue/Goto/Case/Empty/Labeled carry no value effects.
+}
+
+// exec evaluates an expression, applying its side effects, and
+// returns its abstract value.
+func (w *walk) exec(e ast.Expr) Val {
+	if !w.tick() {
+		return top()
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if w.ev.tracked[x.Name] {
+			return w.st.value(x.Name)
+		}
+		return top()
+	case *ast.IntLit:
+		return litVal(x.Value)
+	case *ast.CharLit:
+		return litVal(x.Value)
+	case *ast.Paren:
+		return w.exec(x.X)
+	case *ast.Unary:
+		return w.execUnary(x)
+	case *ast.Binary:
+		return w.execBinary(x)
+	case *ast.Assign:
+		return w.execAssign(x)
+	case *ast.Cond:
+		w.exec(x.C)
+		// Either arm may or may not run: havoc what they write.
+		w.havocAssigned(x.Then)
+		w.havocAssigned(x.Else)
+		return top()
+	case *ast.Call:
+		for _, a := range x.Args {
+			w.exec(a)
+		}
+		// The callee can write through any pointer it can reach:
+		// address-taken locals and everything untracked.
+		w.havocAddrTaken()
+		return top()
+	case *ast.Index:
+		w.exec(x.X)
+		w.exec(x.Idx)
+		return top()
+	case *ast.Member:
+		w.exec(x.X)
+		return top()
+	case *ast.Cast:
+		w.exec(x.X)
+		return top()
+	}
+	return top()
+}
+
+func (w *walk) execUnary(x *ast.Unary) Val {
+	switch x.Op {
+	case token.Not:
+		v := w.exec(x.X)
+		return triVal(v.truth().not())
+	case token.Add:
+		return w.exec(x.X)
+	case token.Inc, token.Dec:
+		old := w.exec(x.X)
+		var nv Val
+		if x.Op == token.Inc {
+			nv = addVals(old, exact(1))
+		} else {
+			nv = subVals(old, exact(1))
+		}
+		w.writeLValue(x.X, nv)
+		if x.Postfix {
+			return old
+		}
+		return nv
+	case token.Star:
+		w.exec(x.X)
+		return top() // read through a pointer
+	case token.BitAnd:
+		return top() // an address
+	default:
+		// -x wraps for unsigned operands, ~x flips unknown high bits:
+		// both depend on the operand width we do not model.
+		w.exec(x.X)
+		return top()
+	}
+}
+
+func (w *walk) execBinary(x *ast.Binary) Val {
+	switch x.Op {
+	case token.LogicalAnd, token.LogicalOr:
+		xv := w.exec(x.X)
+		// Y runs conditionally; its side effects may or may not
+		// happen, so weaken whatever it writes before reading it.
+		w.havocAssigned(x.Y)
+		yv := w.exec(x.Y)
+		xt, yt := xv.truth(), yv.truth()
+		if x.Op == token.LogicalAnd {
+			switch {
+			case xt == defFalse || yt == defFalse:
+				return exact(0)
+			case xt == defTrue && yt == defTrue:
+				return exact(1)
+			}
+		} else {
+			switch {
+			case xt == defTrue || yt == defTrue:
+				return exact(1)
+			case xt == defFalse && yt == defFalse:
+				return exact(0)
+			}
+		}
+		return boolRange()
+	case token.Comma:
+		w.exec(x.X)
+		return w.exec(x.Y)
+	}
+	a := w.exec(x.X)
+	b := w.exec(x.Y)
+	switch x.Op {
+	case token.Add:
+		return addVals(a, b)
+	case token.Sub:
+		return subVals(a, b)
+	case token.Star:
+		return mulVals(a, b)
+	case token.BitAnd:
+		return andVals(a, b)
+	case token.BitOr:
+		return orVals(a, b)
+	case token.BitXor:
+		return xorVals(a, b)
+	case token.Eq, token.NotEq, token.Less, token.LessEq, token.Greater, token.GreaterEq:
+		return triVal(compare(x.Op, a, b))
+	default:
+		// Div, Mod, Shl, Shr: width- and signedness-dependent.
+		return top()
+	}
+}
+
+func (w *walk) execAssign(x *ast.Assign) Val {
+	if x.Op == token.Assign {
+		// Plain copy of a tracked local: share the value cell, so the
+		// two names stay provably equal until one is rewritten.
+		if dst, ok := unparen(x.LHS).(*ast.Ident); ok && w.ev.tracked[dst.Name] {
+			if src, ok := pureTrackedIdent(w.ev, x.RHS); ok {
+				w.st.alias(dst.Name, src)
+				return w.st.value(dst.Name)
+			}
+		}
+		v := w.exec(x.RHS)
+		w.writeLValue(x.LHS, v)
+		return v
+	}
+	// Compound assignment: x op= y.
+	old := w.exec(x.LHS)
+	rhs := w.exec(x.RHS)
+	var nv Val
+	switch x.Op {
+	case token.AddAssign:
+		nv = addVals(old, rhs)
+	case token.SubAssign:
+		nv = subVals(old, rhs)
+	case token.MulAssign:
+		nv = mulVals(old, rhs)
+	case token.AndAssign:
+		nv = andVals(old, rhs)
+	case token.OrAssign:
+		nv = orVals(old, rhs)
+	case token.XorAssign:
+		nv = xorVals(old, rhs)
+	default:
+		nv = top()
+	}
+	w.writeLValue(x.LHS, nv)
+	return nv
+}
+
+// writeLValue stores v into an lvalue. Tracked idents rebind; writes
+// through pointers havoc every address-taken local; anything else
+// (globals, struct fields, array slots) is simply not tracked.
+func (w *walk) writeLValue(lhs ast.Expr, v Val) {
+	switch t := unparen(lhs).(type) {
+	case *ast.Ident:
+		if w.ev.tracked[t.Name] {
+			w.st.bind(t.Name, v)
+		}
+	case *ast.Unary:
+		if t.Op == token.Star {
+			w.exec(t.X)
+			w.havocAddrTaken()
+		}
+	case *ast.Index, *ast.Member:
+		// Could alias an address-taken local through a pointer base.
+		w.havocAddrTaken()
+	}
+}
+
+// havocAddrTaken forgets everything about address-taken locals.
+func (w *walk) havocAddrTaken() {
+	for name := range w.ev.addrTaken {
+		if w.ev.tracked[name] {
+			w.st.bind(name, top())
+		}
+	}
+}
+
+// havocAssigned forgets every local the expression might write
+// (used for conditionally-executed subexpressions).
+func (w *walk) havocAssigned(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.Assign:
+			w.writeLValue(x.LHS, top())
+		case *ast.Unary:
+			if x.Op == token.Inc || x.Op == token.Dec {
+				w.writeLValue(x.X, top())
+			}
+		case *ast.Call:
+			w.havocAddrTaken()
+		}
+		return true
+	})
+}
+
+// refineTruth narrows the store assuming cond's truth equals outcome.
+// Refinement may only shrink concretizations of path-reachable states;
+// anything it cannot interpret it leaves alone.
+func (w *walk) refineTruth(cond ast.Expr, outcome bool) {
+	if !w.tick() {
+		return
+	}
+	switch x := cond.(type) {
+	case *ast.Paren:
+		w.refineTruth(x.X, outcome)
+	case *ast.Ident:
+		if !w.ev.tracked[x.Name] {
+			return
+		}
+		if outcome {
+			w.st.update(x.Name, w.st.value(x.Name).withNotEq(0))
+		} else {
+			w.st.update(x.Name, meet(w.st.value(x.Name), exact(0)))
+		}
+	case *ast.Unary:
+		if x.Op == token.Not {
+			w.refineTruth(x.X, !outcome)
+		}
+	case *ast.Binary:
+		w.refineBinaryTruth(x, outcome)
+	}
+	if w.st.checkUnsat() {
+		w.unsat = true
+	}
+}
+
+func (w *walk) refineBinaryTruth(x *ast.Binary, outcome bool) {
+	switch x.Op {
+	case token.LogicalAnd:
+		if outcome { // both conjuncts hold
+			w.refineTruth(x.X, true)
+			w.refineTruth(x.Y, true)
+		}
+	case token.LogicalOr:
+		if !outcome { // both disjuncts fail
+			w.refineTruth(x.X, false)
+			w.refineTruth(x.Y, false)
+		}
+	case token.Eq, token.NotEq:
+		eq := (x.Op == token.Eq) == outcome
+		a := w.exec(x.X)
+		b := w.exec(x.Y)
+		if eq {
+			w.refineVal(x.X, b)
+			w.refineVal(x.Y, a)
+			w.st.diseqOrEq(w.ev, x.X, x.Y, true)
+		} else {
+			if c, ok := b.point(); ok {
+				w.refineNotEq(x.X, c)
+			}
+			if c, ok := a.point(); ok {
+				w.refineNotEq(x.Y, c)
+			}
+			w.st.diseqOrEq(w.ev, x.X, x.Y, false)
+		}
+	case token.Less, token.LessEq, token.Greater, token.GreaterEq:
+		w.refineRelational(x, outcome)
+	case token.BitAnd:
+		// (e & c): false means every bit of c is clear in e; true with
+		// a single-bit c means that bit is set.
+		sub, c, ok := maskedOperand(w, x)
+		if !ok || c <= 0 {
+			return
+		}
+		if !outcome {
+			w.refineVal(sub, Val{Lo: negInf, Hi: posInf, Mask: uint64(c)})
+		} else if c&(c-1) == 0 {
+			w.refineVal(sub, Val{Lo: negInf, Hi: posInf, Mask: uint64(c), Bits: uint64(c)})
+		}
+	}
+}
+
+// refineRelational handles <, <=, >, >= under the non-negative guard:
+// interval refinement relies on int64 order agreeing with the C
+// comparison, which holds within either encoding but not across a
+// mixed signed/unsigned compare — provable non-negativity of both
+// sides sidesteps the mismatch entirely.
+func (w *walk) refineRelational(x *ast.Binary, outcome bool) {
+	a := w.exec(x.X)
+	b := w.exec(x.Y)
+	if !bothNonNeg(a, b) {
+		return
+	}
+	op := x.Op
+	if !outcome {
+		// !(a < b) is a >= b, etc.
+		switch op {
+		case token.Less:
+			op = token.GreaterEq
+		case token.LessEq:
+			op = token.Greater
+		case token.Greater:
+			op = token.LessEq
+		case token.GreaterEq:
+			op = token.Less
+		}
+	}
+	// Normalize to left-op-right with op in {<, <=}.
+	lhs, rhs, lv, rv := x.X, x.Y, a, b
+	if op == token.Greater || op == token.GreaterEq {
+		lhs, rhs, lv, rv = x.Y, x.X, b, a
+		if op == token.Greater {
+			op = token.Less
+		} else {
+			op = token.LessEq
+		}
+	}
+	// Now lhs < rhs or lhs <= rhs.
+	strict := int64(0)
+	if op == token.Less {
+		strict = 1
+	}
+	if rv.Hi < posInf {
+		w.refineVal(lhs, Val{Lo: negInf, Hi: rv.Hi - strict})
+	}
+	if lv.Lo > negInf {
+		w.refineVal(rhs, Val{Lo: lv.Lo + strict, Hi: posInf})
+	}
+}
+
+// refineVal narrows the value of expression e with constraint v,
+// looking through parens and constant bit masks to a tracked ident.
+func (w *walk) refineVal(e ast.Expr, v Val) {
+	if !w.tick() {
+		return
+	}
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if w.ev.tracked[x.Name] {
+			w.st.update(x.Name, meet(w.st.value(x.Name), v))
+		}
+	case *ast.Binary:
+		switch x.Op {
+		case token.BitAnd:
+			// (sub & c) == v fixes sub's bits covered by both c and
+			// v's known plane.
+			if sub, c, ok := maskedOperand(w, x); ok && c >= 0 {
+				m := uint64(c) & v.Mask
+				w.refineVal(sub, Val{Lo: negInf, Hi: posInf, Mask: m, Bits: v.Bits & m})
+			}
+		case token.BitOr:
+			// (sub | c) == v fixes sub's bits outside c where v is
+			// known.
+			if sub, c, ok := maskedOperand(w, x); ok && c >= 0 {
+				m := v.Mask &^ uint64(c)
+				w.refineVal(sub, Val{Lo: negInf, Hi: posInf, Mask: m, Bits: v.Bits & m})
+			}
+		}
+	}
+}
+
+// refineNotEq records e != c.
+func (w *walk) refineNotEq(e ast.Expr, c int64) {
+	if id, ok := unparen(e).(*ast.Ident); ok && w.ev.tracked[id.Name] {
+		w.st.update(id.Name, w.st.value(id.Name).withNotEq(c))
+	}
+}
+
+// maskedOperand decomposes a bitwise binary whose one side is a
+// constant, returning the variable side and the constant.
+func maskedOperand(w *walk, x *ast.Binary) (sub ast.Expr, c int64, ok bool) {
+	if p, isLit := constValue(x.Y); isLit {
+		return x.X, p, true
+	}
+	if p, isLit := constValue(x.X); isLit {
+		return x.Y, p, true
+	}
+	return nil, 0, false
+}
+
+func constValue(e ast.Expr) (int64, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.CharLit:
+		return x.Value, true
+	}
+	return 0, false
+}
+
+// compare evaluates a comparison under the non-negative guard (see
+// refineRelational for why the guard is load-bearing).
+func compare(op token.Kind, a, b Val) tri {
+	if !bothNonNeg(a, b) {
+		return unknown
+	}
+	switch op {
+	case token.Eq:
+		return cmpEq(a, b)
+	case token.NotEq:
+		return cmpEq(a, b).not()
+	case token.Less:
+		return cmpLess(a, b)
+	case token.GreaterEq:
+		return cmpLess(a, b).not()
+	case token.Greater:
+		return cmpLess(b, a)
+	case token.LessEq:
+		return cmpLess(b, a).not()
+	}
+	return unknown
+}
+
+func bothNonNeg(a, b Val) bool { return a.Lo >= 0 && b.Lo >= 0 }
+
+// litVal maps a literal to an abstract value. Literals outside the
+// wrap-free range (e.g. 0xFFFFFFFF) depend on the type they are read
+// at, which the domain does not model.
+func litVal(c int64) Val {
+	if c < 0 || c > exactMax {
+		return top()
+	}
+	return exact(c)
+}
+
+// triVal embeds a three-valued truth as an abstract 0/1 value.
+func triVal(t tri) Val {
+	switch t {
+	case defTrue:
+		return exact(1)
+	case defFalse:
+		return exact(0)
+	}
+	return boolRange()
+}
+
+func boolRange() Val {
+	return Val{Lo: 0, Hi: 1, Mask: ^uint64(1), Bits: 0}
+}
+
+// pure reports whether evaluating e has no side effects.
+func pure(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.Assign, *ast.Call:
+			ok = false
+		case *ast.Unary:
+			if x.Op == token.Inc || x.Op == token.Dec {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// pureTrackedIdent unwraps e to a tracked bare identifier.
+func pureTrackedIdent(ev *Evaluator, e ast.Expr) (string, bool) {
+	if id, ok := unparen(e).(*ast.Ident); ok && ev.tracked[id.Name] {
+		return id.Name, true
+	}
+	return "", false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,375 @@
+package sym
+
+import (
+	"strings"
+	"testing"
+
+	"flashmc/internal/cc/parser"
+	"flashmc/internal/cfg"
+)
+
+func buildGraph(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	f, errs := parser.ParseText("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return cfg.Build(f.Funcs()[0])
+}
+
+// allPaths enumerates entry-to-exit edge sequences with each edge
+// visited at most twice (the same loop bound the lint triage uses).
+func allPaths(g *cfg.Graph) [][]*cfg.Edge {
+	var paths [][]*cfg.Edge
+	var cur []*cfg.Edge
+	visits := map[*cfg.Edge]int{}
+	var dfs func(n *cfg.Node)
+	dfs = func(n *cfg.Node) {
+		if n == g.Exit {
+			paths = append(paths, append([]*cfg.Edge(nil), cur...))
+			return
+		}
+		for _, e := range n.Succs {
+			if visits[e] >= 2 {
+				continue
+			}
+			visits[e]++
+			cur = append(cur, e)
+			dfs(e.To)
+			cur = cur[:len(cur)-1]
+			visits[e]--
+		}
+	}
+	dfs(g.Entry)
+	return paths
+}
+
+// labelsOf renders the branch outcomes a path commits to, e.g. "TF".
+func labelsOf(path []*cfg.Edge) string {
+	var b strings.Builder
+	for _, e := range path {
+		switch e.Label {
+		case cfg.True:
+			b.WriteByte('T')
+		case cfg.False:
+			b.WriteByte('F')
+		case cfg.CaseEq:
+			b.WriteByte('C')
+		case cfg.Default:
+			b.WriteByte('D')
+		}
+	}
+	return b.String()
+}
+
+// verdictsByLabels maps each path's branch signature to its verdict.
+func verdictsByLabels(t *testing.T, src string) map[string]Verdict {
+	t.Helper()
+	g := buildGraph(t, src)
+	ev := NewEvaluator(g, Options{})
+	out := map[string]Verdict{}
+	for _, p := range allPaths(g) {
+		out[labelsOf(p)] = ev.Path(p)
+	}
+	return out
+}
+
+func wantVerdict(t *testing.T, got map[string]Verdict, labels string, want Verdict) {
+	t.Helper()
+	v, ok := got[labels]
+	if !ok {
+		t.Fatalf("no path with branch signature %q; have %v", labels, got)
+	}
+	if v != want {
+		t.Errorf("path %q: verdict %v, want %v", labels, v, want)
+	}
+}
+
+// The value-correlated mask shape: after t0 |= 2, the branch on
+// t0 & 2 can only go one way. Refuting the else path needs known-bits
+// reasoning — syntactic correlation sees a single unrepeated branch.
+func TestMaskCorrelatedElseRefuted(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	t0 = t0 | 2;
+	if (t0 & 2) {
+		DEC_DB_REF(0);
+	} else {
+		no_free_needed();
+	}
+}`)
+	wantVerdict(t, got, "T", Feasible)
+	wantVerdict(t, got, "F", Infeasible)
+}
+
+// The paper's duplicated-condition shape: a flag tested positively,
+// an unrelated write, then the negated test. Only the consistent
+// outcome pairs are feasible.
+func TestDuplicatedConditionRefuted(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	unsigned t1;
+	t1 = t0 & 1;
+	if (t1) {
+		DEC_DB_REF(0);
+	}
+	t0 = t0 + 1;
+	if (!t1) {
+		DEC_DB_REF(0);
+	}
+}`)
+	wantVerdict(t, got, "TT", Infeasible)
+	wantVerdict(t, got, "TF", Feasible)
+	wantVerdict(t, got, "FT", Feasible)
+	wantVerdict(t, got, "FF", Infeasible)
+}
+
+// A branch on an unconstrained local can go either way: no path may
+// be refuted (this is the seeded true-error shape, which must stay
+// certain downstream).
+func TestUnconstrainedBranchStaysFeasible(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	if (t0 > 2) {
+		DEC_DB_REF(0);
+	}
+	if (t0 > 2) {
+		DEC_DB_REF(0);
+	}
+}`)
+	for labels, v := range got {
+		if labels == "TF" || labels == "FT" {
+			// Repeated-condition contradictions refute only when the
+			// comparison is decidable in the domain; t0 is top, so
+			// even these stay unproven — and that is the point:
+			// slicing catches them, sym stays conservative.
+			continue
+		}
+		if v == Infeasible {
+			t.Errorf("path %q refuted; unconstrained branches must stay feasible", labels)
+		}
+	}
+}
+
+// A known-zero local is resurrected by a call that can write it
+// through its taken address; without the call the branch is refuted.
+func TestCallHavocsAddressTakenLocal(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	t0 = 0;
+	poke(&t0);
+	if (t0) {
+		DEC_DB_REF(0);
+	}
+}`)
+	wantVerdict(t, got, "T", Feasible)
+
+	got = verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	t0 = 0;
+	if (t0) {
+		DEC_DB_REF(0);
+	}
+}`)
+	wantVerdict(t, got, "T", Infeasible)
+	wantVerdict(t, got, "F", Feasible)
+}
+
+// A call must not resurrect a local whose address is never taken: the
+// callee cannot name it.
+func TestCallKeepsUntouchableLocal(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	t0 = 0;
+	poke(1);
+	if (t0) {
+		DEC_DB_REF(0);
+	}
+}`)
+	wantVerdict(t, got, "T", Infeasible)
+}
+
+// Equality via aliasing: after t1 = t0, refining t0 refines t1.
+func TestCopyPropagatesRefinement(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	unsigned t1;
+	t1 = t0;
+	if (t0 == 1) {
+		if (t1 == 2) {
+			DEC_DB_REF(0);
+		}
+	}
+}`)
+	wantVerdict(t, got, "TT", Infeasible)
+	wantVerdict(t, got, "TF", Feasible)
+}
+
+// Disequality: t0 != t1 survives refinement of both sides to the same
+// point.
+func TestDisequalityRefutes(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	unsigned t1;
+	if (t0 != t1) {
+		if (t0 == 5) {
+			if (t1 == 5) {
+				DEC_DB_REF(0);
+			}
+		}
+	}
+}`)
+	wantVerdict(t, got, "TTT", Infeasible)
+	wantVerdict(t, got, "TTF", Feasible)
+}
+
+// A write to one alias must break the equality, not follow it.
+func TestWriteBreaksAlias(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	unsigned t1;
+	t1 = t0;
+	t0 = 7;
+	if (t1 == 7) {
+		if (t0 == 3) {
+			DEC_DB_REF(0);
+		}
+	}
+}`)
+	// t1 == 7 is undecided (t1 kept the old value), t0 == 3 is
+	// decidable false.
+	wantVerdict(t, got, "TT", Infeasible)
+	wantVerdict(t, got, "TF", Feasible)
+}
+
+// Switch dispatch: a case edge that contradicts the tag's value is
+// refuted, as is the default edge when some case must match.
+func TestSwitchCaseRefinement(t *testing.T) {
+	g := buildGraph(t, `
+void h(void) {
+	unsigned t0;
+	t0 = 3;
+	switch (t0) {
+	case 1:
+		DEC_DB_REF(0);
+		break;
+	case 3:
+		break;
+	}
+}`)
+	ev := NewEvaluator(g, Options{})
+	sawCase1, sawCase3, sawDefault := false, false, false
+	for _, p := range allPaths(g) {
+		v := ev.Path(p)
+		for _, e := range p {
+			switch {
+			case e.Label == cfg.CaseEq && litOf(e) == 1:
+				sawCase1 = true
+				if v != Infeasible {
+					t.Errorf("case 1 path with tag 3: verdict %v, want infeasible", v)
+				}
+			case e.Label == cfg.CaseEq && litOf(e) == 3:
+				sawCase3 = true
+				if v != Feasible {
+					t.Errorf("case 3 path with tag 3: verdict %v, want feasible", v)
+				}
+			case e.Label == cfg.Default:
+				sawDefault = true
+				if v != Infeasible {
+					t.Errorf("default path with tag 3: verdict %v, want infeasible", v)
+				}
+			}
+		}
+	}
+	if !sawCase1 || !sawCase3 || !sawDefault {
+		t.Fatalf("missing switch arms: case1=%v case3=%v default=%v",
+			sawCase1, sawCase3, sawDefault)
+	}
+}
+
+func litOf(e *cfg.Edge) int64 {
+	if v, ok := constValue(e.CaseVal); ok {
+		return v
+	}
+	return -1
+}
+
+// Paths that cross a loop back edge are never refuted: the bounded
+// enumeration under-approximates loop behavior.
+func TestBackEdgePathsUndecided(t *testing.T) {
+	g := buildGraph(t, `
+void h(void) {
+	unsigned i;
+	for (i = 0; i < 2; i = i + 1) {
+		DEC_DB_REF(0);
+	}
+}`)
+	ev := NewEvaluator(g, Options{})
+	back := g.BackEdges()
+	sawLoop := false
+	for _, p := range allPaths(g) {
+		crosses := false
+		for _, e := range p {
+			if back[e] {
+				crosses = true
+			}
+		}
+		v := ev.Path(p)
+		if crosses {
+			sawLoop = true
+			if v != Undecided {
+				t.Errorf("back-edge path %q: verdict %v, want undecided", labelsOf(p), v)
+			}
+		}
+	}
+	if !sawLoop {
+		t.Fatal("no path crossed the back edge")
+	}
+}
+
+// An exhausted step budget yields Undecided, never Infeasible.
+func TestBudgetExhaustionUndecided(t *testing.T) {
+	g := buildGraph(t, `
+void h(void) {
+	unsigned t0;
+	t0 = 0;
+	t0 = t0 + 1;
+	t0 = t0 + 1;
+	if (t0 == 0) {
+		DEC_DB_REF(0);
+	}
+}`)
+	ev := NewEvaluator(g, Options{MaxSteps: 1})
+	for _, p := range allPaths(g) {
+		if v := ev.Path(p); v != Undecided {
+			t.Errorf("path %q under MaxSteps=1: verdict %v, want undecided", labelsOf(p), v)
+		}
+	}
+}
+
+// Side-effecting conditions apply their effects but never refine.
+func TestImpureConditionNotRefined(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	t0 = 0;
+	if ((t0 = frob())) {
+		if (t0 == 0) {
+			DEC_DB_REF(0);
+		}
+	}
+}`)
+	// After the impure condition t0 is havocked (assigned the call's
+	// unknown result), so both inner outcomes stay open.
+	wantVerdict(t, got, "TT", Feasible)
+	wantVerdict(t, got, "TF", Feasible)
+}

@@ -1,0 +1,389 @@
+package sym
+
+// The abstract value domain: an integer interval crossed with a
+// known-bits congruence (value & Mask == Bits, the classic congruence
+// domain over powers of two) plus a small set of excluded constants
+// (disequalities against literals). Values model the int64
+// representation of a C scalar: a signed int holds its mathematical
+// value, an unsigned holds its value as a non-negative integer.
+// Within either encoding, comparisons, &, | and ^ over the int64
+// representation agree with the C operation, which is what keeps
+// refutation sound. Operations whose C result depends on the operand
+// width or signedness (wrapping +,-,*; ~; shifts; division) go to top
+// unless the operands provably stay inside [0, 2^31), where every
+// 32-bit-or-wider C type computes the mathematical result.
+
+import "math"
+
+const (
+	negInf = math.MinInt64
+	posInf = math.MaxInt64
+	// exactMax bounds the range inside which arithmetic is evaluated
+	// exactly: results in [0, exactMax] cannot have wrapped for any
+	// >= 32-bit C type, signed or unsigned.
+	exactMax = math.MaxInt32
+)
+
+// maxNotEq caps the per-value disequality set; beyond it new
+// exclusions are dropped (conservative: fewer constraints).
+const maxNotEq = 8
+
+// Val is one abstract value.
+type Val struct {
+	Lo, Hi int64 // inclusive interval; Lo > Hi encodes the empty value
+	// Known bits: for every bit where Mask is 1, the value's int64
+	// representation has the corresponding bit of Bits.
+	Mask, Bits uint64
+	// NotEq lists constants the value provably differs from (kept
+	// small and sorted).
+	NotEq []int64
+}
+
+// top is the unconstrained value.
+func top() Val { return Val{Lo: negInf, Hi: posInf} }
+
+// exact is the single-point value c.
+func exact(c int64) Val {
+	return Val{Lo: c, Hi: c, Mask: ^uint64(0), Bits: uint64(c)}
+}
+
+// isTop reports whether v carries no constraint at all.
+func (v Val) isTop() bool {
+	return v.Lo == negInf && v.Hi == posInf && v.Mask == 0 && len(v.NotEq) == 0
+}
+
+// point returns the value's single concrete point, if it has one.
+func (v Val) point() (int64, bool) {
+	if v.Lo == v.Hi {
+		return v.Lo, true
+	}
+	return 0, false
+}
+
+// empty reports whether no concrete value satisfies v. It is the
+// refutation test, so every branch must be a proof: interval
+// emptiness, a point contradicting the known bits, or a point hitting
+// a recorded disequality.
+func (v Val) empty() bool {
+	if v.Lo > v.Hi {
+		return true
+	}
+	if p, ok := v.point(); ok {
+		if v.Mask != 0 && uint64(p)&v.Mask != v.Bits&v.Mask {
+			return true
+		}
+		for _, c := range v.NotEq {
+			if c == p {
+				return true
+			}
+		}
+	}
+	// A fully-known bit pattern is a point; check it against the
+	// interval (this is how mask-correlated branches refute: the
+	// pattern says 2, the branch demands [0,0]).
+	if v.Mask == ^uint64(0) {
+		p := int64(v.Bits)
+		if p < v.Lo || p > v.Hi {
+			return true
+		}
+	}
+	// Known low bits give a congruence floor: for a non-negative
+	// value, at least the known-one bits must fit under Hi.
+	if v.Lo >= 0 && v.Mask != 0 {
+		minBits := int64(v.Bits & v.Mask & math.MaxInt64)
+		if minBits > v.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize tightens the interval from the bit pattern when it is
+// fully known, and prunes disequalities outside the interval.
+func (v Val) normalize() Val {
+	if v.Mask == ^uint64(0) {
+		p := int64(v.Bits)
+		if p >= v.Lo && p <= v.Hi {
+			v.Lo, v.Hi = p, p
+		}
+	}
+	if p, ok := v.point(); ok && v.Mask != ^uint64(0) {
+		v.Mask, v.Bits = ^uint64(0), uint64(p)
+	}
+	if len(v.NotEq) > 0 {
+		kept := v.NotEq[:0]
+		for _, c := range v.NotEq {
+			if c >= v.Lo && c <= v.Hi {
+				kept = append(kept, c)
+			}
+		}
+		v.NotEq = kept
+		// Disequalities at the interval boundary shrink it.
+		for changed := true; changed; {
+			changed = false
+			for _, c := range v.NotEq {
+				if c == v.Lo && v.Lo < v.Hi {
+					v.Lo++
+					changed = true
+				}
+				if c == v.Hi && v.Lo < v.Hi {
+					v.Hi--
+					changed = true
+				}
+			}
+		}
+	}
+	return v
+}
+
+// meet intersects two abstract values. The known-bit planes must
+// agree; conflicting planes yield an empty value.
+func meet(a, b Val) Val {
+	r := Val{Lo: maxi(a.Lo, b.Lo), Hi: mini(a.Hi, b.Hi)}
+	if conflict := (a.Bits ^ b.Bits) & a.Mask & b.Mask; conflict != 0 {
+		r.Lo, r.Hi = 1, 0 // empty
+		return r
+	}
+	r.Mask = a.Mask | b.Mask
+	r.Bits = (a.Bits & a.Mask) | (b.Bits & b.Mask)
+	r.NotEq = mergeNotEq(a.NotEq, b.NotEq)
+	return r.normalize()
+}
+
+// withNotEq returns v excluding constant c.
+func (v Val) withNotEq(c int64) Val {
+	for _, x := range v.NotEq {
+		if x == c {
+			return v
+		}
+	}
+	if len(v.NotEq) >= maxNotEq {
+		return v // conservative: drop the new fact, not an old one
+	}
+	ne := make([]int64, 0, len(v.NotEq)+1)
+	inserted := false
+	for _, x := range v.NotEq {
+		if !inserted && c < x {
+			ne = append(ne, c)
+			inserted = true
+		}
+		ne = append(ne, x)
+	}
+	if !inserted {
+		ne = append(ne, c)
+	}
+	v.NotEq = ne
+	return v.normalize()
+}
+
+func mergeNotEq(a, b []int64) []int64 {
+	if len(a) == 0 {
+		return append([]int64(nil), b...)
+	}
+	out := append([]int64(nil), a...)
+	for _, c := range b {
+		dup := false
+		for _, x := range out {
+			if x == c {
+				dup = true
+				break
+			}
+		}
+		if !dup && len(out) < maxNotEq {
+			out = append(out, c)
+		}
+	}
+	// Keep sorted for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// inExactRange reports whether v provably lies in [0, exactMax],
+// where C arithmetic of every >= 32-bit type is exact.
+func (v Val) inExactRange() bool { return v.Lo >= 0 && v.Hi <= exactMax }
+
+// knownZeros / knownOnes split the bit planes.
+func (v Val) knownZeros() uint64 { return v.Mask &^ v.Bits }
+func (v Val) knownOnes() uint64  { return v.Mask & v.Bits }
+
+// addVals is the abstract +. Exact only inside the wrap-free range.
+func addVals(a, b Val) Val {
+	if a.inExactRange() && b.inExactRange() && a.Hi+b.Hi <= exactMax {
+		return Val{Lo: a.Lo + b.Lo, Hi: a.Hi + b.Hi}.normalize()
+	}
+	return top()
+}
+
+// subVals is the abstract -. Exact only when the result provably
+// stays non-negative (an unsigned subtraction that borrows wraps; a
+// possibly-negative result is only exact for signed operands, which
+// we cannot tell apart without types).
+func subVals(a, b Val) Val {
+	if a.inExactRange() && b.inExactRange() && a.Lo-b.Hi >= 0 {
+		return Val{Lo: a.Lo - b.Hi, Hi: a.Hi - b.Lo}.normalize()
+	}
+	return top()
+}
+
+// mulVals is the abstract *.
+func mulVals(a, b Val) Val {
+	if a.inExactRange() && b.inExactRange() && a.Hi*b.Hi <= exactMax {
+		return Val{Lo: a.Lo * b.Lo, Hi: a.Hi * b.Hi}.normalize()
+	}
+	return top()
+}
+
+// andVals is the abstract &. Bitwise ops over the int64 representation
+// agree with the C op in either encoding, so the bit planes transfer
+// unconditionally; the interval does when both sides are non-negative.
+func andVals(a, b Val) Val {
+	r := Val{Lo: negInf, Hi: posInf}
+	zeros := a.knownZeros() | b.knownZeros()
+	ones := a.knownOnes() & b.knownOnes()
+	r.Mask = zeros | ones
+	r.Bits = ones
+	if a.Lo >= 0 || b.Lo >= 0 {
+		r.Lo = 0
+		r.Hi = posInf
+		if a.Lo >= 0 {
+			r.Hi = a.Hi
+		}
+		if b.Lo >= 0 && b.Hi < r.Hi {
+			r.Hi = b.Hi
+		}
+	}
+	return r.normalize()
+}
+
+// orVals is the abstract |.
+func orVals(a, b Val) Val {
+	r := Val{Lo: negInf, Hi: posInf}
+	ones := a.knownOnes() | b.knownOnes()
+	zeros := a.knownZeros() & b.knownZeros()
+	r.Mask = zeros | ones
+	r.Bits = ones
+	if a.inExactRange() && b.inExactRange() {
+		// x|y is bounded by x+y for non-negative operands.
+		r.Lo = maxi(a.Lo, b.Lo)
+		r.Hi = mini(a.Hi+b.Hi, exactMax)
+	}
+	return r.normalize()
+}
+
+// xorVals is the abstract ^.
+func xorVals(a, b Val) Val {
+	r := Val{Lo: negInf, Hi: posInf}
+	both := a.Mask & b.Mask
+	r.Mask = both
+	r.Bits = (a.Bits ^ b.Bits) & both
+	if a.inExactRange() && b.inExactRange() {
+		r.Lo = 0
+		r.Hi = mini(a.Hi+b.Hi, exactMax)
+	}
+	return r.normalize()
+}
+
+// tri is a three-valued truth: the outcome of an abstract comparison.
+type tri int
+
+const (
+	unknown tri = iota
+	defTrue
+	defFalse
+)
+
+func triOf(b bool) tri {
+	if b {
+		return defTrue
+	}
+	return defFalse
+}
+
+// cmpLess: a < b over the abstract values.
+func cmpLess(a, b Val) tri {
+	switch {
+	case a.Hi < b.Lo:
+		return defTrue
+	case a.Lo >= b.Hi:
+		return defFalse
+	}
+	return unknown
+}
+
+// cmpEq: a == b.
+func cmpEq(a, b Val) tri {
+	if a.Hi < b.Lo || b.Hi < a.Lo {
+		return defFalse
+	}
+	if conflict := (a.Bits ^ b.Bits) & a.Mask & b.Mask; conflict != 0 {
+		return defFalse
+	}
+	ap, aok := a.point()
+	bp, bok := b.point()
+	if aok && bok {
+		return triOf(ap == bp)
+	}
+	if bok {
+		for _, c := range a.NotEq {
+			if c == bp {
+				return defFalse
+			}
+		}
+	}
+	if aok {
+		for _, c := range b.NotEq {
+			if c == ap {
+				return defFalse
+			}
+		}
+	}
+	return unknown
+}
+
+// truth: v != 0 as a three-valued outcome.
+func (v Val) truth() tri {
+	if v.Lo > 0 || v.Hi < 0 {
+		return defTrue
+	}
+	if v.knownOnes() != 0 {
+		return defTrue
+	}
+	if p, ok := v.point(); ok {
+		return triOf(p != 0)
+	}
+	for _, c := range v.NotEq {
+		if c == 0 && v.Lo >= 0 {
+			// Non-negative and != 0 means > 0.
+			return defTrue
+		}
+	}
+	return unknown
+}
+
+func (t tri) not() tri {
+	switch t {
+	case defTrue:
+		return defFalse
+	case defFalse:
+		return defTrue
+	}
+	return unknown
+}
+
+func mini(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
