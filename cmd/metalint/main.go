@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	metalint [-I dir]... [-c file.c]... [-flash] [-triage slice|sym] [-v] checker.metal...
+//	metalint [-I dir]... [-c file.c]... [-flash] [-triage[=slice|sym]] [-v] checker.metal...
 //
 // Each checker.metal argument is compiled and run through the SM lint
 // passes: unreachable states, shadowed/overlapping rules, unused
@@ -22,7 +22,8 @@
 // with a confidence from the feasibility replay: 'slice' ranks
 // certain / likely-fp from path slicing alone, 'sym' adds the bounded
 // symbolic evaluator, which can prove firing paths unsatisfiable and
-// demote their reports to infeasible.
+// demote their reports to infeasible. Bare -triage keeps its
+// pre-sym meaning: slice mode.
 //
 // Exit status: 2 on usage errors, 1 if any Error-severity finding (or
 // any certain report under -triage) was produced, 0 otherwise.
@@ -48,12 +49,42 @@ type stringList []string
 func (s *stringList) String() string     { return strings.Join(*s, ",") }
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
+// triageValue keeps -triage working both ways: it started life as a
+// bool flag (bare -triage ran the slicing replay), so it must parse
+// with no value, while -triage=sym selects the symbolic rung. The
+// bool-flag form means the value cannot be space-separated: it is
+// -triage=sym, not -triage sym.
+type triageValue struct {
+	mode lint.TriageMode
+	on   bool
+}
+
+func (t *triageValue) String() string   { return string(t.mode) }
+func (t *triageValue) IsBoolFlag() bool { return true }
+
+func (t *triageValue) Set(v string) error {
+	switch v {
+	case "true", "": // bare -triage: the original slice-mode replay
+		t.mode, t.on = lint.ModeSlice, true
+	case "false":
+		t.mode, t.on = "", false
+	case "slice":
+		t.mode, t.on = lint.ModeSlice, true
+	case "sym":
+		t.mode, t.on = lint.ModeSym, true
+	default:
+		return fmt.Errorf("want 'slice' or 'sym'")
+	}
+	return nil
+}
+
 func main() {
 	var includes, cFiles stringList
 	flag.Var(&includes, "I", "include search directory (repeatable)")
 	flag.Var(&cFiles, "c", "protocol-C source to load (repeatable)")
 	flashSuite := flag.Bool("flash", false, "lint the built-in FLASH checker suite")
-	triage := flag.String("triage", "", "run linted checkers over -c sources and rank each report: 'slice' or 'sym'")
+	var triage triageValue
+	flag.Var(&triage, "triage", "run linted checkers over -c sources and rank each report: bare or =slice for slicing, =sym adds the symbolic evaluator")
 	verbose := flag.Bool("v", false, "print Info-level findings too")
 	flag.Parse()
 
@@ -137,22 +168,13 @@ func main() {
 	}
 
 	certain := 0
-	if *triage != "" {
-		var mode lint.TriageMode
-		switch *triage {
-		case "slice":
-			mode = lint.ModeSlice
-		case "sym":
-			mode = lint.ModeSym
-		default:
-			fail("-triage %q: want 'slice' or 'sym'", *triage)
-		}
+	if triage.on {
 		if prog == nil {
 			fail("-triage needs -c sources to run the checkers over")
 		}
 		for _, t := range targets {
 			reports := prog.RunSM(t.sm)
-			ranked := lint.TriageProgram(prog, t.sm, reports, lint.TriageOptions{Mode: mode})
+			ranked := lint.TriageProgram(prog, t.sm, reports, lint.TriageOptions{Mode: triage.mode})
 			lint.SortRanked(ranked)
 			for _, rr := range ranked {
 				fmt.Printf("%s: [%s] %s (%s: %s)\n", rr.Pos, t.name, rr.Msg, rr.Confidence, rr.Reason)

@@ -24,6 +24,14 @@ func FuzzSymEval(f *testing.F) {
 	f.Add([]byte{4, 0, 0, 2, 9, 0, 2, 13, 14})
 	f.Add([]byte{3, 1, 0, 1, 10, 1, 1, 0, 2, 7, 13, 8, 1, 14, 14})
 	f.Add([]byte{12, 0, 1, 10, 0, 5, 10, 1, 5, 14, 14, 14})
+	// t0 = 3; t1 && (t0 = 5); if (t0 == 3) — with t1 == 0 the store is
+	// skipped, so the true path is concretely executable (regression
+	// for the havoc-before-exec short-circuit bug).
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 3, 16, 1, 0, 5, 10, 0, 3, 14})
+	// t0 += 9; ++t1; if (t0 < 20) — compound assignment and inc.
+	f.Add([]byte{1, 2, 0, 0, 18, 0, 0, 9, 19, 1, 2, 11, 0, 20, 14})
+	// Ternary, ||/&& as values, and a short-circuit branch condition.
+	f.Add([]byte{0, 0, 0, 0, 20, 0, 1, 2, 7, 17, 3, 0, 1, 2, 21, 2, 1, 3, 30, 14})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		src, inits := genFunc(data)
 		file, errs := parser.ParseText("fuzz.c", src)
@@ -115,9 +123,9 @@ func genFunc(data []byte) (string, [4]uint32) {
 		b.WriteByte('\n')
 	}
 	for ops := 0; len(data) > 0 && ops < maxOps; ops++ {
-		op := next() % 16
+		op := next() % 22
 		a := next() % 4
-		if op >= 7 && op <= 12 && len(elseOK) >= maxDepth {
+		if (op >= 7 && op <= 12 || op == 21) && len(elseOK) >= maxDepth {
 			op = 0 // too deep: degrade branch ops to a plain store
 		}
 		switch op {
@@ -165,6 +173,27 @@ func genFunc(data []byte) (string, [4]uint32) {
 			}
 		case 15:
 			emit(fmt.Sprintf("t%d = t%d + t%d;", a, next()%4, next()%4))
+		case 16:
+			// The conditional-store shape: the RHS runs only when the
+			// guard is true, so its write must stay weak.
+			emit(fmt.Sprintf("t%d && (t%d = %d);", a, next()%4, next()%64))
+		case 17:
+			emit(fmt.Sprintf("t%d = (t%d || t%d) && t%d;", a, next()%4, next()%4, next()%4))
+		case 18:
+			compound := [...]string{"+=", "-=", "&=", "|=", "^="}
+			emit(fmt.Sprintf("t%d %s %d;", a, compound[next()%5], next()%64))
+		case 19:
+			forms := [...]string{"t%d++;", "t%d--;", "++t%d;", "--t%d;"}
+			emit(fmt.Sprintf(forms[next()%4], a))
+		case 20:
+			emit(fmt.Sprintf("t%d = t%d ? t%d : %d;", a, next()%4, next()%4, next()%64))
+		case 21:
+			oper := "&&"
+			if next()%2 == 1 {
+				oper = "||"
+			}
+			emit(fmt.Sprintf("if (t%d %s t%d < %d) {", a, oper, next()%4, next()%64))
+			elseOK = append(elseOK, true)
 		}
 	}
 	for n := len(elseOK); n > 0; n-- {
@@ -230,18 +259,69 @@ func cEval(e ast.Expr, env map[string]uint32) uint32 {
 	case *ast.Paren:
 		return cEval(x.X, env)
 	case *ast.Unary:
-		if x.Op == token.Not {
+		switch x.Op {
+		case token.Not:
 			if cEval(x.X, env) == 0 {
 				return 1
 			}
 			return 0
+		case token.Inc, token.Dec:
+			name := x.X.(*ast.Ident).Name
+			old := env[name]
+			nv := old + 1
+			if x.Op == token.Dec {
+				nv = old - 1
+			}
+			env[name] = nv
+			if x.Postfix {
+				return old
+			}
+			return nv
 		}
 		panic(fmt.Sprintf("cEval: unary op %v not in generated subset", x.Op))
 	case *ast.Assign:
-		v := cEval(x.RHS, env)
-		env[x.LHS.(*ast.Ident).Name] = v
+		r := cEval(x.RHS, env)
+		name := x.LHS.(*ast.Ident).Name
+		var v uint32
+		switch x.Op {
+		case token.Assign:
+			v = r
+		case token.AddAssign:
+			v = env[name] + r
+		case token.SubAssign:
+			v = env[name] - r
+		case token.AndAssign:
+			v = env[name] & r
+		case token.OrAssign:
+			v = env[name] | r
+		case token.XorAssign:
+			v = env[name] ^ r
+		default:
+			panic(fmt.Sprintf("cEval: assign op %v not in generated subset", x.Op))
+		}
+		env[name] = v
 		return v
+	case *ast.Cond:
+		if cEval(x.C, env) != 0 {
+			return cEval(x.Then, env)
+		}
+		return cEval(x.Else, env)
 	case *ast.Binary:
+		// Short-circuit before the eager operand evaluation below:
+		// the RHS (and its side effects) must be skipped exactly when
+		// C skips it, or the reference diverges from C semantics.
+		switch x.Op {
+		case token.LogicalAnd:
+			if cEval(x.X, env) == 0 {
+				return 0
+			}
+			return b2u(cEval(x.Y, env) != 0)
+		case token.LogicalOr:
+			if cEval(x.X, env) != 0 {
+				return 1
+			}
+			return b2u(cEval(x.Y, env) != 0)
+		}
 		a := cEval(x.X, env)
 		bb := cEval(x.Y, env)
 		switch x.Op {

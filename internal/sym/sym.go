@@ -384,10 +384,14 @@ func (w *walk) execBinary(x *ast.Binary) Val {
 	switch x.Op {
 	case token.LogicalAnd, token.LogicalOr:
 		xv := w.exec(x.X)
-		// Y runs conditionally; its side effects may or may not
-		// happen, so weaken whatever it writes before reading it.
-		w.havocAssigned(x.Y)
+		// Y runs conditionally. Evaluate it first — its value is only
+		// consulted on outcomes where Y actually ran, so executing it
+		// against the post-X store is exact there — then weaken
+		// whatever it wrote, because on the short-circuit outcome
+		// those stores never happened. (Havocking before exec would
+		// leave Y's writes in the store as strong updates.)
 		yv := w.exec(x.Y)
+		w.havocAssigned(x.Y)
 		xt, yt := xv.truth(), yv.truth()
 		if x.Op == token.LogicalAnd {
 			switch {

@@ -373,3 +373,37 @@ void h(void) {
 	wantVerdict(t, got, "TT", Feasible)
 	wantVerdict(t, got, "TF", Feasible)
 }
+
+// A short-circuited RHS's stores may never happen: with t1 == 0 the
+// assignment is skipped and t0 keeps 3, so the t0 == 3 outcome is
+// concretely executable and must not be refuted (regression: the
+// evaluator used to havoc t0 and then apply t0 = 5 as a strong
+// update, proving the true path "infeasible").
+func TestShortCircuitStoreStaysWeak(t *testing.T) {
+	got := verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	unsigned t1;
+	t0 = 3;
+	t1 && (t0 = 5);
+	if (t0 == 3) {
+		DEC_DB_REF(0);
+	}
+}`)
+	wantVerdict(t, got, "T", Feasible)
+	wantVerdict(t, got, "F", Feasible)
+
+	// The || dual: with t1 != 0 the RHS is skipped.
+	got = verdictsByLabels(t, `
+void h(void) {
+	unsigned t0;
+	unsigned t1;
+	t0 = 3;
+	t1 || (t0 = 5);
+	if (t0 == 3) {
+		DEC_DB_REF(0);
+	}
+}`)
+	wantVerdict(t, got, "T", Feasible)
+	wantVerdict(t, got, "F", Feasible)
+}
