@@ -87,3 +87,38 @@ done
 # concrete execution can take. Short budget; minimization capped (the
 # default spends 60s shrinking every new interesting input).
 go test -run FuzzSymEval -fuzz FuzzSymEval -fuzztime 15s -fuzzminimizetime 1x ./internal/sym/
+
+# Distributed-fleet gate: two mcheckworker processes over one shared
+# depot, behind mcheckd -workers, must answer the whole corpus
+# byte-identically to a plain local mcheckd — and the dispatch counter
+# must prove the work actually went over the wire (a fleet that
+# silently ran everything locally would pass the diff vacuously).
+go build -o "$tmp/mcheckd" ./cmd/mcheckd
+go build -o "$tmp/mcheckworker" ./cmd/mcheckworker
+go build -o "$tmp/mcheckclient" ./cmd/mcheckclient
+"$tmp/mcheckworker" -addr 127.0.0.1:18286 -cache "$tmp/fleet-depot" &
+w1=$!
+"$tmp/mcheckworker" -addr 127.0.0.1:18287 -cache "$tmp/fleet-depot" &
+w2=$!
+"$tmp/mcheckd" -addr 127.0.0.1:18288 -cache "$tmp/fleet-depot" \
+    -workers 127.0.0.1:18286,127.0.0.1:18287 &
+fd=$!
+"$tmp/mcheckd" -addr 127.0.0.1:18289 -j 4 &
+ld=$!
+trap 'kill $w1 $w2 $fd $ld 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for port in 18286 18287 18288 18289; do
+    "$tmp/mcheckclient" -addr "127.0.0.1:$port" -wait 15s
+done
+for proto in bitvector dyn_ptr sci coma rac common; do
+    "$tmp/mcheckclient" -addr 127.0.0.1:18288 "$tmp/corpus/$proto"/*.c \
+        > "$tmp/fleet.$proto"
+    "$tmp/mcheckclient" -addr 127.0.0.1:18289 "$tmp/corpus/$proto"/*.c \
+        > "$tmp/fleet-ref.$proto"
+    cmp "$tmp/fleet.$proto" "$tmp/fleet-ref.$proto"
+done
+"$tmp/mcheckclient" -addr 127.0.0.1:18288 -get /metrics > "$tmp/fleet-metrics.txt"
+grep "^fleet_tasks_dispatched_total" "$tmp/fleet-metrics.txt"
+! grep -qx "fleet_tasks_dispatched_total 0" "$tmp/fleet-metrics.txt"
+kill $w1 $w2 $fd $ld 2>/dev/null || true
+wait $w1 $w2 $fd $ld 2>/dev/null || true
+trap 'rm -rf "$tmp"' EXIT

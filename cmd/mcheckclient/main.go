@@ -1,0 +1,117 @@
+// mcheckclient is a small CLI client for mcheckd, used by scripts and
+// the CI fleet gate: it posts source files to /check and prints the
+// ranked reports (stats omitted — they differ run to run), or fetches
+// an arbitrary path, or polls /healthz until a daemon is ready.
+//
+// Usage:
+//
+//	mcheckclient -addr host:port file.c...   POST /check, print reports
+//	mcheckclient -addr host:port -get /metrics
+//	mcheckclient -addr host:port -wait 10s   poll /healthz until 200
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8181", "mcheckd address (host:port)")
+	get := flag.String("get", "", "GET this path and print the body instead of posting a check")
+	wait := flag.Duration("wait", 0, "poll /healthz until it answers 200 (or this long elapses)")
+	triageMode := flag.String("triage", "", "triage_mode for /check (\"slice\" or \"sym\")")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	if *wait > 0 {
+		deadline := time.Now().Add(*wait)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "mcheckclient: %s/healthz not ready after %s\n", base, *wait)
+				os.Exit(1)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if *get == "" && flag.NArg() == 0 {
+			return
+		}
+	}
+
+	if *get != "" {
+		resp, err := http.Get(base + *get)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcheckclient: %v\n", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		io.Copy(os.Stdout, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "mcheckclient: no input files (and no -get/-wait)")
+		os.Exit(2)
+	}
+	files := map[string]string{}
+	for _, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcheckclient: %v\n", err)
+			os.Exit(1)
+		}
+		files[filepath.Base(path)] = string(raw)
+	}
+	body, _ := json.Marshal(map[string]any{"files": files, "triage_mode": *triageMode})
+	resp, err := http.Post(base+"/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcheckclient: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcheckclient: %v\n", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK {
+		os.Stderr.Write(raw)
+		os.Exit(1)
+	}
+	// Print only the reports: stats vary between servers and runs, so
+	// scripts comparing fleet output against a local run diff this.
+	var parsed struct {
+		Reports json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		fmt.Fprintf(os.Stderr, "mcheckclient: bad response: %v\n", err)
+		os.Exit(1)
+	}
+	var pretty bytes.Buffer
+	json.Indent(&pretty, parsed.Reports, "", "  ")
+	pretty.WriteByte('\n')
+	os.Stdout.Write(pretty.Bytes())
+}

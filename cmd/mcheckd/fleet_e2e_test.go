@@ -1,0 +1,326 @@
+package main
+
+// End-to-end fleet coverage: a two-worker fleet over a shared depot
+// must produce byte-identical /check responses to a plain local
+// server, cold and warm — and every failure mode (worker crash
+// mid-run, corrupt artifacts, deadline expiry, all workers down)
+// must degrade to local execution with the identical bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flashmc/internal/depot"
+	"flashmc/internal/flashgen"
+	"flashmc/internal/fleet"
+	"flashmc/internal/obs"
+	"flashmc/internal/sched"
+)
+
+// workerMux is cmd/mcheckworker's HTTP surface, rebuilt for tests
+// (main packages cannot import each other): the executor behind
+// POST /task plus a /healthz the dispatcher's prober can hit.
+func workerMux(store *depot.Depot) *http.ServeMux {
+	exec := sched.NewExecutor(store)
+	mux := http.NewServeMux()
+	mux.Handle("/task", fleet.TaskHandler(exec.Execute))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// flashgenBody builds a /check body from a generated protocol —
+// enough functions and handlers to exercise every task kind.
+func flashgenBody(t *testing.T) string {
+	t.Helper()
+	gen := flashgen.Generate(flashgen.Options{Seed: 1})
+	p := gen.Protocol("bitvector")
+	if p == nil {
+		t.Fatal("bitvector protocol not generated")
+	}
+	raw, err := json.Marshal(map[string]any{"files": p.Files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// checkReports posts body to ts and returns the raw reports section —
+// the bytes fleet and local runs must agree on (stats legitimately
+// differ).
+func checkReports(t *testing.T, ts *httptest.Server, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /check: %s\n%s", resp.Status, raw)
+	}
+	var parsed struct {
+		Reports json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("bad response: %v", err)
+	}
+	return parsed.Reports
+}
+
+// localReference runs body through a plain (fleet-less) server and
+// returns its reports.
+func localReference(t *testing.T, body string) []byte {
+	t.Helper()
+	store, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(store, 4))
+	defer ts.Close()
+	return checkReports(t, ts, body)
+}
+
+// fleetServer assembles a fleet-backed mcheckd over its own depot
+// with the given dispatcher.
+func fleetServer(t *testing.T, store *depot.Depot, disp *fleet.Dispatcher) *httptest.Server {
+	t.Helper()
+	srv := newServer(store, 2)
+	srv.setFleet(disp)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); disp.Close() })
+	return ts
+}
+
+func counter(name string) float64 { return obs.Default.Snapshot()[name] }
+
+// TestFleetByteIdentical is the acceptance bar: a 2-worker fleet over
+// a shared depot answers /check byte-identically to a local -j run,
+// cold and warm, with the work actually dispatched remotely.
+func TestFleetByteIdentical(t *testing.T) {
+	body := flashgenBody(t)
+	want := localReference(t, body)
+
+	// Each worker opens its own handle on the shared directory, as
+	// separate processes would.
+	sharedDir := t.TempDir()
+	wstore1, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := httptest.NewServer(workerMux(wstore1))
+	defer w1.Close()
+	wstore2, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := httptest.NewServer(workerMux(wstore2))
+	defer w2.Close()
+
+	dstore, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := fleet.New([]string{w1.URL, w2.URL}, fleet.Options{ProbeInterval: time.Hour})
+	ts := fleetServer(t, dstore, disp)
+
+	dispatchedBefore := counter("fleet_tasks_dispatched_total")
+	fallbackBefore := counter("fleet_tasks_fallback_total")
+	cold := checkReports(t, ts, body)
+	if !bytes.Equal(want, cold) {
+		t.Fatalf("cold fleet reports differ from local:\nlocal: %s\nfleet: %s", want, cold)
+	}
+	if d := counter("fleet_tasks_dispatched_total") - dispatchedBefore; d == 0 {
+		t.Fatal("nothing was dispatched to the fleet")
+	}
+	if d := counter("fleet_tasks_fallback_total") - fallbackBefore; d != 0 {
+		t.Fatalf("%v tasks fell back locally on a healthy fleet", d)
+	}
+
+	warm := checkReports(t, ts, body)
+	if !bytes.Equal(want, warm) {
+		t.Fatal("warm fleet reports differ from local")
+	}
+}
+
+// TestFleetWorkerDiesMidRun: one worker starts dropping connections
+// partway through the request; retries and liveness tracking must
+// finish the run on the survivor, byte-identically.
+func TestFleetWorkerDiesMidRun(t *testing.T) {
+	body := flashgenBody(t)
+	want := localReference(t, body)
+
+	sharedDir := t.TempDir()
+	wstore1, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served int
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/task" {
+			served++
+			if served > 3 {
+				// Crash mid-task: drop the connection without answering.
+				if hj, ok := w.(http.Hijacker); ok {
+					conn, _, _ := hj.Hijack()
+					conn.Close()
+					return
+				}
+			}
+		}
+		workerMux(wstore1).ServeHTTP(w, r)
+	}))
+	defer dying.Close()
+	wstore2, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := httptest.NewServer(workerMux(wstore2))
+	defer w2.Close()
+
+	dstore, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := fleet.New([]string{dying.URL, w2.URL}, fleet.Options{
+		Backoff: time.Millisecond, ProbeInterval: time.Hour,
+	})
+	ts := fleetServer(t, dstore, disp)
+
+	got := checkReports(t, ts, body)
+	if !bytes.Equal(want, got) {
+		t.Fatal("reports differ after a worker died mid-run")
+	}
+	if served <= 3 {
+		t.Fatalf("dying worker served %d tasks; it never got far enough to die mid-run", served)
+	}
+}
+
+// TestFleetCorruptWorkerFallsBack: a worker answering under the wrong
+// output key is rejected (never cached, never trusted) and every such
+// task re-runs locally — with identical final bytes.
+func TestFleetCorruptWorkerFallsBack(t *testing.T) {
+	body := `{"files": {"proto.c": ` + mustQuote(fixture) + `}}`
+	want := localReference(t, body)
+
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/task" {
+			io.WriteString(w, "ok\n")
+			return
+		}
+		json.NewEncoder(w).Encode(fleet.Result{
+			ID: "0000000000000000", Artifact: json.RawMessage(`{"reports":[]}`),
+		})
+	}))
+	defer liar.Close()
+
+	store, err := depot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := fleet.New([]string{liar.URL}, fleet.Options{ProbeInterval: time.Hour})
+	ts := fleetServer(t, store, disp)
+
+	badBefore := counter("fleet_tasks_bad_artifact_total")
+	fallbackBefore := counter("fleet_tasks_fallback_total")
+	got := checkReports(t, ts, body)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("reports differ behind a lying worker:\nlocal: %s\nfleet: %s", want, got)
+	}
+	if d := counter("fleet_tasks_bad_artifact_total") - badBefore; d == 0 {
+		t.Fatal("no reply was flagged as a bad artifact")
+	}
+	if d := counter("fleet_tasks_fallback_total") - fallbackBefore; d == 0 {
+		t.Fatal("no task fell back to local execution")
+	}
+}
+
+// TestFleetDeadlineFallsBack: a worker slower than the per-task
+// deadline never wedges the request — expired attempts fall back
+// locally and the response is identical.
+func TestFleetDeadlineFallsBack(t *testing.T) {
+	body := `{"files": {"proto.c": ` + mustQuote(fixture) + `}}`
+	want := localReference(t, body)
+
+	glacial := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/task" {
+			io.WriteString(w, "ok\n")
+			return
+		}
+		time.Sleep(250 * time.Millisecond)
+		http.Error(w, "too late anyway", http.StatusInternalServerError)
+	}))
+	defer glacial.Close()
+
+	store, err := depot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := fleet.New([]string{glacial.URL}, fleet.Options{
+		TaskTimeout: 20 * time.Millisecond, MaxAttempts: 1,
+		ProbeInterval: time.Hour, FailThreshold: 1 << 30,
+	})
+	ts := fleetServer(t, store, disp)
+
+	fallbackBefore := counter("fleet_tasks_fallback_total")
+	got := checkReports(t, ts, body)
+	if !bytes.Equal(want, got) {
+		t.Fatal("reports differ behind a glacial worker")
+	}
+	if d := counter("fleet_tasks_fallback_total") - fallbackBefore; d == 0 {
+		t.Fatal("no task fell back to local execution")
+	}
+}
+
+// TestFleetAllWorkersDown: a fleet of corpses serves correct answers
+// via local fallback and reports itself degraded on /healthz.
+func TestFleetAllWorkersDown(t *testing.T) {
+	body := `{"files": {"proto.c": ` + mustQuote(fixture) + `}}`
+	want := localReference(t, body)
+
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	addr1, addr2 := dead1.URL, dead2.URL
+	dead1.Close()
+	dead2.Close()
+
+	store, err := depot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := fleet.New([]string{addr1, addr2}, fleet.Options{
+		Backoff: time.Millisecond, FailThreshold: 1, MaxAttempts: 2,
+		ProbeInterval: time.Hour,
+	})
+	ts := fleetServer(t, store, disp)
+
+	got := checkReports(t, ts, body)
+	if !bytes.Equal(want, got) {
+		t.Fatal("reports differ with every worker down")
+	}
+
+	// The request's failures marked both workers down; readiness must
+	// now steer the balancer to better-provisioned peers.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with a dead fleet: %s\n%s", resp.Status, raw)
+	}
+	if !strings.Contains(string(raw), `"degraded"`) {
+		t.Fatalf("healthz body lacks degraded status: %s", raw)
+	}
+}

@@ -29,11 +29,18 @@
 // warm across requests). -cache-shards fans the depot out over N
 // independently locked shard roots (0 adopts whatever layout the
 // directory already holds; the count is pinned in the depot's DEPOT
-// manifest and a mismatch refuses to start). -gc prunes depot entries
-// unused for the given age; -cache-max-bytes bounds the depot, with
-// least-recently-used artifacts evicted first. Either option starts a
-// background sweeper (interval: the GC age when set, else one
-// minute).
+// manifest and a mismatch refuses to start); -cache-shard-paths pins
+// each shard root at an explicit absolute path, so shards span
+// volumes. -gc prunes depot entries unused for the given age;
+// -cache-max-bytes bounds the depot, with least-recently-used
+// artifacts evicted first. Either option sweeps once at startup and
+// then by write pressure: the Put that crosses -gc-pressure-bytes of
+// writes since the last sweep runs the next one.
+//
+// -workers host:port,... fans cache-missed analysis tasks out over a
+// fleet of mcheckworker processes sharing the -cache depot, with
+// work-stealing, retry, and transparent local fallback; responses
+// stay byte-identical to local runs.
 package main
 
 import (
@@ -43,18 +50,23 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	"time"
+	"strings"
 
 	"flashmc/internal/depot"
+	"flashmc/internal/fleet"
 )
 
 func main() {
 	addr := flag.String("addr", ":8181", "listen address")
 	cacheDir := flag.String("cache", "", "artifact depot directory (default: in-memory, per-process)")
 	cacheShards := flag.Int("cache-shards", 0, "depot shard count (0: adopt the directory's existing layout)")
+	cacheShardPaths := flag.String("cache-shard-paths", "", "comma-separated absolute shard root paths (overrides -cache-shards; lets shards span volumes)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "if set, evict least-recently-used depot artifacts beyond this many bytes")
 	workers := flag.Int("j", 0, "parallel analysis workers (default GOMAXPROCS)")
-	gcAge := flag.Duration("gc", 0, "if set, evict depot entries unused for this long (runs at startup and periodically)")
+	gcAge := flag.Duration("gc", 0, "if set, evict depot entries unused for this long (swept at startup and under write pressure)")
+	gcPressure := flag.Int64("gc-pressure-bytes", 0, "bytes written between GC sweeps (default: -cache-max-bytes/8, else 8MiB)")
+	fleetAddrs := flag.String("workers", "", "comma-separated mcheckworker addresses (host:port) sharing the -cache depot")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt deadline for remote fleet tasks (default 2m)")
 	flag.Parse()
 
 	// -j must be a positive worker count; unset means every CPU.
@@ -72,33 +84,50 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	store, err := depot.OpenSharded(*cacheDir, *cacheShards)
+	var store *depot.Depot
+	var err error
+	if *cacheShardPaths != "" {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "mcheckd: -cache-shard-paths requires -cache (the manifest lives there)")
+			os.Exit(2)
+		}
+		store, err = depot.OpenShardedAt(*cacheDir, strings.Split(*cacheShardPaths, ","))
+	} else {
+		store, err = depot.OpenSharded(*cacheDir, *cacheShards)
+	}
 	if err != nil {
 		log.Fatalf("mcheckd: %v", err)
 	}
 	if *gcAge > 0 || *cacheMaxBytes > 0 {
-		sweep := func() {
-			if n, err := store.GC(*gcAge, *cacheMaxBytes); err != nil {
-				log.Printf("mcheckd: gc: %v", err)
-			} else if n > 0 {
-				log.Printf("mcheckd: gc evicted %d entries", n)
-			}
+		if n, err := store.GC(*gcAge, *cacheMaxBytes); err != nil {
+			log.Printf("mcheckd: gc: %v", err)
+		} else if n > 0 {
+			log.Printf("mcheckd: gc evicted %d entries", n)
 		}
-		sweep()
-		// Sweep on the age cadence when one is set; a pure byte budget
-		// has no natural period, so sweep once a minute.
-		interval := *gcAge
-		if interval <= 0 {
-			interval = time.Minute
+		// After the startup sweep, GC runs on write pressure: the Put
+		// that crosses the byte threshold sweeps. An idle depot is
+		// never walked; a hot one is swept in proportion to its growth.
+		threshold := *gcPressure
+		if threshold <= 0 {
+			threshold = *cacheMaxBytes / 8
 		}
-		go func() {
-			for range time.Tick(interval) {
-				sweep()
-			}
-		}()
+		if threshold <= 0 {
+			threshold = 8 << 20
+		}
+		store.SetGCPolicy(*gcAge, *cacheMaxBytes, threshold)
 	}
 
 	srv := newServer(store, *workers)
+	if *fleetAddrs != "" {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "mcheckd: -workers requires -cache (the fleet shares artifacts through the depot)")
+			os.Exit(2)
+		}
+		addrs := strings.Split(*fleetAddrs, ",")
+		disp := fleet.New(addrs, fleet.Options{TaskTimeout: *taskTimeout})
+		srv.setFleet(disp)
+		log.Printf("mcheckd: dispatching to %d workers: %s", disp.Workers(), *fleetAddrs)
+	}
 	log.Printf("mcheckd: listening on %s (cache=%q workers=%d)", *addr, *cacheDir, *workers)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -21,6 +21,7 @@ import (
 	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
+	"flashmc/internal/fleet"
 	"flashmc/internal/lint"
 	"flashmc/internal/obs"
 	"flashmc/internal/sched"
@@ -126,6 +127,7 @@ type server struct {
 	mux       *http.ServeMux
 	reg       *obs.Registry
 	coverage  *cover.Set
+	fleet     *fleet.Dispatcher
 
 	requests    *obs.Counter
 	errored     *obs.Counter
@@ -206,6 +208,13 @@ func newServer(store *depot.Depot, workers int) *server {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// setFleet routes cache-missed scheduler tasks through the worker
+// dispatcher. Must be called before serving traffic.
+func (s *server) setFleet(d *fleet.Dispatcher) {
+	s.fleet = d
+	s.analyzer.Remote = d
+}
 
 func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	s.errored.Inc()
@@ -316,7 +325,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		srcHash := sha256.Sum256([]byte(src))
 		version := "adhoc-" + hex.EncodeToString(srcHash[:8])
 		jobs = append(jobs, sched.Job{Name: mp.Name, Version: version,
-			Options: specOpt, SM: mp.SM})
+			Options: specOpt, SM: mp.SM, AdhocSrc: src})
 		smByName[mp.SM.Name] = mp.SM
 		smVersions[mp.SM.Name] = version
 	}
@@ -364,8 +373,20 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.testLeaderHook()
 	}
 
-	res, err := s.analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs,
-		Fingerprints: cp.Fingerprints, ProgramFP: cp.ProgramFP})
+	creq := sched.Request{Prog: prog, Spec: spec, Jobs: jobs,
+		Fingerprints: cp.Fingerprints, ProgramFP: cp.ProgramFP}
+	// With a fleet configured, publish the source bundle so stateless
+	// workers can parse this exact tree, then let the scheduler
+	// dispatch cache-missed tasks remotely. A failed publish just runs
+	// the request locally — never worse than no fleet.
+	if s.fleet != nil {
+		if err := sched.PutBundle(s.store, srcHash, req.Files, roots, spec); err != nil {
+			log.Printf("mcheckd: id=%s bundle: %v (running locally)", reqID, err)
+		} else {
+			creq.SrcHash = srcHash
+		}
+	}
+	res, err := s.analyzer.Check(creq)
 	if err != nil {
 		status = http.StatusInternalServerError
 		fl.code, fl.err = status, fmt.Sprintf("check: %v", err)
@@ -536,7 +557,39 @@ func (s *server) handleTimings(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, timings)
 }
 
+// healthResponse is the /healthz readiness report: depot reachability
+// plus per-worker fleet liveness, so a load balancer can drain a
+// daemon whose cache volume or worker fleet is gone.
+type healthResponse struct {
+	Status  string               `json:"status"` // "ok" or "degraded"
+	Depot   string               `json:"depot"`  // "ok" or the ping error
+	Workers []fleet.WorkerStatus `json:"workers,omitempty"`
+}
+
+// handleHealthz reports readiness, not just liveness: 200 only while
+// the depot is reachable and, with a fleet configured, at least one
+// worker is live (a fleet daemon with zero workers still answers
+// correctly via local fallback, but it is the worst-provisioned
+// instance in the pool — the balancer should prefer its peers).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	resp := healthResponse{Status: "ok", Depot: "ok"}
+	code := http.StatusOK
+	if err := s.store.Ping(); err != nil {
+		resp.Status, resp.Depot = "degraded", err.Error()
+		code = http.StatusServiceUnavailable
+	}
+	if s.fleet != nil {
+		resp.Workers = s.fleet.Status()
+		up := 0
+		for _, ws := range resp.Workers {
+			if ws.Up {
+				up++
+			}
+		}
+		if up == 0 {
+			resp.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, resp)
 }

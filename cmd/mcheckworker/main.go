@@ -1,0 +1,77 @@
+// mcheckworker is one stateless member of a distributed checking
+// fleet: mcheckd serializes cache-missed scheduler tasks into
+// fleet.Descriptors and POSTs them here; the worker reads the
+// request's source bundle from the shared depot, recomputes the
+// artifact, stores it back under the descriptor's output key, and
+// echoes it in the response. Workers hold no request state — any
+// worker can run any task, which is what makes work-stealing and
+// retry-on-failure safe.
+//
+// Usage:
+//
+//	mcheckworker -cache DIR [-addr :8290] [-cache-shards N]
+//
+// Endpoints:
+//
+//	POST /task     one fleet.Descriptor in, {id, artifact} out.
+//	               400/422 refuse the task terminally (bad wire
+//	               format, version skew); 5xx asks for a retry.
+//	GET  /healthz  readiness: 200 while the depot is reachable.
+//	GET  /metrics  Prometheus text: task counts, execution latency,
+//	               plus the process-wide engine/sched/depot metrics.
+//
+// -cache must name the same depot directory mcheckd serves from (a
+// shared volume); the depot is both the task input channel (source
+// bundles) and the artifact output channel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"flashmc/internal/depot"
+	"flashmc/internal/fleet"
+	"flashmc/internal/obs"
+	"flashmc/internal/sched"
+)
+
+// newWorkerMux assembles the worker's HTTP surface over one depot.
+func newWorkerMux(store *depot.Depot) *http.ServeMux {
+	exec := sched.NewExecutor(store)
+	mux := http.NewServeMux()
+	mux.Handle("/task", fleet.TaskHandler(exec.Execute))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := store.Ping(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default.WritePrometheus(w)
+	})
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8290", "listen address")
+	cacheDir := flag.String("cache", "", "shared artifact depot directory (required; same volume as mcheckd's -cache)")
+	cacheShards := flag.Int("cache-shards", 0, "depot shard count (0: adopt the directory's existing layout)")
+	flag.Parse()
+
+	if *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "mcheckworker: -cache is required (workers read bundles and write artifacts through the shared depot)")
+		os.Exit(2)
+	}
+	store, err := depot.OpenSharded(*cacheDir, *cacheShards)
+	if err != nil {
+		log.Fatalf("mcheckworker: %v", err)
+	}
+	log.Printf("mcheckworker: listening on %s (cache=%q)", *addr, *cacheDir)
+	log.Fatal(http.ListenAndServe(*addr, newWorkerMux(store)))
+}

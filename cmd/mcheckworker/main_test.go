@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flashmc/internal/depot"
+)
+
+// TestWorkerMux smoke-tests the worker's HTTP surface: readiness,
+// metrics, and the /task error contract for requests that never reach
+// a real executor run.
+func TestWorkerMux(t *testing.T) {
+	store, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newWorkerMux(store))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %s", resp.Status)
+	}
+	for _, want := range []string{"# HELP", "fleet_worker_tasks_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("metrics exposition lacks %q:\n%s", want, raw)
+		}
+	}
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/task", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed task body: %d, want 400", code)
+	}
+	if code := post(`{"format":"task/v0"}`); code != http.StatusBadRequest {
+		t.Fatalf("wrong descriptor format: %d, want 400", code)
+	}
+	// Well-formed descriptor whose bundle is nowhere: transient 500,
+	// so the dispatcher retries elsewhere instead of giving up.
+	valid := `{"format":"task/v1","kind":"glob","src_hash":"0000","spec_opt":"o",
+		"output":{"kind":"reports/v3","source":"s","checker":"c","version":"v","options":"o"},
+		"checker":"c","checker_version":"v"}`
+	if code := post(valid); code != http.StatusInternalServerError {
+		t.Fatalf("missing bundle: %d, want 500", code)
+	}
+}

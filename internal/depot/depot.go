@@ -57,6 +57,7 @@ var (
 	mGCRuns     = obs.NewCounter("depot_gc_runs_total", "GC sweeps")
 	mGCRemovals = obs.NewCounter("depot_gc_removed_total", "artifacts removed by GC")
 	mGCEvicted  = obs.NewCounter("depot_gc_evicted_bytes_total", "bytes reclaimed by GC (age, budget, and temp sweeps)")
+	mGCPressure = obs.NewCounter("depot_gc_pressure_sweeps_total", "GC sweeps triggered by Put write pressure")
 )
 
 const (
@@ -146,12 +147,43 @@ type Depot struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	puts   atomic.Uint64
+
+	// Put-pressure GC (SetGCPolicy): bytes written since the last
+	// sweep, and the CAS flag serializing sweeps.
+	gc       atomic.Pointer[gcPolicy]
+	written  atomic.Int64
+	sweeping atomic.Bool
 }
 
-// manifest is the DEPOT file pinning the on-disk layout.
+// gcPolicy is the put-pressure GC configuration.
+type gcPolicy struct {
+	maxAge    time.Duration
+	maxBytes  int64
+	threshold int64
+}
+
+// manifest is the DEPOT file pinning the on-disk layout. Version 1
+// recorded only the shard count (all roots under the depot dir);
+// version 2 additionally pins each shard's absolute root path, so
+// shards can live on separate volumes. Legacy v1 manifests keep
+// opening with the default in-dir layout.
 type manifest struct {
-	Version int `json:"version"`
-	Shards  int `json:"shards"`
+	Version int      `json:"version"`
+	Shards  int      `json:"shards"`
+	Paths   []string `json:"paths,omitempty"`
+}
+
+// defaultShardPaths is the in-dir layout v1 manifests imply: the
+// depot dir itself for one shard, dir/shard-NNN beyond that.
+func defaultShardPaths(dir string, n int) []string {
+	if n <= 1 {
+		return []string{dir}
+	}
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+	}
+	return paths
 }
 
 // Open returns a depot rooted at dir, creating it if needed; an empty
@@ -164,6 +196,27 @@ func Open(dir string) (*Depot, error) { return OpenSharded(dir, 0) }
 // must match the layout already on disk — a mismatch is refused, since
 // the id → shard mapping would otherwise split the key space.
 func OpenSharded(dir string, shards int) (*Depot, error) {
+	return openSharded(dir, shards, nil)
+}
+
+// OpenShardedAt opens a depot whose shard roots live at explicit
+// absolute paths (one per shard, possibly on separate volumes). A
+// fresh depot pins the paths in a v2 manifest; an existing depot's
+// manifest must agree path-for-path — the first mismatched path is
+// refused by name.
+func OpenShardedAt(dir string, shardPaths []string) (*Depot, error) {
+	if len(shardPaths) == 0 {
+		return nil, fmt.Errorf("depot: no shard paths")
+	}
+	for _, p := range shardPaths {
+		if !filepath.IsAbs(p) {
+			return nil, fmt.Errorf("depot: shard path %s is not absolute", p)
+		}
+	}
+	return openSharded(dir, len(shardPaths), shardPaths)
+}
+
+func openSharded(dir string, shards int, wantPaths []string) (*Depot, error) {
 	if shards < 0 {
 		return nil, fmt.Errorf("depot: shard count %d must be >= 0", shards)
 	}
@@ -177,13 +230,18 @@ func OpenSharded(dir string, shards int) (*Depot, error) {
 	}
 
 	existing := 0
+	var existingPaths []string
 	mf := filepath.Join(dir, manifestName)
 	if raw, err := os.ReadFile(mf); err == nil {
 		var m manifest
 		if err := json.Unmarshal(raw, &m); err != nil || m.Shards < 1 {
 			return nil, fmt.Errorf("depot: corrupt manifest %s", mf)
 		}
+		if len(m.Paths) > 0 && len(m.Paths) != m.Shards {
+			return nil, fmt.Errorf("depot: corrupt manifest %s: %d shards but %d paths", mf, m.Shards, len(m.Paths))
+		}
 		existing = m.Shards
+		existingPaths = m.Paths
 	} else if hasSubdirs(dir) {
 		// Legacy depots predate the manifest and used one flat root.
 		existing = 1
@@ -199,26 +257,72 @@ func OpenSharded(dir string, shards int) (*Depot, error) {
 	if n == 0 {
 		n = 1
 	}
+	if existing > 0 && len(existingPaths) == 0 {
+		// v1 manifest (or legacy flat depot): the layout is in-dir.
+		existingPaths = defaultShardPaths(dir, existing)
+	}
+	if wantPaths != nil && existingPaths != nil {
+		for i, want := range wantPaths {
+			if existingPaths[i] != want {
+				return nil, fmt.Errorf("depot: %s pins shard %d at %s; refusing to open it at %s (fix -cache-shard-paths or use a fresh directory)",
+					dir, i, existingPaths[i], want)
+			}
+		}
+	}
+	paths := wantPaths
+	if paths == nil {
+		paths = existingPaths
+	}
+	if paths == nil {
+		paths = defaultShardPaths(dir, n)
+	}
 	if existing == 0 {
-		raw, _ := json.Marshal(manifest{Version: 1, Shards: n})
+		// Fresh depots always write v2 manifests with absolute paths
+		// so any process — on any mount of the same volumes — opens
+		// the identical layout.
+		abs := make([]string, len(paths))
+		for i, p := range paths {
+			a, err := filepath.Abs(p)
+			if err != nil {
+				return nil, fmt.Errorf("depot: shard path %s: %w", p, err)
+			}
+			abs[i] = a
+		}
+		paths = abs
+		raw, _ := json.Marshal(manifest{Version: 2, Shards: n, Paths: paths})
 		if err := os.WriteFile(mf, append(raw, '\n'), 0o644); err != nil {
 			return nil, fmt.Errorf("depot: %w", err)
 		}
 	}
 
-	for i := 0; i < n; i++ {
-		root := dir
-		if n > 1 {
-			root = filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
-		}
+	for _, root := range paths {
 		if err := os.MkdirAll(root, 0o755); err != nil {
-			return nil, fmt.Errorf("depot: %w", err)
+			return nil, fmt.Errorf("depot: shard root %s: %w", root, err)
 		}
 		sh := &shard{root: root, atimes: map[string]time.Time{}}
 		sh.rebuildIndex()
 		d.shards = append(d.shards, sh)
 	}
 	return d, nil
+}
+
+// Ping verifies the depot's storage is reachable: the manifest and
+// every shard root still exist. In-memory depots always succeed. It
+// backs readiness endpoints — a daemon whose cache volume unmounted
+// should drain, not 500.
+func (d *Depot) Ping() error {
+	if d.mem != nil {
+		return nil
+	}
+	if _, err := os.Stat(filepath.Join(d.dir, manifestName)); err != nil {
+		return fmt.Errorf("depot: manifest: %w", err)
+	}
+	for _, sh := range d.shards {
+		if _, err := os.Stat(sh.root); err != nil {
+			return fmt.Errorf("depot: shard root: %w", err)
+		}
+	}
+	return nil
 }
 
 // hasSubdirs reports whether dir already contains directories (the
@@ -338,6 +442,7 @@ func (d *Depot) Put(key Key, blob []byte) error {
 		d.seq++
 		d.mem[id] = &memEntry{data: append([]byte(nil), blob...), atime: now, seq: d.seq}
 		d.mu.Unlock()
+		d.notePut(len(blob))
 		return nil
 	}
 	sh := d.shardOf(id)
@@ -363,7 +468,44 @@ func (d *Depot) Put(key Key, blob []byte) error {
 		return fmt.Errorf("depot: %w", err)
 	}
 	sh.touch(id, now)
+	d.notePut(len(blob))
 	return nil
+}
+
+// SetGCPolicy arms put-pressure GC: once threshold bytes have been
+// written since the last sweep, the Put that crosses the line runs
+// GC(maxAge, maxBytes) inline before returning. Sweeping on write
+// pressure instead of a fixed cadence means an idle depot is never
+// walked and a hot one is swept exactly as often as it grows —
+// threshold bytes of writes per sweep, whatever the traffic shape.
+// A threshold <= 0 disarms the policy.
+func (d *Depot) SetGCPolicy(maxAge time.Duration, maxBytes, threshold int64) {
+	if threshold <= 0 {
+		d.gc.Store(nil)
+		return
+	}
+	d.gc.Store(&gcPolicy{maxAge: maxAge, maxBytes: maxBytes, threshold: threshold})
+}
+
+// notePut accounts freshly written bytes against the pressure
+// threshold, sweeping synchronously on the crossing Put. Concurrent
+// writers skip the sweep another has claimed (CAS) rather than queue
+// behind it.
+func (d *Depot) notePut(n int) {
+	p := d.gc.Load()
+	if p == nil {
+		return
+	}
+	if d.written.Add(int64(n)) < p.threshold {
+		return
+	}
+	if !d.sweeping.CompareAndSwap(false, true) {
+		return
+	}
+	defer d.sweeping.Store(false)
+	d.written.Store(0)
+	mGCPressure.Inc()
+	d.GC(p.maxAge, p.maxBytes)
 }
 
 // PutJSON marshals v and stores it under key.

@@ -1,0 +1,551 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"flashmc/internal/obs"
+)
+
+// Fleet metrics live in the process-global registry, so mcheckd's
+// /metrics exposes them next to the engine/sched/depot families.
+var (
+	mDispatched  = obs.NewCounter("fleet_tasks_dispatched_total", "tasks submitted to the remote worker fleet")
+	mStolen      = obs.NewCounter("fleet_tasks_stolen_total", "tasks executed by a worker other than the one they were queued on")
+	mRetried     = obs.NewCounter("fleet_tasks_retried_total", "task attempts re-dispatched after a worker failure")
+	mFallback    = obs.NewCounter("fleet_tasks_fallback_total", "tasks that fell back to local execution")
+	mBadArtifact = obs.NewCounter("fleet_tasks_bad_artifact_total", "worker replies rejected for a wrong key or corrupt artifact")
+	mWorkersUp   = obs.NewGauge("fleet_workers_up", "remote workers currently considered live")
+	mWorkerSecs  = obs.Default.HistogramVec("fleet_worker_task_seconds", "remote task round-trip latency per worker", "worker", nil)
+)
+
+// CountFallback records one task that the caller ran locally after
+// the fleet could not produce its artifact. It lives here (rather
+// than on Dispatcher) because fallback is the caller's act: the
+// dispatcher only reports failure.
+func CountFallback() { mFallback.Inc() }
+
+// ErrNoWorkers is returned by Do when every worker is down (or the
+// dispatcher is closed): the caller should run the task locally. It
+// is returned without waiting on queues or timeouts, so a fully
+// degraded fleet costs nothing over plain local execution.
+var ErrNoWorkers = errors.New("fleet: no workers available")
+
+// Options tunes a Dispatcher. The zero value picks the defaults noted
+// on each field.
+type Options struct {
+	// TaskTimeout bounds one attempt of one task (default 2m).
+	TaskTimeout time.Duration
+	// MaxAttempts is the total number of attempts per task across
+	// workers before the task is reported failed (default 3).
+	MaxAttempts int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt (default 100ms).
+	Backoff time.Duration
+	// Slots is how many tasks one worker executes concurrently
+	// (default 4).
+	Slots int
+	// ProbeInterval is how often worker /healthz is probed to flip
+	// liveness (default 5s).
+	ProbeInterval time.Duration
+	// FailThreshold is how many consecutive task failures mark a
+	// worker down between probes (default 2).
+	FailThreshold int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TaskTimeout <= 0 {
+		o.TaskTimeout = 2 * time.Minute
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.Slots <= 0 {
+		o.Slots = 4
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 5 * time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	return o
+}
+
+// task is one in-flight descriptor plus its routing state.
+type task struct {
+	desc     *Descriptor
+	body     []byte
+	attempts int
+	origin   int // worker index the task was last queued on
+	last     int // worker index of the last failed attempt
+	done     chan outcome
+}
+
+type outcome struct {
+	artifact []byte
+	err      error
+}
+
+// worker is the dispatcher's view of one remote worker. All mutable
+// fields are guarded by the dispatcher's mutex.
+type worker struct {
+	addr    string // base URL, e.g. http://10.0.0.7:8290
+	queue   []*task
+	up      bool
+	fails   int
+	busy    int // tasks currently executing on this worker
+	lastErr string
+	hist    *obs.Histogram
+}
+
+// Dispatcher fans tasks out over a fixed set of remote workers.
+// Each worker owns a queue; Do enqueues on the least-loaded live
+// worker, and an idle worker steals from the longest queue — so a
+// slow or dying worker never strands the tasks behind it. Failed
+// attempts are retried on other workers with exponential backoff;
+// terminal failures (and an all-down fleet) surface as errors so the
+// caller can fall back to local execution.
+type Dispatcher struct {
+	opts   Options
+	client *http.Client
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*worker
+	upCount int
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a dispatcher over the given worker addresses (host:port
+// or full http URLs). Workers start optimistically live; the health
+// prober and task failures adjust liveness from there.
+func New(addrs []string, opts Options) *Dispatcher {
+	opts = opts.withDefaults()
+	d := &Dispatcher{
+		opts:   opts,
+		client: &http.Client{},
+		stop:   make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		a = strings.TrimSuffix(a, "/")
+		d.workers = append(d.workers, &worker{
+			addr: a,
+			up:   true,
+			hist: mWorkerSecs.With(a),
+		})
+	}
+	d.upCount = len(d.workers)
+	mWorkersUp.Set(float64(d.upCount))
+	for wi := range d.workers {
+		for s := 0; s < opts.Slots; s++ {
+			d.wg.Add(1)
+			go d.pump(wi)
+		}
+	}
+	d.wg.Add(1)
+	go d.probe()
+	return d
+}
+
+// Workers returns how many workers the dispatcher was built with.
+func (d *Dispatcher) Workers() int { return len(d.workers) }
+
+// Close stops the pumps and prober and fails every queued task with
+// ErrNoWorkers. In-flight HTTP attempts are left to finish.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.drainLocked(ErrNoWorkers)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+}
+
+// WorkerStatus is one worker's liveness snapshot, for readiness
+// endpoints.
+type WorkerStatus struct {
+	Addr    string `json:"addr"`
+	Up      bool   `json:"up"`
+	Queued  int    `json:"queued"`
+	Busy    int    `json:"busy"`
+	LastErr string `json:"last_error,omitempty"`
+}
+
+// Status reports every worker's current liveness and load.
+func (d *Dispatcher) Status() []WorkerStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]WorkerStatus, len(d.workers))
+	for i, w := range d.workers {
+		out[i] = WorkerStatus{Addr: w.addr, Up: w.up, Queued: len(w.queue), Busy: w.busy, LastErr: w.lastErr}
+	}
+	return out
+}
+
+// Do executes desc on the fleet and returns the artifact bytes the
+// worker produced (already verified to echo desc's output address and
+// to be well-formed JSON). Any error means the fleet did not produce
+// the artifact and the caller should execute the task locally.
+func (d *Dispatcher) Do(ctx context.Context, desc *Descriptor) ([]byte, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(desc)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: marshal descriptor: %w", err)
+	}
+	t := &task{desc: desc, body: body, origin: -1, last: -1, done: make(chan outcome, 1)}
+	d.mu.Lock()
+	if d.closed || d.upCount == 0 {
+		d.mu.Unlock()
+		return nil, ErrNoWorkers
+	}
+	d.enqueueLocked(t, -1)
+	d.mu.Unlock()
+	mDispatched.Inc()
+	select {
+	case out := <-t.done:
+		return out.artifact, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// enqueueLocked queues t on the least-loaded live worker (queue depth
+// plus busy slots), skipping `avoid` when another live worker exists.
+func (d *Dispatcher) enqueueLocked(t *task, avoid int) {
+	best := -1
+	bestLoad := 0
+	for i, w := range d.workers {
+		if !w.up {
+			continue
+		}
+		if i == avoid && d.upCount > 1 {
+			continue
+		}
+		load := len(w.queue) + w.busy
+		if best == -1 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best == -1 {
+		// No live worker to queue on: fail the task now rather than
+		// strand it.
+		t.done <- outcome{err: ErrNoWorkers}
+		return
+	}
+	t.origin = best
+	d.workers[best].queue = append(d.workers[best].queue, t)
+	// Broadcast, not Signal: a single wakeup can land on a pump of a
+	// down worker, which finds nothing runnable and sleeps again —
+	// stranding the task just queued.
+	d.cond.Broadcast()
+}
+
+// claimLocked hands worker wi its next task: the front of its own
+// queue, or — when that is empty — a steal from the back of the
+// longest other queue. A steal skips tasks whose last failed attempt
+// was on this worker: retry placed them elsewhere on purpose, and
+// snatching one back would burn its remaining attempts on the worker
+// already known to fail it. Returns nil when there is nothing to run.
+func (d *Dispatcher) claimLocked(wi int) (*task, bool) {
+	w := d.workers[wi]
+	if !w.up {
+		return nil, false
+	}
+	if len(w.queue) > 0 {
+		t := w.queue[0]
+		w.queue = w.queue[1:]
+		return t, false
+	}
+	victim, vidx := -1, -1
+	for i, v := range d.workers {
+		if i == wi {
+			continue
+		}
+		idx := -1
+		for j := len(v.queue) - 1; j >= 0; j-- {
+			if v.queue[j].last != wi {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if victim == -1 || len(v.queue) > len(d.workers[victim].queue) {
+			victim, vidx = i, idx
+		}
+	}
+	if victim == -1 {
+		return nil, false
+	}
+	v := d.workers[victim]
+	t := v.queue[vidx]
+	v.queue = append(v.queue[:vidx], v.queue[vidx+1:]...)
+	return t, true
+}
+
+// pump is one execution slot of one worker: claim (or steal) a task,
+// run it, repeat.
+func (d *Dispatcher) pump(wi int) {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		var t *task
+		var stolen bool
+		for {
+			if d.closed {
+				d.mu.Unlock()
+				return
+			}
+			t, stolen = d.claimLocked(wi)
+			if t != nil {
+				break
+			}
+			d.cond.Wait()
+		}
+		d.workers[wi].busy++
+		d.mu.Unlock()
+		if stolen {
+			mStolen.Inc()
+		}
+		d.execute(wi, t)
+		d.mu.Lock()
+		d.workers[wi].busy--
+		d.mu.Unlock()
+	}
+}
+
+// execute runs one attempt of t on worker wi and routes the outcome:
+// success resolves the task, terminal failures resolve it with an
+// error, retryable failures re-enqueue it elsewhere after a backoff.
+func (d *Dispatcher) execute(wi int, t *task) {
+	w := d.workers[wi]
+	ctx, cancel := context.WithTimeout(context.Background(), d.opts.TaskTimeout)
+	defer cancel()
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+"/task", bytes.NewReader(t.body))
+	if err != nil {
+		t.done <- outcome{err: fmt.Errorf("fleet: %w", err)}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.recordFailure(wi, err)
+		d.retry(t, wi, fmt.Errorf("fleet: worker %s: %w", w.addr, err))
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		d.recordFailure(wi, err)
+		d.retry(t, wi, fmt.Errorf("fleet: worker %s: %w", w.addr, err))
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		// fall through to result validation
+	case resp.StatusCode >= 500:
+		err := fmt.Errorf("fleet: worker %s: %s: %s", w.addr, resp.Status, firstLine(raw))
+		d.recordFailure(wi, err)
+		d.retry(t, wi, err)
+		return
+	default:
+		// 4xx: the worker understood the request and refused it —
+		// every same-version worker would answer identically, so the
+		// failure is terminal and the caller runs the task locally.
+		t.done <- outcome{err: fmt.Errorf("fleet: worker %s rejected task: %s: %s", w.addr, resp.Status, firstLine(raw))}
+		return
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		mBadArtifact.Inc()
+		t.done <- outcome{err: fmt.Errorf("fleet: worker %s: corrupt reply: %v", w.addr, err)}
+		return
+	}
+	if want := t.desc.Output.ID(); res.ID != want {
+		mBadArtifact.Inc()
+		t.done <- outcome{err: fmt.Errorf("fleet: worker %s answered key %.12s, want %.12s", w.addr, res.ID, want)}
+		return
+	}
+	if len(res.Artifact) == 0 || !json.Valid(res.Artifact) {
+		mBadArtifact.Inc()
+		t.done <- outcome{err: fmt.Errorf("fleet: worker %s returned a corrupt artifact", w.addr)}
+		return
+	}
+	d.recordSuccess(wi)
+	w.hist.ObserveDuration(time.Since(start))
+	t.done <- outcome{artifact: res.Artifact}
+}
+
+// retry re-dispatches t after a failed attempt, preferring a worker
+// other than the one that just failed; attempts exhausted (or fleet
+// empty) resolves the task with the last error.
+func (d *Dispatcher) retry(t *task, failedOn int, err error) {
+	t.attempts++
+	t.last = failedOn
+	if t.attempts >= d.opts.MaxAttempts {
+		t.done <- outcome{err: err}
+		return
+	}
+	d.mu.Lock()
+	if d.closed || d.upCount == 0 {
+		d.mu.Unlock()
+		t.done <- outcome{err: err}
+		return
+	}
+	d.mu.Unlock()
+	mRetried.Inc()
+	backoff := d.opts.Backoff << (t.attempts - 1)
+	time.AfterFunc(backoff, func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.closed {
+			t.done <- outcome{err: ErrNoWorkers}
+			return
+		}
+		d.enqueueLocked(t, failedOn)
+	})
+}
+
+// recordFailure counts one failed attempt against worker wi, marking
+// it down past the threshold. Losing the last live worker fails every
+// queued task so callers fall back to local execution immediately.
+func (d *Dispatcher) recordFailure(wi int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.workers[wi]
+	w.fails++
+	w.lastErr = err.Error()
+	if w.up && w.fails >= d.opts.FailThreshold {
+		w.up = false
+		d.upCount--
+		mWorkersUp.Set(float64(d.upCount))
+		if d.upCount == 0 {
+			d.drainLocked(ErrNoWorkers)
+		}
+	}
+}
+
+func (d *Dispatcher) recordSuccess(wi int) {
+	d.mu.Lock()
+	w := d.workers[wi]
+	w.fails = 0
+	w.lastErr = ""
+	d.mu.Unlock()
+}
+
+// drainLocked fails every queued task.
+func (d *Dispatcher) drainLocked(err error) {
+	for _, w := range d.workers {
+		for _, t := range w.queue {
+			t.done <- outcome{err: err}
+		}
+		w.queue = nil
+	}
+}
+
+// probe periodically GETs every worker's /healthz and flips liveness
+// from the answer — down workers revive, silently dead ones are
+// discovered even between tasks.
+func (d *Dispatcher) probe() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.opts.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+		}
+		for wi := range d.workers {
+			d.probeOne(wi)
+		}
+	}
+}
+
+func (d *Dispatcher) probeOne(wi int) {
+	w := d.workers[wi]
+	timeout := d.opts.ProbeInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.addr+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := d.client.Do(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case ok && !w.up:
+		w.up = true
+		w.fails = 0
+		w.lastErr = ""
+		d.upCount++
+		mWorkersUp.Set(float64(d.upCount))
+		d.cond.Broadcast()
+	case !ok && w.up:
+		if err != nil {
+			w.lastErr = err.Error()
+		} else {
+			w.lastErr = fmt.Sprintf("healthz: %s", resp.Status)
+		}
+		w.up = false
+		d.upCount--
+		mWorkersUp.Set(float64(d.upCount))
+		if d.upCount == 0 {
+			d.drainLocked(ErrNoWorkers)
+		}
+	}
+}
+
+// firstLine trims a worker error body to its first line for error
+// messages.
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

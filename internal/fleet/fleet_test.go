@@ -1,0 +1,404 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flashmc/internal/depot"
+)
+
+// testDesc is a minimal valid whole-program descriptor; the fake
+// workers below never execute it, they only echo its output address.
+func testDesc() *Descriptor {
+	return &Descriptor{
+		Format:  DescFormat,
+		Kind:    KindGlobal,
+		SrcHash: "srchash", SpecOpt: "specopt",
+		Output: depot.Key{Kind: "reports/v3", Source: "progfp",
+			Checker: "params", Version: "v1", Options: "specopt"},
+		Checker: "params", CheckerVersion: "v1",
+	}
+}
+
+// okWorker answers every task with a well-formed artifact under the
+// descriptor's own output address.
+func okWorker() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var d Descriptor
+		if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(Result{ID: d.Output.ID(), Artifact: json.RawMessage(`{"reports":[]}`)})
+	})
+}
+
+// quickOpts makes retries immediate and keeps the prober out of the
+// way so tests drive liveness deterministically.
+func quickOpts() Options {
+	return Options{
+		TaskTimeout:   5 * time.Second,
+		Backoff:       time.Millisecond,
+		ProbeInterval: time.Hour,
+		FailThreshold: 100,
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	if err := testDesc().Validate(); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+	break1 := func(f func(*Descriptor)) error {
+		d := testDesc()
+		f(d)
+		return d.Validate()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Descriptor)
+	}{
+		{"wrong format", func(d *Descriptor) { d.Format = "task/v0" }},
+		{"unknown kind", func(d *Descriptor) { d.Kind = "mystery" }},
+		{"no src hash", func(d *Descriptor) { d.SrcHash = "" }},
+		{"no output", func(d *Descriptor) { d.Output = depot.Key{} }},
+		{"lanes without handler", func(d *Descriptor) { d.Kind = KindLanes }},
+		{"sm without fn", func(d *Descriptor) { d.Kind = KindSM }},
+	}
+	for _, tc := range cases {
+		if err := break1(tc.mutate); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.name)
+		}
+	}
+}
+
+func TestDispatchRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(okWorker())
+	defer ts.Close()
+	d := New([]string{ts.URL}, quickOpts())
+	defer d.Close()
+
+	art, err := d.Do(context.Background(), testDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(art) != `{"reports":[]}` {
+		t.Fatalf("artifact = %s", art)
+	}
+}
+
+// TestRetryFailsOver: the first worker 500s every task; the retry must
+// land on the second worker and succeed.
+func TestRetryFailsOver(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "disk on fire", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(okWorker())
+	defer good.Close()
+
+	retriedBefore := mRetried.Value()
+	// Both workers idle: Do queues on the first (lowest index), which
+	// fails; the retry avoids it.
+	d := New([]string{bad.URL, good.URL}, quickOpts())
+	defer d.Close()
+	art, err := d.Do(context.Background(), testDesc())
+	if err != nil {
+		t.Fatalf("retry did not fail over: %v", err)
+	}
+	if string(art) != `{"reports":[]}` {
+		t.Fatalf("artifact = %s", art)
+	}
+	if got := mRetried.Value() - retriedBefore; got < 1 {
+		t.Fatalf("retried counter delta = %v, want >= 1", got)
+	}
+}
+
+// TestDeadlineExpiry: a worker slower than TaskTimeout fails the
+// attempt with the context deadline, not a hang.
+func TestDeadlineExpiry(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		okWorker().ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+
+	opts := quickOpts()
+	opts.TaskTimeout = 20 * time.Millisecond
+	opts.MaxAttempts = 1
+	d := New([]string{slow.URL}, opts)
+	defer d.Close()
+
+	_, err := d.Do(context.Background(), testDesc())
+	if err == nil {
+		t.Fatal("slow worker did not time out")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestAllWorkersDownFastFail: once every worker is marked down, Do
+// fails with ErrNoWorkers immediately instead of queueing into a void.
+func TestAllWorkersDownFastFail(t *testing.T) {
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	addr1, addr2 := dead1.URL, dead2.URL
+	dead1.Close()
+	dead2.Close()
+
+	opts := quickOpts()
+	opts.FailThreshold = 1
+	opts.MaxAttempts = 4
+	d := New([]string{addr1, addr2}, opts)
+	defer d.Close()
+
+	// First task burns through both workers and marks them down.
+	if _, err := d.Do(context.Background(), testDesc()); err == nil {
+		t.Fatal("Do succeeded against closed servers")
+	}
+
+	start := time.Now()
+	_, err := d.Do(context.Background(), testDesc())
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("degraded-fleet fast fail took %s", elapsed)
+	}
+}
+
+// TestBadArtifactTerminal: replies carrying the wrong output key or
+// corrupt bytes are rejected without a retry — the worker answered,
+// it just answered wrongly, and trusting a retry would risk caching
+// a wrong artifact.
+func TestBadArtifactTerminal(t *testing.T) {
+	cases := []struct {
+		name  string
+		reply func(w http.ResponseWriter, d *Descriptor)
+	}{
+		{"wrong key", func(w http.ResponseWriter, d *Descriptor) {
+			json.NewEncoder(w).Encode(Result{ID: "0000deadbeef", Artifact: json.RawMessage(`{"reports":[]}`)})
+		}},
+		{"corrupt reply", func(w http.ResponseWriter, d *Descriptor) {
+			fmt.Fprint(w, "}} not json {{")
+		}},
+		{"missing artifact", func(w http.ResponseWriter, d *Descriptor) {
+			// Right key, no artifact: the one corrupt-artifact shape
+			// that survives Result unmarshaling.
+			fmt.Fprintf(w, `{"id":%q}`, d.Output.ID())
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				var d Descriptor
+				json.NewDecoder(r.Body).Decode(&d)
+				tc.reply(w, &d)
+			}))
+			defer ts.Close()
+
+			badBefore := mBadArtifact.Value()
+			retriedBefore := mRetried.Value()
+			d := New([]string{ts.URL}, quickOpts())
+			defer d.Close()
+			if _, err := d.Do(context.Background(), testDesc()); err == nil {
+				t.Fatal("bad reply accepted")
+			}
+			if got := mBadArtifact.Value() - badBefore; got != 1 {
+				t.Fatalf("bad-artifact counter delta = %v, want 1", got)
+			}
+			if got := mRetried.Value() - retriedBefore; got != 0 {
+				t.Fatalf("bad artifact was retried (%v times); must be terminal", got)
+			}
+		})
+	}
+}
+
+// TestRejectTerminal: a 4xx refusal (version skew on the worker) is
+// terminal — every same-version worker would refuse identically.
+func TestRejectTerminal(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "fleet: descriptor rejected: version skew", http.StatusUnprocessableEntity)
+	}))
+	defer ts.Close()
+
+	d := New([]string{ts.URL}, quickOpts())
+	defer d.Close()
+	_, err := d.Do(context.Background(), testDesc())
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("err = %v, want a rejection", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("worker saw %d attempts, want 1 (422 is terminal)", n)
+	}
+}
+
+// TestWorkStealing: tasks stranded on a down worker's queue are stolen
+// and completed by the live one.
+func TestWorkStealing(t *testing.T) {
+	down := httptest.NewServer(http.NotFoundHandler())
+	defer down.Close()
+	live := httptest.NewServer(okWorker())
+	defer live.Close()
+
+	opts := quickOpts()
+	opts.Slots = 2
+	d := New([]string{down.URL, live.URL}, opts)
+	defer d.Close()
+
+	stolenBefore := mStolen.Value()
+	const n = 8
+	desc := testDesc()
+	body, _ := json.Marshal(desc)
+	tasks := make([]*task, n)
+	d.mu.Lock()
+	// Strand n tasks on worker 0's queue, then take it down. Worker 0
+	// must not run them (it is down); worker 1's own queue stays empty,
+	// so every completion below is a steal.
+	for i := range tasks {
+		tasks[i] = &task{desc: desc, body: body, origin: 0, last: -1, done: make(chan outcome, 1)}
+		d.workers[0].queue = append(d.workers[0].queue, tasks[i])
+	}
+	d.workers[0].up = false
+	d.upCount--
+	d.cond.Broadcast()
+	d.mu.Unlock()
+
+	for i, tk := range tasks {
+		select {
+		case out := <-tk.done:
+			if out.err != nil {
+				t.Fatalf("task %d: %v", i, out.err)
+			}
+			if string(out.artifact) != `{"reports":[]}` {
+				t.Fatalf("task %d artifact = %s", i, out.artifact)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("task %d never completed (steal stuck)", i)
+		}
+	}
+	if got := mStolen.Value() - stolenBefore; got != n {
+		t.Fatalf("stolen counter delta = %v, want %d", got, n)
+	}
+}
+
+// TestProbeRevivesWorker: a worker marked down by failures comes back
+// once its /healthz answers again.
+func TestProbeRevivesWorker(t *testing.T) {
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			if healthy.Load() {
+				fmt.Fprintln(w, "ok")
+			} else {
+				http.Error(w, "warming up", http.StatusServiceUnavailable)
+			}
+			return
+		}
+		okWorker().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	opts := quickOpts()
+	opts.ProbeInterval = 10 * time.Millisecond
+	opts.FailThreshold = 1
+	opts.MaxAttempts = 1
+	d := New([]string{ts.URL}, opts)
+	defer d.Close()
+
+	// The prober sees the unhealthy answer and marks the worker down.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Status()[0].Up {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never marked the unhealthy worker down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := d.Do(context.Background(), testDesc()); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("down fleet: err = %v, want ErrNoWorkers", err)
+	}
+
+	healthy.Store(true)
+	for !d.Status()[0].Up {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never revived the healthy worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := d.Do(context.Background(), testDesc()); err != nil {
+		t.Fatalf("revived fleet: %v", err)
+	}
+}
+
+// TestTaskHandler covers the worker HTTP surface's error contract:
+// malformed requests 400, rejections 422, transient failures 500.
+func TestTaskHandler(t *testing.T) {
+	exec := func(ctx context.Context, d *Descriptor) ([]byte, error) {
+		switch d.Checker {
+		case "reject-me":
+			return nil, fmt.Errorf("%w: version skew", ErrReject)
+		case "explode":
+			return nil, errors.New("depot io error")
+		}
+		return []byte(`{"ok":true}`), nil
+	}
+	h := TaskHandler(exec)
+
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/task", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	mustBody := func(d *Descriptor) string {
+		b, _ := json.Marshal(d)
+		return string(b)
+	}
+
+	if rec := post(mustBody(testDesc())); rec.Code != http.StatusOK {
+		t.Fatalf("ok task: %d %s", rec.Code, rec.Body)
+	} else {
+		var res Result
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.ID != testDesc().Output.ID() || string(res.Artifact) != `{"ok":true}` {
+			t.Fatalf("result = %+v", res)
+		}
+	}
+
+	get := httptest.NewRequest(http.MethodGet, "/task", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, get)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /task: %d", rec.Code)
+	}
+	if rec := post("{not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", rec.Code)
+	}
+	bad := testDesc()
+	bad.Format = "task/v0"
+	if rec := post(mustBody(bad)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("wrong format: %d", rec.Code)
+	}
+	rej := testDesc()
+	rej.Checker = "reject-me"
+	if rec := post(mustBody(rej)); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("rejected task: %d, want 422", rec.Code)
+	}
+	boom := testDesc()
+	boom.Checker = "explode"
+	if rec := post(mustBody(boom)); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("transient failure: %d, want 500", rec.Code)
+	}
+}

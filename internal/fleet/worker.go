@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"flashmc/internal/obs"
+)
+
+var (
+	mWorkerTasks  = obs.NewCounter("fleet_worker_tasks_total", "task requests received by this worker")
+	mWorkerErrors = obs.NewCounter("fleet_worker_task_errors_total", "task requests this worker failed or refused")
+	mWorkerExec   = obs.NewHistogram("fleet_worker_exec_seconds", "task execution latency on this worker", nil)
+)
+
+// ExecFunc executes one descriptor and returns the artifact bytes it
+// stored under the descriptor's output key. Returning an error that
+// wraps ErrReject means every same-version worker would refuse this
+// descriptor (version skew, fingerprint mismatch); any other error is
+// transient and worth retrying elsewhere.
+type ExecFunc func(ctx context.Context, d *Descriptor) ([]byte, error)
+
+// TaskHandler serves POST /task for cmd/mcheckworker: decode and
+// validate the descriptor, execute it, reply with a Result. Status
+// codes carry the retry contract: 400/422 are terminal (the
+// dispatcher falls back to local execution), 5xx is retryable.
+func TaskHandler(exec ExecFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		mWorkerTasks.Inc()
+		var desc Descriptor
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&desc); err != nil {
+			mWorkerErrors.Inc()
+			http.Error(w, "bad descriptor: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := desc.Validate(); err != nil {
+			mWorkerErrors.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		start := time.Now()
+		art, err := exec(r.Context(), &desc)
+		mWorkerExec.ObserveDuration(time.Since(start))
+		if err != nil {
+			mWorkerErrors.Inc()
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrReject) {
+				status = http.StatusUnprocessableEntity
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(Result{ID: desc.Output.ID(), Artifact: art})
+	})
+}

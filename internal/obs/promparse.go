@@ -302,19 +302,42 @@ func ensureFamily(families map[string]*PromFamily, name string) *PromFamily {
 	return f
 }
 
-// checkHistogram enforces the histogram series contract: a +Inf
-// bucket whose count equals name_count, and cumulative bucket counts.
+// histSeries accumulates one labeled series of a histogram family
+// (one set of non-le labels).
+type histSeries struct {
+	lastLE    float64
+	lastCount float64
+	buckets   int
+	infCount  float64
+	count     float64
+}
+
+// checkHistogram enforces the histogram series contract per series
+// (series = one set of labels excluding "le"): a +Inf bucket whose
+// count equals name_count, and cumulative, ascending bucket counts.
+// Labeled families — one series per label value, like the fleet's
+// per-worker latencies — validate each series independently.
 func checkHistogram(f *PromFamily) error {
-	var (
-		lastLE    float64
-		lastCount float64
-		buckets   int
-		infCount  = -1.0
-		count     = -1.0
-	)
+	series := map[string]*histSeries{}
+	get := func(labels map[string]string) *histSeries {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := labelsKey(rest)
+		h, ok := series[key]
+		if !ok {
+			h = &histSeries{infCount: -1, count: -1}
+			series[key] = h
+		}
+		return h
+	}
 	for _, s := range f.Samples {
 		switch s.Name {
 		case f.Name + "_bucket":
+			h := get(s.Labels)
 			le, ok := s.Labels["le"]
 			if !ok {
 				return fmt.Errorf("bucket without le label")
@@ -323,29 +346,38 @@ func checkHistogram(f *PromFamily) error {
 			if err != nil {
 				return fmt.Errorf("bad le %q", le)
 			}
-			if buckets > 0 && v <= lastLE {
+			if h.buckets > 0 && v <= h.lastLE {
 				return fmt.Errorf("buckets not ascending at le=%q", le)
 			}
-			if s.Value < lastCount {
+			if s.Value < h.lastCount {
 				return fmt.Errorf("bucket counts not cumulative at le=%q", le)
 			}
-			lastLE, lastCount = v, s.Value
-			buckets++
+			h.lastLE, h.lastCount = v, s.Value
+			h.buckets++
 			if le == "+Inf" {
-				infCount = s.Value
+				h.infCount = s.Value
 			}
 		case f.Name + "_count":
-			count = s.Value
+			get(s.Labels).count = s.Value
 		}
 	}
-	if buckets == 0 {
+	if len(series) == 0 {
 		return fmt.Errorf("no buckets")
 	}
-	if infCount < 0 {
-		return fmt.Errorf("missing +Inf bucket")
-	}
-	if count >= 0 && infCount != count {
-		return fmt.Errorf("+Inf bucket %v != count %v", infCount, count)
+	for key, h := range series {
+		at := ""
+		if key != "" {
+			at = fmt.Sprintf(" in series {%s}", key)
+		}
+		if h.buckets == 0 {
+			return fmt.Errorf("no buckets%s", at)
+		}
+		if h.infCount < 0 {
+			return fmt.Errorf("missing +Inf bucket%s", at)
+		}
+		if h.count >= 0 && h.infCount != h.count {
+			return fmt.Errorf("+Inf bucket %v != count %v%s", h.infCount, h.count, at)
+		}
 	}
 	return nil
 }

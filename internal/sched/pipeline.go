@@ -16,6 +16,7 @@ import (
 	"flashmc/internal/depot"
 	"flashmc/internal/engine"
 	"flashmc/internal/flash"
+	"flashmc/internal/fleet"
 	"flashmc/internal/global"
 	"flashmc/internal/obs"
 )
@@ -73,6 +74,11 @@ type Job struct {
 	Run    func(p *core.Program) []engine.Report
 	RunCov func(p *core.Program) ([]engine.Report, []*engine.Coverage)
 	Lanes  bool
+	// AdhocSrc is the metal source of an ad-hoc SM job. It rides in
+	// fleet descriptors so a remote worker can compile the same
+	// checker; built-in jobs leave it empty and workers resolve the
+	// checker from their registry.
+	AdhocSrc string
 }
 
 // Request is one analysis of one loaded program.
@@ -90,6 +96,11 @@ type Request struct {
 	// cache. Left empty, Check computes them.
 	Fingerprints []string
 	ProgramFP    string
+	// SrcHash is the request's SourceHash. Required for remote
+	// dispatch (descriptors address the source bundle by it, and
+	// PutBundle must have published the bundle under it first); left
+	// empty, every task runs locally even with a Remote configured.
+	SrcHash string
 }
 
 // Stats describes one Check call.
@@ -140,6 +151,11 @@ type Analyzer struct {
 	// artifact, so the merged counts are identical warm or cold and at
 	// any worker count (the set's merge is additive and commutative).
 	Coverage *cover.Set
+	// Remote, when non-nil, executes cache-missed tasks on the worker
+	// fleet (requires Request.SrcHash and a published bundle). Any
+	// remote failure falls back to local execution, so results are
+	// byte-identical with or without a fleet.
+	Remote Remote
 }
 
 // runState accumulates one Check call's cache traffic.
@@ -208,6 +224,17 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		}
 	}
 
+	// Remote dispatch context: with a fleet configured and the source
+	// bundle published under req.SrcHash, cache-missed tasks are tried
+	// on the fleet first. Workers write the same artifact to the same
+	// depot key local execution would, and every failure falls back to
+	// the local computation, so the report stream is byte-identical
+	// with or without workers.
+	var rem *remoteRun
+	if a.Remote != nil && req.SrcHash != "" {
+		rem = &remoteRun{r: a.Remote, srcHash: req.SrcHash, specOpt: SpecHash(req.Spec)}
+	}
+
 	var tasks []*Task
 
 	// Per-function summary tasks (the lane pass's local half). The
@@ -236,6 +263,15 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 					return nil
 				}
 				rs.markFn(p.Fns[i].Name)
+				if rem != nil {
+					desc := rem.desc(fleet.KindSummary, key)
+					desc.Checker, desc.CheckerVersion = "lanes", lanesVersion
+					desc.FnIndex, desc.Fn = i, p.Fns[i].Name
+					if s := rem.summaryTask(desc); s != nil {
+						summaries[i] = s
+						return nil
+					}
+				}
 				summaries[i] = global.FromCFG(p.Graphs[i], checkers.LaneAnnotator)
 				return d.PutJSON(key, summaries[i])
 			}})
@@ -277,6 +313,16 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 						return nil
 					}
 					rs.markFn(p.Fns[i].Name)
+					if rem != nil {
+						desc := rem.desc(fleet.KindSM, key)
+						desc.Checker, desc.CheckerVersion, desc.AdhocSrc = job.Name, job.Version, job.AdhocSrc
+						desc.FnIndex, desc.Fn = i, p.Fns[i].Name
+						if art := rem.artifactTask(desc); art != nil {
+							smResults[ji][i] = art.Reports
+							a.recordCoverage(job.Name, art.Coverage)
+							return nil
+						}
+					}
 					reports, cov := engine.RunCov(p.Graphs[i], job.SM)
 					smResults[ji][i] = reports
 					art := mkArtifact(reports, cov)
@@ -305,6 +351,15 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 						return nil
 					}
 					rs.markFn(h)
+					if rem != nil {
+						desc := rem.desc(fleet.KindLanes, key)
+						desc.Checker, desc.CheckerVersion, desc.Handler = job.Name, job.Version, h
+						if art := rem.artifactTask(desc); art != nil {
+							slot.set(h, art.Reports)
+							a.recordCoverage(job.Name, art.Coverage)
+							return nil
+						}
+					}
 					one := &flash.Spec{Hardware: []string{h}, Allowance: specAllowance(req.Spec)}
 					got, cov := checkers.CheckLanesCov(linked, one)
 					slot.set(h, got)
@@ -325,6 +380,15 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 					return nil
 				}
 				rs.markGlobal()
+				if rem != nil {
+					desc := rem.desc(fleet.KindGlobal, key)
+					desc.Checker, desc.CheckerVersion = job.Name, job.Version
+					if art := rem.artifactTask(desc); art != nil {
+						globalResults[ji] = art.Reports
+						a.recordCoverage(job.Name, art.Coverage)
+						return nil
+					}
+				}
 				var covs []*engine.Coverage
 				if job.RunCov != nil {
 					globalResults[ji], covs = job.RunCov(p)

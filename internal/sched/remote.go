@@ -1,0 +1,334 @@
+package sched
+
+// This file is the scheduler's half of the distributed fleet: the
+// Remote hook the pipeline dispatches cache-missed tasks through, the
+// source Bundle a dispatcher publishes so stateless workers can parse
+// the same program, and the Executor that cmd/mcheckworker runs
+// fleet.Descriptors with. The executor is deliberately paranoid —
+// every descriptor carries redundant identity (function name, checker
+// version, spec hash, output fingerprint), and the executor
+// recomputes each from its own parse before writing anything under
+// the dispatcher's output address. A mismatch means version skew or a
+// divergent depot, and is rejected terminally (fleet.ErrReject) so
+// the dispatcher falls straight back to local execution instead of
+// retrying a task every worker would refuse.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/checkers"
+	"flashmc/internal/core"
+	"flashmc/internal/depot"
+	"flashmc/internal/engine"
+	"flashmc/internal/flash"
+	"flashmc/internal/fleet"
+	"flashmc/internal/global"
+)
+
+// Remote executes one serialized task somewhere else and returns the
+// artifact bytes. Implemented by *fleet.Dispatcher; any error means
+// the caller should run the task locally.
+type Remote interface {
+	Do(ctx context.Context, desc *fleet.Descriptor) ([]byte, error)
+}
+
+// PutBundle publishes a request's source snapshot to the shared depot
+// so fleet workers can parse the same program the dispatcher did. It
+// must be called before Check dispatches any descriptor for srcHash.
+func PutBundle(d *depot.Depot, srcHash string, files map[string]string, roots []string, spec *flash.Spec) error {
+	return d.PutJSON(fleet.BundleKey(srcHash, SpecHash(spec)), fleet.Bundle{
+		Files: files, Roots: roots, Spec: spec,
+	})
+}
+
+// Executor runs fleet descriptors on a worker: read the source bundle
+// from the shared depot, parse (through the same ProgramCache the
+// daemon uses, so repeated tasks for one request parse once),
+// cross-check every piece of descriptor identity against the local
+// parse, compute the artifact, and store it under the descriptor's
+// output key.
+type Executor struct {
+	Depot    *depot.Depot
+	Programs *ProgramCache
+
+	mu     sync.Mutex
+	linked map[string]*global.Program // srcHash -> linked call graph
+	order  []string                   // linked-cache eviction order (FIFO)
+}
+
+// NewExecutor returns an executor over the worker's depot.
+func NewExecutor(d *depot.Depot) *Executor {
+	return &Executor{Depot: d, Programs: &ProgramCache{Depot: d}}
+}
+
+// reject wraps a terminal descriptor failure.
+func reject(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", fleet.ErrReject, fmt.Sprintf(format, args...))
+}
+
+// Execute runs one descriptor. Errors wrapping fleet.ErrReject are
+// terminal (version skew, identity mismatch); any other error is
+// transient (bundle not yet visible in the depot, IO) and worth
+// retrying on another worker.
+func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor) ([]byte, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, reject("%v", err)
+	}
+	var b fleet.Bundle
+	if !e.Depot.GetJSON(fleet.BundleKey(desc.SrcHash, desc.SpecOpt), &b) {
+		return nil, fmt.Errorf("sched: bundle %.12s not in depot (is the depot shared?)", desc.SrcHash)
+	}
+	if got := SpecHash(b.Spec); got != desc.SpecOpt {
+		return nil, reject("bundle spec hash %.12s, descriptor wants %.12s", got, desc.SpecOpt)
+	}
+	cp, _, err := e.Programs.Load(desc.SrcHash, func() (*core.Program, error) {
+		return core.Load("fleet", cpp.Layered(cpp.MapSource(b.Files), flash.HeaderSource()), b.Roots)
+	})
+	if err != nil {
+		return nil, reject("parse: %v", err)
+	}
+	p := cp.Prog
+	if len(p.ParseErrors) > 0 {
+		return nil, reject("bundle has %d parse errors (dispatcher checks clean programs only)", len(p.ParseErrors))
+	}
+
+	switch desc.Kind {
+	case fleet.KindSummary:
+		if err := e.checkFn(cp, desc); err != nil {
+			return nil, err
+		}
+		if err := e.checkLanesIdentity(desc, desc.SpecOpt); err != nil {
+			return nil, err
+		}
+		return e.put(desc, global.FromCFG(p.Graphs[desc.FnIndex], checkers.LaneAnnotator))
+
+	case fleet.KindSM:
+		if err := e.checkFn(cp, desc); err != nil {
+			return nil, err
+		}
+		sm, opts, err := e.buildSM(p, desc, b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if desc.Output.Options != opts {
+			return nil, reject("options %.12s, worker computes %.12s", desc.Output.Options, opts)
+		}
+		reports, cov := engine.RunCov(p.Graphs[desc.FnIndex], sm)
+		return e.put(desc, mkArtifact(reports, cov))
+
+	case fleet.KindGlobal:
+		if cp.ProgramFP != desc.Output.Source {
+			return nil, reject("program fingerprint %.12s, descriptor wants %.12s", cp.ProgramFP, desc.Output.Source)
+		}
+		chk := registryChecker(desc.Checker)
+		if chk == nil {
+			return nil, reject("unknown checker %q", desc.Checker)
+		}
+		if _, isSM := chk.(checkers.SMProvider); isSM || chk.Name() == "lanes" {
+			return nil, reject("checker %q is not a whole-program pass", desc.Checker)
+		}
+		if chk.Version() != desc.CheckerVersion {
+			return nil, reject("checker %s is %s here, descriptor pinned %s", desc.Checker, chk.Version(), desc.CheckerVersion)
+		}
+		if desc.Output.Options != desc.SpecOpt {
+			return nil, reject("whole-program options %.12s, want spec hash %.12s", desc.Output.Options, desc.SpecOpt)
+		}
+		var (
+			reports []engine.Report
+			covs    []*engine.Coverage
+		)
+		if prov, ok := chk.(checkers.CoverageProvider); ok {
+			reports, covs = prov.CheckCov(p, b.Spec)
+		} else {
+			reports = chk.Check(p, b.Spec)
+		}
+		return e.put(desc, mkArtifact(reports, covs...))
+
+	case fleet.KindLanes:
+		if err := e.checkLanesIdentity(desc, desc.SpecOpt); err != nil {
+			return nil, err
+		}
+		linked := e.link(desc.SrcHash, p)
+		reach := linked.Reachable([]string{desc.Handler})
+		fpByFn := make(map[string]string, len(p.Fns))
+		for i, fn := range p.Fns {
+			if _, ok := fpByFn[fn.Name]; !ok {
+				fpByFn[fn.Name] = cp.Fingerprints[i]
+			}
+		}
+		if got := reachFingerprint(desc.Handler, reach, fpByFn); got != desc.Output.Source {
+			return nil, reject("handler %s cone fingerprint %.12s, descriptor wants %.12s", desc.Handler, got, desc.Output.Source)
+		}
+		one := &flash.Spec{Hardware: []string{desc.Handler}, Allowance: specAllowance(b.Spec)}
+		got, cov := checkers.CheckLanesCov(linked, one)
+		return e.put(desc, mkArtifact(got, cov))
+	}
+	return nil, reject("unknown task kind %q", desc.Kind)
+}
+
+// checkFn validates a per-function descriptor against the local
+// parse: the index is in range, names the function the dispatcher
+// meant, and that function's fingerprint is the artifact's source.
+func (e *Executor) checkFn(cp *CachedProgram, desc *fleet.Descriptor) error {
+	p := cp.Prog
+	if desc.FnIndex < 0 || desc.FnIndex >= len(p.Fns) {
+		return reject("fn index %d out of range (%d functions)", desc.FnIndex, len(p.Fns))
+	}
+	if got := p.Fns[desc.FnIndex].Name; got != desc.Fn {
+		return reject("fn %d is %s here, descriptor names %s", desc.FnIndex, got, desc.Fn)
+	}
+	if got := cp.Fingerprints[desc.FnIndex]; got != desc.Output.Source {
+		return reject("fn %s fingerprint %.12s, descriptor wants %.12s", desc.Fn, got, desc.Output.Source)
+	}
+	return nil
+}
+
+// checkLanesIdentity validates a summary/lane descriptor's checker
+// identity: the lanes checker, at the version this worker runs, under
+// the bundle's spec options.
+func (e *Executor) checkLanesIdentity(desc *fleet.Descriptor, specOpt string) error {
+	if desc.Checker != "lanes" || desc.Output.Checker != "lanes" {
+		return reject("%s task for checker %q, want lanes", desc.Kind, desc.Checker)
+	}
+	chk := registryChecker("lanes")
+	if chk.Version() != desc.CheckerVersion {
+		return reject("lanes is %s here, descriptor pinned %s", chk.Version(), desc.CheckerVersion)
+	}
+	if desc.Output.Options != specOpt {
+		return reject("lanes options %.12s, want spec hash %.12s", desc.Output.Options, specOpt)
+	}
+	return nil
+}
+
+// buildSM resolves the descriptor's state machine — ad-hoc source or
+// registry checker — and returns it with the options fingerprint the
+// output key must carry.
+func (e *Executor) buildSM(p *core.Program, desc *fleet.Descriptor, spec *flash.Spec) (*engine.SM, string, error) {
+	if desc.AdhocSrc != "" {
+		mp, err := p.CompileChecker(desc.AdhocSrc)
+		if err != nil {
+			return nil, "", reject("ad-hoc checker: %v", err)
+		}
+		srcHash := sha256.Sum256([]byte(desc.AdhocSrc))
+		version := "adhoc-" + hex.EncodeToString(srcHash[:8])
+		if version != desc.CheckerVersion {
+			return nil, "", reject("ad-hoc version %s, descriptor pinned %s", version, desc.CheckerVersion)
+		}
+		if mp.Name != desc.Checker {
+			return nil, "", reject("ad-hoc checker compiles to %q, descriptor names %q", mp.Name, desc.Checker)
+		}
+		return mp.SM, desc.SpecOpt, nil
+	}
+	chk := registryChecker(desc.Checker)
+	if chk == nil {
+		return nil, "", reject("unknown checker %q", desc.Checker)
+	}
+	prov, ok := chk.(checkers.SMProvider)
+	if !ok {
+		return nil, "", reject("checker %q is not a state machine", desc.Checker)
+	}
+	if chk.Version() != desc.CheckerVersion {
+		return nil, "", reject("checker %s is %s here, descriptor pinned %s", desc.Checker, chk.Version(), desc.CheckerVersion)
+	}
+	sm, _ := prov.BuildSM(spec)
+	return sm, hashStrings(desc.SpecOpt, fmt.Sprintf("correlate=%v", sm.CorrelateBranches)), nil
+}
+
+// link returns the whole-protocol call graph for srcHash, building
+// and caching it on first use (lane tasks for one request share it).
+func (e *Executor) link(srcHash string, p *core.Program) *global.Program {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.linked == nil {
+		e.linked = map[string]*global.Program{}
+	}
+	if lp, ok := e.linked[srcHash]; ok {
+		return lp
+	}
+	summaries := make([]*global.Summary, len(p.Fns))
+	for i := range p.Fns {
+		summaries[i] = global.FromCFG(p.Graphs[i], checkers.LaneAnnotator)
+	}
+	lp, _ := global.Link(summaries) // link errors are reported dispatcher-side
+	e.linked[srcHash] = lp
+	e.order = append(e.order, srcHash)
+	for len(e.order) > 4 {
+		delete(e.linked, e.order[0])
+		e.order = e.order[1:]
+	}
+	return lp
+}
+
+// put stores v under the descriptor's output key and returns the
+// exact bytes stored, so the dispatcher's copy and the depot's agree.
+func (e *Executor) put(desc *fleet.Descriptor, v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, reject("marshal artifact: %v", err)
+	}
+	if err := e.Depot.Put(desc.Output, raw); err != nil {
+		return nil, fmt.Errorf("sched: store artifact: %w", err)
+	}
+	return raw, nil
+}
+
+// remoteRun is one Check call's dispatch context: the source address
+// and spec hash every descriptor of the request shares.
+type remoteRun struct {
+	r       Remote
+	srcHash string
+	specOpt string
+}
+
+// desc starts a descriptor for one task of this request.
+func (rr *remoteRun) desc(kind string, out depot.Key) *fleet.Descriptor {
+	return &fleet.Descriptor{
+		Format: fleet.DescFormat, Kind: kind,
+		SrcHash: rr.srcHash, SpecOpt: rr.specOpt, Output: out,
+	}
+}
+
+// artifactTask dispatches one report-producing task; nil means the
+// fleet could not produce the artifact and the caller runs it locally
+// (counted as a fallback).
+func (rr *remoteRun) artifactTask(d *fleet.Descriptor) *artifact {
+	raw, err := rr.r.Do(context.Background(), d)
+	if err == nil {
+		var art artifact
+		if json.Unmarshal(raw, &art) == nil {
+			return &art
+		}
+	}
+	fleet.CountFallback()
+	return nil
+}
+
+// summaryTask dispatches one per-function summary task; nil means
+// run it locally.
+func (rr *remoteRun) summaryTask(d *fleet.Descriptor) *global.Summary {
+	raw, err := rr.r.Do(context.Background(), d)
+	if err == nil {
+		var s global.Summary
+		if json.Unmarshal(raw, &s) == nil {
+			return &s
+		}
+	}
+	fleet.CountFallback()
+	return nil
+}
+
+// registryChecker finds a built-in checker by name.
+func registryChecker(name string) checkers.Checker {
+	for _, chk := range checkers.All() {
+		if chk.Name() == name {
+			return chk
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"flashmc/internal/cc/cpp"
+	"flashmc/internal/core"
+	"flashmc/internal/depot"
+	"flashmc/internal/flash"
+	"flashmc/internal/flashgen"
+	"flashmc/internal/fleet"
+	"flashmc/internal/obs"
+)
+
+// execRemote runs descriptors straight through a worker Executor —
+// the fleet path minus HTTP, so remote-vs-local comparisons isolate
+// the serialize/recompute/cross-check logic.
+type execRemote struct{ ex *Executor }
+
+func (r execRemote) Do(ctx context.Context, d *fleet.Descriptor) ([]byte, error) {
+	return r.ex.Execute(ctx, d)
+}
+
+// corruptRemote answers every task with bytes no artifact decoder
+// accepts, forcing the local-fallback path.
+type corruptRemote struct{}
+
+func (corruptRemote) Do(ctx context.Context, d *fleet.Descriptor) ([]byte, error) {
+	return []byte("}} definitely not an artifact {{"), nil
+}
+
+// loadRemoteProto loads the test protocol through the exact frontend
+// stack workers use (map source layered over the flash header), so
+// dispatcher- and worker-side fingerprints must agree.
+func loadRemoteProto(t testing.TB) (files map[string]string, roots []string, prog *core.Program) {
+	t.Helper()
+	gen := flashgen.Generate(flashgen.Options{Seed: 1})
+	p := gen.Protocol(testProto)
+	if p == nil {
+		t.Fatalf("protocol %s not generated", testProto)
+	}
+	files = p.Files
+	roots = append([]string(nil), p.RootFiles...)
+	prog, err := core.Load(p.Name, cpp.Layered(cpp.MapSource(files), flash.HeaderSource()), roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.ParseErrors) > 0 {
+		t.Fatalf("parse errors: %v", prog.ParseErrors[0])
+	}
+	return files, roots, prog
+}
+
+// checkRemote runs one fleet-dispatched Check over a fresh shared
+// depot and returns the rendered reports.
+func checkRemote(t *testing.T, r Remote, files map[string]string, roots []string, prog *core.Program, spec *flash.Spec) []byte {
+	t.Helper()
+	shared, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcHash := SourceHash(files, roots)
+	if err := PutBundle(shared, srcHash, files, roots, spec); err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		r = execRemote{NewExecutor(shared)}
+	}
+	a := &Analyzer{Depot: shared, Workers: 4, Remote: r}
+	res, err := a.Check(Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec), SrcHash: srcHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return render(res.Reports)
+}
+
+// TestRemoteCheckMatchesLocal is the core fleet guarantee: a Check
+// whose cache misses all execute on a remote worker produces the
+// byte-identical report stream a purely local run does — and not via
+// fallback: every task's cross-checks must pass on the worker.
+func TestRemoteCheckMatchesLocal(t *testing.T) {
+	files, roots, prog := loadRemoteProto(t)
+	spec := ConventionSpec(prog)
+
+	localDepot, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := &Analyzer{Depot: localDepot, Workers: 4}
+	localRes, err := la.Check(Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := render(localRes.Reports)
+	if len(localRes.Reports) == 0 {
+		t.Fatal("protocol produced no reports; comparison is vacuous")
+	}
+
+	fallbackBefore := obs.Default.Snapshot()["fleet_tasks_fallback_total"]
+	remote := checkRemote(t, nil, files, roots, prog, spec)
+	if !bytes.Equal(local, remote) {
+		t.Fatalf("remote reports differ from local:\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+	if d := obs.Default.Snapshot()["fleet_tasks_fallback_total"] - fallbackBefore; d != 0 {
+		t.Fatalf("%v tasks fell back to local execution; a clean fleet run must dispatch everything", d)
+	}
+}
+
+// TestRemoteWarmCheck: after a remote cold run, a second Check over
+// the same shared depot is served from cache, byte-identically.
+func TestRemoteWarmCheck(t *testing.T) {
+	files, roots, prog := loadRemoteProto(t)
+	spec := ConventionSpec(prog)
+	shared, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcHash := SourceHash(files, roots)
+	if err := PutBundle(shared, srcHash, files, roots, spec); err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Depot: shared, Workers: 4, Remote: execRemote{NewExecutor(shared)}}
+	req := Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec), SrcHash: srcHash}
+	cold, err := a.Check(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := a.Check(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(cold.Reports), render(warm.Reports)) {
+		t.Fatal("warm reports differ from cold")
+	}
+	if warm.Stats.CacheMisses != 0 {
+		t.Fatalf("warm run missed the cache %d times (workers did not populate the shared depot)", warm.Stats.CacheMisses)
+	}
+}
+
+// TestRemoteCorruptFallsBack: a fleet that answers garbage degrades
+// to local execution with identical reports — never worse than -j N.
+func TestRemoteCorruptFallsBack(t *testing.T) {
+	files, roots, prog := loadRemoteProto(t)
+	spec := ConventionSpec(prog)
+
+	localDepot, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := &Analyzer{Depot: localDepot, Workers: 4}
+	localRes, err := la.Check(Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fallbackBefore := obs.Default.Snapshot()["fleet_tasks_fallback_total"]
+	remote := checkRemote(t, corruptRemote{}, files, roots, prog, spec)
+	if !bytes.Equal(render(localRes.Reports), remote) {
+		t.Fatal("fallback reports differ from local")
+	}
+	if d := obs.Default.Snapshot()["fleet_tasks_fallback_total"] - fallbackBefore; d == 0 {
+		t.Fatal("fallback counter unchanged; the corrupt remote was never consulted")
+	}
+}
+
+// TestExecutorRejectsSkew: every identity cross-check failure is a
+// terminal fleet.ErrReject (version skew retried on a same-version
+// worker would fail identically), while a missing bundle is transient.
+func TestExecutorRejectsSkew(t *testing.T) {
+	files, roots, prog := loadRemoteProto(t)
+	spec := ConventionSpec(prog)
+	shared, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcHash := SourceHash(files, roots)
+	specOpt := SpecHash(spec)
+	if err := PutBundle(shared, srcHash, files, roots, spec); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(shared)
+	lanesVersion := registryChecker("lanes").Version()
+
+	base := func(kind string) *fleet.Descriptor {
+		return &fleet.Descriptor{
+			Format: fleet.DescFormat, Kind: kind,
+			SrcHash: srcHash, SpecOpt: specOpt,
+		}
+	}
+
+	// Missing bundle: transient (the depot may not have synced yet) —
+	// anything but a reject, so the dispatcher retries elsewhere.
+	d := base(fleet.KindGlobal)
+	d.SrcHash = "0000000000000000"
+	d.Checker, d.CheckerVersion = "lanes", lanesVersion
+	d.Output = depot.Key{Kind: "reports/v3", Source: "x", Checker: "lanes", Version: lanesVersion, Options: specOpt}
+	if _, err := ex.Execute(context.Background(), d); err == nil || errors.Is(err, fleet.ErrReject) {
+		t.Fatalf("missing bundle: err = %v, want transient non-reject", err)
+	}
+
+	// Wrong function name for the index: the worker's parse disagrees
+	// with the descriptor — reject.
+	d = base(fleet.KindSummary)
+	d.Checker, d.CheckerVersion = "lanes", lanesVersion
+	d.FnIndex, d.Fn = 0, "no_such_function"
+	d.Output = depot.Key{Kind: "summary", Source: "x", Checker: "lanes", Version: lanesVersion, Options: specOpt}
+	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+		t.Fatalf("wrong fn name: err = %v, want ErrReject", err)
+	}
+
+	// Checker version skew on a lane task — reject.
+	d = base(fleet.KindLanes)
+	d.Checker, d.CheckerVersion = "lanes", "v0-ancient"
+	d.Handler = prog.Fns[0].Name
+	d.Output = depot.Key{Kind: "lanes", Source: "x", Checker: "lanes", Version: "v0-ancient", Options: specOpt}
+	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+		t.Fatalf("version skew: err = %v, want ErrReject", err)
+	}
+
+	// Unknown whole-program checker — reject.
+	d = base(fleet.KindGlobal)
+	d.Checker, d.CheckerVersion = "no_such_checker", "v1"
+	d.Output = depot.Key{Kind: "reports/v3", Source: "x", Checker: "no_such_checker", Version: "v1", Options: specOpt}
+	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+		t.Fatalf("unknown checker: err = %v, want ErrReject", err)
+	}
+
+	// A bundle whose spec hash does not match the descriptor's — the
+	// depot the worker sees diverged from the dispatcher's — reject.
+	if err := shared.PutJSON(fleet.BundleKey(srcHash, "bogus-spec"), fleet.Bundle{Files: files, Roots: roots, Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	d = base(fleet.KindGlobal)
+	d.SpecOpt = "bogus-spec"
+	d.Checker, d.CheckerVersion = "lanes", lanesVersion
+	d.Output = depot.Key{Kind: "reports/v3", Source: "x", Checker: "lanes", Version: lanesVersion, Options: "bogus-spec"}
+	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+		t.Fatalf("spec hash mismatch: err = %v, want ErrReject", err)
+	}
+}
