@@ -100,7 +100,10 @@ go build -o "$tmp/mcheckclient" ./cmd/mcheckclient
 w1=$!
 "$tmp/mcheckworker" -addr 127.0.0.1:18287 -cache "$tmp/fleet-depot" &
 w2=$!
-"$tmp/mcheckd" -addr 127.0.0.1:18288 -cache "$tmp/fleet-depot" \
+# -j 4 keeps several tasks in flight so both workers stay busy even
+# on a single-core leader (the trace gate below needs spans from two
+# distinct worker processes).
+"$tmp/mcheckd" -addr 127.0.0.1:18288 -cache "$tmp/fleet-depot" -j 4 \
     -workers 127.0.0.1:18286,127.0.0.1:18287 &
 fd=$!
 "$tmp/mcheckd" -addr 127.0.0.1:18289 -j 4 &
@@ -110,8 +113,8 @@ for port in 18286 18287 18288 18289; do
     "$tmp/mcheckclient" -addr "127.0.0.1:$port" -wait 15s
 done
 for proto in bitvector dyn_ptr sci coma rac common; do
-    "$tmp/mcheckclient" -addr 127.0.0.1:18288 "$tmp/corpus/$proto"/*.c \
-        > "$tmp/fleet.$proto"
+    "$tmp/mcheckclient" -addr 127.0.0.1:18288 -trace "$tmp/fleet-trace.$proto.json" \
+        "$tmp/corpus/$proto"/*.c > "$tmp/fleet.$proto"
     "$tmp/mcheckclient" -addr 127.0.0.1:18289 "$tmp/corpus/$proto"/*.c \
         > "$tmp/fleet-ref.$proto"
     cmp "$tmp/fleet.$proto" "$tmp/fleet-ref.$proto"
@@ -119,6 +122,20 @@ done
 "$tmp/mcheckclient" -addr 127.0.0.1:18288 -get /metrics > "$tmp/fleet-metrics.txt"
 grep "^fleet_tasks_dispatched_total" "$tmp/fleet-metrics.txt"
 ! grep -qx "fleet_tasks_dispatched_total 0" "$tmp/fleet-metrics.txt"
+
+# Distributed-tracing gate: the merged per-request trace fetched over
+# the fleet path must be a valid Chrome trace containing dispatcher
+# spans (cat "fleet" on the leader) and execution spans from both
+# worker processes — obscheck's per-process breakdown names them, so
+# one named mcheckworker lane would mean the fleet traced as a single
+# process. The federated /metrics must also parse as one exposition
+# with per-worker labeled families.
+go run ./cmd/obscheck -trace "$tmp/fleet-trace.sci.json" > "$tmp/fleet-obscheck.txt"
+cat "$tmp/fleet-obscheck.txt"
+test "$(grep -c 'name="mcheckworker' "$tmp/fleet-obscheck.txt")" -ge 2
+grep -q '"cat":"fleet"' "$tmp/fleet-trace.sci.json"
+go run ./cmd/obscheck -prom "$tmp/fleet-metrics.txt"
+grep -q '^fleet_worker_tasks_total{worker=' "$tmp/fleet-metrics.txt"
 kill $w1 $w2 $fd $ld 2>/dev/null || true
 wait $w1 $w2 $fd $ld 2>/dev/null || true
 trap 'rm -rf "$tmp"' EXIT

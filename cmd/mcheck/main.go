@@ -141,6 +141,7 @@ func main() {
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
+		tracer.SetProcess(os.Getpid(), "mcheck")
 	}
 
 	parseSp := tracer.StartSpan("parse", 0)

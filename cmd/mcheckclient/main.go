@@ -8,6 +8,9 @@
 //	mcheckclient -addr host:port file.c...   POST /check, print reports
 //	mcheckclient -addr host:port -get /metrics
 //	mcheckclient -addr host:port -wait 10s   poll /healthz until 200
+//	mcheckclient -addr host:port -trace FILE file.c...
+//	             also fetch the request's merged Chrome trace (from
+//	             /debug/trace/<X-Trace-Id>) into FILE
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	get := flag.String("get", "", "GET this path and print the body instead of posting a check")
 	wait := flag.Duration("wait", 0, "poll /healthz until it answers 200 (or this long elapses)")
 	triageMode := flag.String("triage", "", "triage_mode for /check (\"slice\" or \"sym\")")
+	traceOut := flag.String("trace", "", "after /check, fetch the merged request trace into this file")
 	flag.Parse()
 
 	base := *addr
@@ -114,4 +118,34 @@ func main() {
 	json.Indent(&pretty, parsed.Reports, "", "  ")
 	pretty.WriteByte('\n')
 	os.Stdout.Write(pretty.Bytes())
+
+	if *traceOut != "" {
+		// X-Trace-Id names the computation's trace even when this
+		// request shared another request's in-flight work; fall back to
+		// our own request id.
+		id := resp.Header.Get("X-Trace-Id")
+		if id == "" {
+			id = resp.Header.Get("X-Request-Id")
+		}
+		if id == "" {
+			fmt.Fprintln(os.Stderr, "mcheckclient: server sent no X-Trace-Id/X-Request-Id; cannot fetch trace")
+			os.Exit(1)
+		}
+		tresp, err := http.Get(base + "/debug/trace/" + id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcheckclient: trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer tresp.Body.Close()
+		traw, err := io.ReadAll(tresp.Body)
+		if err != nil || tresp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "mcheckclient: trace %s: status %d %s\n", id, tresp.StatusCode, traw)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, traw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mcheckclient: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mcheckclient: trace %s written to %s\n", id, *traceOut)
+	}
 }

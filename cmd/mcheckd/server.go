@@ -109,11 +109,16 @@ type checkResponse struct {
 // flight is one in-progress /check computation shared by identical
 // concurrent requests; followers wait on done and reuse the outcome.
 type flight struct {
-	done chan struct{}
-	code int
-	resp checkResponse
-	err  string // non-empty: the leader failed with this message
+	done    chan struct{}
+	code    int
+	resp    checkResponse
+	err     string // non-empty: the leader failed with this message
+	traceID string // the leader's request id; followers echo it in X-Trace-Id
 }
+
+// traceRingCap bounds how many merged request traces the server keeps
+// for /debug/trace; the oldest is evicted FIFO.
+const traceRingCap = 32
 
 // server owns one analyzer over one depot; every request shares the
 // cache, which is what makes the second check of a tree warm. Metrics
@@ -148,6 +153,12 @@ type server struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
+	// traceMu guards the bounded ring of merged request traces served
+	// by /debug/trace/<id>.
+	traceMu    sync.Mutex
+	traces     map[string][]obs.Event
+	traceOrder []string
+
 	// testLeaderHook, when set, runs in the leader between claiming a
 	// flight and computing it — lets tests hold the leader open while
 	// followers pile onto the flight.
@@ -165,6 +176,7 @@ func newServer(store *depot.Depot, workers int) *server {
 		reg:       reg,
 		coverage:  covSet,
 		flights:   map[string]*flight{},
+		traces:    map[string][]obs.Event{},
 
 		requests:    reg.Counter("mcheckd_requests_total", "POST /check requests received"),
 		errored:     reg.Counter("mcheckd_request_errors_total", "requests answered with an error status"),
@@ -199,6 +211,8 @@ func newServer(store *depot.Depot, workers int) *server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/coverage", s.handleCoverage)
 	s.mux.HandleFunc("/debug/timings", s.handleTimings)
+	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
+	s.mux.HandleFunc("/debug/fleet", s.handleFleet)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -227,7 +241,13 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	reqID := fmt.Sprintf("req-%06d", s.nextReqID.Add(1))
+	// Reuse the caller's request id when it sent one, so traces and
+	// logs correlate across hops; otherwise mint a process-local id.
+	// The id doubles as the request's trace id.
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = fmt.Sprintf("req-%06d", s.nextReqID.Add(1))
+	}
 	w.Header().Set("X-Request-Id", reqID)
 	start := time.Now()
 	s.requests.Inc()
@@ -364,6 +384,11 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fl.err, fl.code)
 			return
 		}
+		// The follower did no work of its own; its trace is the
+		// leader's, addressed by the leader's request id.
+		if fl.traceID != "" {
+			w.Header().Set("X-Trace-Id", fl.traceID)
+		}
 		status = fl.code
 		writeJSON(w, fl.code, fl.resp)
 		return
@@ -373,8 +398,14 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.testLeaderHook()
 	}
 
+	// Every leader request runs under its own tracer: the leader is
+	// process 1 in the merged trace, workers claim higher pids as the
+	// dispatcher folds their spans in (see Dispatcher.mergeWorkerSpans).
+	tracer := obs.NewTracer()
+	tracer.SetProcess(1, "mcheckd")
 	creq := sched.Request{Prog: prog, Spec: spec, Jobs: jobs,
-		Fingerprints: cp.Fingerprints, ProgramFP: cp.ProgramFP}
+		Fingerprints: cp.Fingerprints, ProgramFP: cp.ProgramFP,
+		Tracer: tracer, TraceID: reqID}
 	// With a fleet configured, publish the source bundle so stateless
 	// workers can parse this exact tree, then let the scheduler
 	// dispatch cache-missed tasks remotely. A failed publish just runs
@@ -415,8 +446,72 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		TaskMS:        float64(res.Stats.TaskTime) / float64(time.Millisecond),
 		QueueWaitMS:   float64(res.Stats.QueueWait) / float64(time.Millisecond),
 	}
-	fl.code, fl.resp = http.StatusOK, resp
+	s.storeTrace(reqID, tracer.Events())
+	w.Header().Set("X-Trace-Id", reqID)
+	fl.code, fl.resp, fl.traceID = http.StatusOK, resp, reqID
 	s.finishFlight(fl)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// storeTrace retains the merged trace of one completed request for
+// /debug/trace/<id>, evicting the oldest beyond traceRingCap.
+func (s *server) storeTrace(id string, events []obs.Event) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if _, ok := s.traces[id]; !ok {
+		s.traceOrder = append(s.traceOrder, id)
+	}
+	s.traces[id] = events
+	for len(s.traceOrder) > traceRingCap {
+		delete(s.traces, s.traceOrder[0])
+		s.traceOrder = s.traceOrder[1:]
+	}
+}
+
+// handleTrace serves one request's merged Chrome trace_event file:
+// leader dispatch spans plus the execution spans of every worker that
+// ran one of its tasks, aligned onto the leader's clock. Open it in
+// chrome://tracing or Perfetto.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	s.traceMu.Lock()
+	events, ok := s.traces[id]
+	s.traceMu.Unlock()
+	if id == "" || !ok {
+		http.Error(w, "unknown trace id", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteTraceJSON(w, events); err != nil {
+		log.Printf("mcheckd: /debug/trace/%s: %v", id, err)
+	}
+}
+
+// fleetDebugResponse is the /debug/fleet body: live dispatcher state
+// plus the tail of the task flight recorder.
+type fleetDebugResponse struct {
+	Fleet        bool                 `json:"fleet"`
+	Workers      []fleet.WorkerStatus `json:"workers,omitempty"`
+	FlightTotal  uint64               `json:"flight_total"`
+	FlightEvents []obs.FlightEvent    `json:"flight_events"`
+}
+
+// handleFleet reports what the dispatcher is doing right now and what
+// it recently did: per-worker queue depth, inflight count and health,
+// and the flight recorder's task lifecycle tail (dispatched, stolen,
+// retried, rejected, completed, fell-back, worker-down/up).
+func (s *server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	resp := fleetDebugResponse{
+		FlightTotal:  fleet.FlightTotal(),
+		FlightEvents: fleet.FlightEvents(),
+	}
+	if resp.FlightEvents == nil {
+		resp.FlightEvents = []obs.FlightEvent{}
+	}
+	if s.fleet != nil {
+		resp.Fleet = true
+		resp.Workers = s.fleet.Status()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -529,9 +624,28 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.shardBytes.With(fmt.Sprint(i)).Set(float64(ss.Bytes))
 	}
 	s.reg.WritePrometheus(w)
-	// Process-global metrics (engine, sched, depot) follow the
-	// per-server families; the name spaces are disjoint.
-	obs.Default.WritePrometheus(w)
+	if s.fleet == nil {
+		// Process-global metrics (engine, sched, depot) follow the
+		// per-server families; the name spaces are disjoint.
+		obs.Default.WritePrometheus(w)
+		return
+	}
+	// Metrics federation: scrape every configured worker on demand and
+	// re-export its fleet_worker_* families with a worker label, so one
+	// scrape of the daemon sees the whole fleet. Families the
+	// federation re-emits are excluded from this process's own
+	// exposition — the fleet_worker_* namespace belongs to worker
+	// processes, and a family may not be declared twice.
+	scrapes, errs := s.fleet.ScrapeWorkers(r.Context())
+	for addr, err := range errs {
+		log.Printf("mcheckd: /metrics scrape %s: %v", addr, err)
+	}
+	keep := func(name string) bool { return strings.HasPrefix(name, "fleet_worker_") }
+	fed := obs.FederatedNames(scrapes, keep)
+	obs.Default.WritePrometheusFiltered(w, func(name string) bool { return !fed[name] })
+	if err := obs.WriteFederated(w, scrapes, "worker", keep); err != nil {
+		log.Printf("mcheckd: /metrics federate: %v", err)
+	}
 }
 
 // handleCoverage serves the accumulated coverage/v1 artifact: every

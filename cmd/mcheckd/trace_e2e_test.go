@@ -1,0 +1,286 @@
+package main
+
+// End-to-end distributed tracing and fleet introspection: one /check
+// over a two-worker fleet must yield a single merged Chrome trace with
+// leader dispatch spans and worker execution spans for the same task
+// ids; /metrics must federate the workers' families; /debug/fleet must
+// notice a killed worker within one probe interval.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flashmc/internal/depot"
+	"flashmc/internal/fleet"
+	"flashmc/internal/obs"
+	"flashmc/internal/sched"
+)
+
+// tracingWorkerMux is workerMux plus the /metrics endpoint the
+// federation scraper hits.
+func tracingWorkerMux(store *depot.Depot) *http.ServeMux {
+	exec := sched.NewExecutor(store)
+	mux := http.NewServeMux()
+	mux.Handle("/task", fleet.TaskHandler(exec.Execute))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default.WritePrometheus(w)
+	})
+	return mux
+}
+
+// traceEventFile mirrors the Chrome trace_event object form for
+// decoding /debug/trace output.
+type traceEventFile struct {
+	TraceEvents []obs.Event `json:"traceEvents"`
+}
+
+func TestFleetTraceMerged(t *testing.T) {
+	body := flashgenBody(t)
+
+	sharedDir := t.TempDir()
+	wstore1, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := httptest.NewServer(tracingWorkerMux(wstore1))
+	defer w1.Close()
+	wstore2, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := httptest.NewServer(tracingWorkerMux(wstore2))
+	defer w2.Close()
+
+	dstore, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := fleet.New([]string{w1.URL, w2.URL}, fleet.Options{ProbeInterval: time.Hour})
+	ts := fleetServer(t, dstore, disp)
+
+	// The caller's request id is reused and doubles as the trace id.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/check", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "req-trace-e2e")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /check: %s\n%s", resp.Status, raw)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "req-trace-e2e" {
+		t.Fatalf("X-Request-Id = %q, want the caller's id echoed", got)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID != "req-trace-e2e" {
+		t.Fatalf("X-Trace-Id = %q, want req-trace-e2e", traceID)
+	}
+
+	tresp, err := http.Get(ts.URL + "/debug/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traw, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace/%s: %s\n%s", traceID, tresp.Status, traw)
+	}
+
+	// The merged file must validate (monotone lanes, ≥1 span) and show
+	// the leader plus both workers as distinct named processes.
+	stats, err := obs.ValidateTraceStats(strings.NewReader(string(traw)))
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	var leader, workers int
+	for _, p := range stats.Processes {
+		switch {
+		case p.PID == 1 && p.Name == "mcheckd":
+			leader++
+			if p.Spans == 0 {
+				t.Fatal("leader process has no spans")
+			}
+		case strings.HasPrefix(p.Name, "mcheckworker"):
+			if p.Spans > 0 {
+				workers++
+			}
+		}
+	}
+	if leader != 1 {
+		t.Fatalf("no mcheckd leader process in trace: %+v", stats.Processes)
+	}
+	if workers < 2 {
+		t.Fatalf("trace shows %d workers with spans, want 2: %+v", workers, stats.Processes)
+	}
+
+	// Leader dispatch spans and worker execution spans must reference
+	// the same scheduler task ids — that is what makes it one trace
+	// rather than two stapled together.
+	var file traceEventFile
+	if err := json.Unmarshal(traw, &file); err != nil {
+		t.Fatal(err)
+	}
+	dispatchTasks := map[string]bool{}
+	workerTasks := map[string]bool{}
+	for _, e := range file.TraceEvents {
+		task, _ := e.Args["task"].(string)
+		if task == "" {
+			continue
+		}
+		if e.Cat == "fleet" && e.PID == 1 {
+			dispatchTasks[task] = true
+		}
+		if e.PID > 1 && e.Ph == "X" {
+			workerTasks[task] = true
+		}
+	}
+	if len(dispatchTasks) == 0 {
+		t.Fatal("no leader dispatch spans with a task arg")
+	}
+	if len(workerTasks) == 0 {
+		t.Fatal("no worker execution spans with a task arg")
+	}
+	for task := range workerTasks {
+		if !dispatchTasks[task] {
+			t.Fatalf("worker span task %q has no matching dispatch span", task)
+		}
+	}
+
+	// Unknown ids 404 instead of serving an empty trace.
+	nf, err := http.Get(ts.URL + "/debug/trace/no-such-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, nf.Body)
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/trace/no-such-id: %s, want 404", nf.Status)
+	}
+
+	// Federation: one scrape of the leader shows every worker's
+	// fleet_worker_* families, labeled, in a parseable exposition.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	fams, err := obs.ParsePrometheus(strings.NewReader(string(mraw)))
+	if err != nil {
+		t.Fatalf("federated /metrics does not parse: %v", err)
+	}
+	fam := fams["fleet_worker_tasks_total"]
+	if fam == nil {
+		t.Fatal("federated /metrics lacks fleet_worker_tasks_total")
+	}
+	seen := map[string]bool{}
+	for _, s := range fam.Samples {
+		seen[s.Labels["worker"]] = true
+	}
+	for _, addr := range []string{w1.URL, w2.URL} {
+		if !seen[addr] {
+			t.Fatalf("no federated sample for worker %s: %v", addr, seen)
+		}
+	}
+}
+
+// TestDebugFleetSeesDeadWorker: killing a worker shows up in
+// /debug/fleet within one probe interval, and the flight recorder has
+// the request's task lifecycle on record.
+func TestDebugFleetSeesDeadWorker(t *testing.T) {
+	body := `{"files": {"proto.c": ` + mustQuote(fixture) + `}}`
+
+	sharedDir := t.TempDir()
+	wstore1, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := httptest.NewServer(workerMux(wstore1))
+	defer w1.Close()
+	wstore2, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := httptest.NewServer(workerMux(wstore2))
+
+	dstore, err := depot.Open(sharedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := fleet.New([]string{w1.URL, w2.URL}, fleet.Options{
+		ProbeInterval: 25 * time.Millisecond, Backoff: time.Millisecond,
+	})
+	ts := fleetServer(t, dstore, disp)
+
+	checkReports(t, ts, body)
+
+	getFleet := func() fleetDebugResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out fleetDebugResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	st := getFleet()
+	if !st.Fleet || len(st.Workers) != 2 {
+		t.Fatalf("/debug/fleet = %+v", st)
+	}
+	if st.FlightTotal == 0 || len(st.FlightEvents) == 0 {
+		t.Fatal("flight recorder empty after a fleet check")
+	}
+	kinds := map[string]bool{}
+	for _, e := range st.FlightEvents {
+		kinds[e.Kind] = true
+	}
+	if !kinds["dispatched"] || !kinds["completed"] {
+		t.Fatalf("flight recorder lacks dispatched/completed events: %v", kinds)
+	}
+
+	// Kill worker 2; the prober must flip it to down within a couple of
+	// probe intervals.
+	w2.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		down := false
+		for _, ws := range getFleet().Workers {
+			if ws.Addr == w2.URL && !ws.Up {
+				down = true
+			}
+		}
+		if down {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/debug/fleet never showed the killed worker down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, e := range getFleet().FlightEvents {
+		if e.Kind == "worker-down" && e.Worker == w2.URL {
+			return
+		}
+	}
+	t.Fatal("no worker-down flight event for the killed worker")
+}

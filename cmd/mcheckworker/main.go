@@ -31,6 +31,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"flashmc/internal/depot"
 	"flashmc/internal/fleet"
@@ -38,8 +40,43 @@ import (
 	"flashmc/internal/sched"
 )
 
+var nextReqID atomic.Uint64
+
+// statusWriter captures the status code a handler sent so the request
+// log can record it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestLog gives the worker the same HTTP discipline as
+// mcheckd: every request carries an X-Request-Id — reused from the
+// caller (the dispatcher stamps task requests with the originating
+// /check's id) so fleet logs correlate across processes, minted
+// locally otherwise — echoed in the response, and logged with status
+// and duration.
+func withRequestLog(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = fmt.Sprintf("wreq-%06d", nextReqID.Add(1))
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		log.Printf("mcheckworker: id=%s method=%s path=%s status=%d dur=%s",
+			reqID, r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
 // newWorkerMux assembles the worker's HTTP surface over one depot.
-func newWorkerMux(store *depot.Depot) *http.ServeMux {
+func newWorkerMux(store *depot.Depot) http.Handler {
 	exec := sched.NewExecutor(store)
 	mux := http.NewServeMux()
 	mux.Handle("/task", fleet.TaskHandler(exec.Execute))
@@ -55,7 +92,7 @@ func newWorkerMux(store *depot.Depot) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.Default.WritePrometheus(w)
 	})
-	return mux
+	return withRequestLog(mux)
 }
 
 func main() {

@@ -61,11 +61,53 @@ func TestWorkerMux(t *testing.T) {
 		t.Fatalf("wrong descriptor format: %d, want 400", code)
 	}
 	// Well-formed descriptor whose bundle is nowhere: transient 500,
-	// so the dispatcher retries elsewhere instead of giving up.
+	// so the dispatcher retries elsewhere instead of giving up. The v1
+	// wire format (pre trace fields) stays accepted.
 	valid := `{"format":"task/v1","kind":"glob","src_hash":"0000","spec_opt":"o",
 		"output":{"kind":"reports/v3","source":"s","checker":"c","version":"v","options":"o"},
 		"checker":"c","checker_version":"v"}`
 	if code := post(valid); code != http.StatusInternalServerError {
 		t.Fatalf("missing bundle: %d, want 500", code)
+	}
+	validV2 := strings.Replace(valid, "task/v1", "task/v2", 1)
+	if code := post(validV2); code != http.StatusInternalServerError {
+		t.Fatalf("missing bundle (v2): %d, want 500", code)
+	}
+}
+
+// TestWorkerRequestID: the worker reuses the dispatcher's
+// X-Request-Id (so fleet logs correlate to the originating /check) and
+// mints one for direct callers.
+func TestWorkerRequestID(t *testing.T) {
+	store, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newWorkerMux(store))
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "req-from-leader")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "req-from-leader" {
+		t.Fatalf("X-Request-Id = %q, want the inbound id echoed", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); !strings.HasPrefix(got, "wreq-") {
+		t.Fatalf("minted X-Request-Id = %q, want wreq- prefix", got)
 	}
 }

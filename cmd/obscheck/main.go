@@ -9,8 +9,11 @@
 // -prom parses the file with the repo's own Prometheus text parser
 // (HELP/TYPE discipline, label syntax, histogram bucket contract) and
 // prints the family count. -trace requires well-formed trace_event
-// JSON with at least one complete ("ph":"X") span and prints the span
-// count. -coverage checks kind, key shapes and count invariants of a
+// JSON with at least one complete ("ph":"X") span and monotone
+// per-lane timestamps, and prints the span count plus a per-process
+// breakdown (pid, process_name metadata, span count) — CI greps it to
+// assert a fleet trace really contains several workers. -coverage
+// checks kind, key shapes and count invariants of a
 // coverage artifact (mcheck -coverage-out, mcheckd /debug/coverage)
 // and prints the checker count. Any flag may be repeated; any failure
 // exits nonzero.
@@ -77,14 +80,17 @@ func main() {
 			ok = false
 			continue
 		}
-		spans, err := obs.ValidateTrace(r)
+		stats, err := obs.ValidateTraceStats(r)
 		r.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", f, err)
 			ok = false
 			continue
 		}
-		fmt.Printf("obscheck: %s: %d complete spans\n", f, spans)
+		fmt.Printf("obscheck: %s: %d complete spans\n", f, stats.Spans)
+		for _, p := range stats.Processes {
+			fmt.Printf("obscheck: %s:   pid=%d name=%q spans=%d\n", f, p.PID, p.Name, p.Spans)
+		}
 	}
 	for _, f := range coverageFiles {
 		r, err := os.Open(f)

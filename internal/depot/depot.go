@@ -29,6 +29,7 @@
 package depot
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -290,8 +291,24 @@ func openSharded(dir string, shards int, wantPaths []string) (*Depot, error) {
 		}
 		paths = abs
 		raw, _ := json.Marshal(manifest{Version: 2, Shards: n, Paths: paths})
-		if err := os.WriteFile(mf, append(raw, '\n'), 0o644); err != nil {
+		// Write-then-rename so a concurrent Open on the same fresh
+		// directory never reads a truncated manifest. Two racing
+		// creators write byte-identical content for the same layout,
+		// so whichever rename lands last is harmless; a racing creator
+		// with a DIFFERENT layout is caught by re-reading the winner.
+		tmp := fmt.Sprintf("%s.new.%d", mf, os.Getpid())
+		if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
 			return nil, fmt.Errorf("depot: %w", err)
+		}
+		if err := os.Rename(tmp, mf); err != nil {
+			os.Remove(tmp)
+			return nil, fmt.Errorf("depot: %w", err)
+		}
+		if won, err := os.ReadFile(mf); err == nil && !bytes.Equal(won, append(raw, '\n')) {
+			var m manifest
+			if json.Unmarshal(won, &m) != nil || m.Shards != n {
+				return nil, fmt.Errorf("depot: %s: lost manifest race to an incompatible layout (reopen to adopt it)", dir)
+			}
 		}
 	}
 

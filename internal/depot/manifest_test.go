@@ -158,3 +158,25 @@ func TestPutPressureGC(t *testing.T) {
 		t.Fatalf("disarmed policy swept %v times", got)
 	}
 }
+
+// TestConcurrentFreshOpen: N goroutines racing Open on the same fresh
+// directory must all succeed — a reader must never observe a
+// truncated manifest mid-write (two mcheckworkers sharing one new
+// depot volume start exactly this way).
+func TestConcurrentFreshOpen(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		dir := filepath.Join(t.TempDir(), "depot")
+		errs := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			go func() {
+				_, err := Open(dir)
+				errs <- err
+			}()
+		}
+		for g := 0; g < 8; g++ {
+			if err := <-errs; err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+}

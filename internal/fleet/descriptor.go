@@ -37,14 +37,23 @@ import (
 
 	"flashmc/internal/depot"
 	"flashmc/internal/flash"
+	"flashmc/internal/obs"
 )
 
 const (
 	// DescFormat versions the descriptor wire format. A worker that
-	// receives a descriptor in another format must refuse it: fields
-	// it does not understand could silently change what the output
-	// key is supposed to contain.
-	DescFormat = "task/v1"
+	// receives a descriptor in an unknown format must refuse it:
+	// fields it does not understand could silently change what the
+	// output key is supposed to contain. v2 added the optional
+	// trace_id/parent_span correlation fields; they change nothing
+	// about what is computed, so v1 descriptors stay accepted (see
+	// descFormatV1 in Validate) and a v1-era worker asked to run a v2
+	// descriptor refuses it — exactly the mixed-fleet behavior the
+	// version field exists for.
+	DescFormat = "task/v2"
+	// descFormatV1 is the previous wire format, still accepted: v2 is
+	// a compatible extension.
+	descFormatV1 = "task/v1"
 	// BundleKind is the depot artifact kind of request source bundles.
 	BundleKind = "bundle/v1"
 )
@@ -101,12 +110,21 @@ type Descriptor struct {
 	// AdhocSrc carries the metal source of an ad-hoc checker; when
 	// set, the worker compiles it instead of consulting the registry.
 	AdhocSrc string `json:"adhoc_src,omitempty"`
+	// TraceID correlates this task with the /check request that spawned
+	// it (derived from the leader's X-Request-Id). When set, the worker
+	// records its own execution spans and returns them in the Result so
+	// the leader can merge one end-to-end trace.
+	TraceID string `json:"trace_id,omitempty"`
+	// ParentSpan names the leader-side scheduler task this descriptor
+	// executes (e.g. "sm:3:17"), tying worker spans back to the
+	// dispatch spans for the same task.
+	ParentSpan string `json:"parent_span,omitempty"`
 }
 
 // Validate checks the fields every descriptor needs before it can be
 // dispatched or executed.
 func (d *Descriptor) Validate() error {
-	if d.Format != DescFormat {
+	if d.Format != DescFormat && d.Format != descFormatV1 {
 		return fmt.Errorf("fleet: descriptor format %q, want %q", d.Format, DescFormat)
 	}
 	switch d.Kind {
@@ -148,10 +166,17 @@ func BundleKey(srcHash, specOpt string) depot.Key {
 // the output key it stored the artifact under (echoed so the
 // dispatcher can verify the worker computed the task it was sent) and
 // the artifact bytes themselves, so the caller does not race a
-// read-after-write through the depot.
+// read-after-write through the depot. For traced descriptors
+// (TraceID set) it also carries the worker's execution spans, with
+// timestamps relative to when the worker started handling the
+// request, and the worker's own handling time — the dispatcher
+// estimates the clock offset from its round-trip time minus ElapsedUS
+// and shifts the spans onto the leader's time base.
 type Result struct {
-	ID       string          `json:"id"`
-	Artifact json.RawMessage `json:"artifact"`
+	ID        string          `json:"id"`
+	Artifact  json.RawMessage `json:"artifact"`
+	Spans     []obs.Event     `json:"spans,omitempty"`
+	ElapsedUS float64         `json:"elapsed_us,omitempty"`
 }
 
 // ErrReject marks a terminal executor failure: the descriptor is

@@ -17,6 +17,10 @@ import (
 
 // Fleet metrics live in the process-global registry, so mcheckd's
 // /metrics exposes them next to the engine/sched/depot families.
+// Dispatcher-side families deliberately avoid the fleet_worker_*
+// prefix: that namespace belongs to the worker processes themselves,
+// and mcheckd re-exports it via metrics federation with a
+// worker="addr" label (see ScrapeWorkers).
 var (
 	mDispatched  = obs.NewCounter("fleet_tasks_dispatched_total", "tasks submitted to the remote worker fleet")
 	mStolen      = obs.NewCounter("fleet_tasks_stolen_total", "tasks executed by a worker other than the one they were queued on")
@@ -24,14 +28,32 @@ var (
 	mFallback    = obs.NewCounter("fleet_tasks_fallback_total", "tasks that fell back to local execution")
 	mBadArtifact = obs.NewCounter("fleet_tasks_bad_artifact_total", "worker replies rejected for a wrong key or corrupt artifact")
 	mWorkersUp   = obs.NewGauge("fleet_workers_up", "remote workers currently considered live")
-	mWorkerSecs  = obs.Default.HistogramVec("fleet_worker_task_seconds", "remote task round-trip latency per worker", "worker", nil)
+	mRPCSecs     = obs.Default.HistogramVec("fleet_rpc_seconds", "remote task round-trip latency per worker", "worker", nil)
 )
+
+// flightRec is the process-wide task flight recorder: a bounded ring
+// of recent fleet lifecycle events (dispatched, stolen, retried,
+// rejected, completed, fell-back, worker liveness flips). It is
+// package-level like the fleet counters — there is one fleet per
+// process — and served by mcheckd at /debug/fleet.
+var flightRec = obs.NewFlightRecorder(512)
+
+// FlightEvents returns the recent fleet lifecycle events, oldest
+// first.
+func FlightEvents() []obs.FlightEvent { return flightRec.Events() }
+
+// FlightTotal returns how many lifecycle events were ever recorded
+// (the ring keeps only the most recent ones).
+func FlightTotal() uint64 { return flightRec.Total() }
 
 // CountFallback records one task that the caller ran locally after
 // the fleet could not produce its artifact. It lives here (rather
 // than on Dispatcher) because fallback is the caller's act: the
 // dispatcher only reports failure.
-func CountFallback() { mFallback.Inc() }
+func CountFallback(task string) {
+	mFallback.Inc()
+	flightRec.Record("fell-back", task, "", "")
+}
 
 // ErrNoWorkers is returned by Do when every worker is down (or the
 // dispatcher is closed): the caller should run the task locally. It
@@ -87,10 +109,25 @@ func (o Options) withDefaults() Options {
 type task struct {
 	desc     *Descriptor
 	body     []byte
+	tr       *obs.Tracer // leader-side tracer (nil: untraced)
+	enqueued time.Time   // when the task last entered a queue
 	attempts int
 	origin   int // worker index the task was last queued on
 	last     int // worker index of the last failed attempt
 	done     chan outcome
+}
+
+// label names the task in spans and flight events: the scheduler task
+// id when the descriptor carries one, else the output key id.
+func (t *task) label() string {
+	if t.desc.ParentSpan != "" {
+		return t.desc.ParentSpan
+	}
+	id := t.desc.Output.ID()
+	if len(id) > 12 {
+		id = id[:12]
+	}
+	return id
 }
 
 type outcome struct {
@@ -107,6 +144,7 @@ type worker struct {
 	fails   int
 	busy    int // tasks currently executing on this worker
 	lastErr string
+	seq     int // traced tasks merged from this worker (tid allocator)
 	hist    *obs.Histogram
 }
 
@@ -126,6 +164,7 @@ type Dispatcher struct {
 	workers []*worker
 	upCount int
 	closed  bool
+	rr      int // rotating start index for least-loaded ties
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -154,7 +193,7 @@ func New(addrs []string, opts Options) *Dispatcher {
 		d.workers = append(d.workers, &worker{
 			addr: a,
 			up:   true,
-			hist: mWorkerSecs.With(a),
+			hist: mRPCSecs.With(a),
 		})
 	}
 	d.upCount = len(d.workers)
@@ -162,7 +201,7 @@ func New(addrs []string, opts Options) *Dispatcher {
 	for wi := range d.workers {
 		for s := 0; s < opts.Slots; s++ {
 			d.wg.Add(1)
-			go d.pump(wi)
+			go d.pump(wi, s)
 		}
 	}
 	d.wg.Add(1)
@@ -213,8 +252,11 @@ func (d *Dispatcher) Status() []WorkerStatus {
 // Do executes desc on the fleet and returns the artifact bytes the
 // worker produced (already verified to echo desc's output address and
 // to be well-formed JSON). Any error means the fleet did not produce
-// the artifact and the caller should execute the task locally.
-func (d *Dispatcher) Do(ctx context.Context, desc *Descriptor) ([]byte, error) {
+// the artifact and the caller should execute the task locally. A
+// non-nil tracer records the dispatch-side spans (enqueue, queue
+// wait, steal, retry, HTTP round trip) and receives the worker's
+// execution spans merged onto the leader's time base.
+func (d *Dispatcher) Do(ctx context.Context, desc *Descriptor, tr *obs.Tracer) ([]byte, error) {
 	if err := desc.Validate(); err != nil {
 		return nil, err
 	}
@@ -222,15 +264,17 @@ func (d *Dispatcher) Do(ctx context.Context, desc *Descriptor) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: marshal descriptor: %w", err)
 	}
-	t := &task{desc: desc, body: body, origin: -1, last: -1, done: make(chan outcome, 1)}
+	t := &task{desc: desc, body: body, tr: tr, origin: -1, last: -1, done: make(chan outcome, 1)}
 	d.mu.Lock()
 	if d.closed || d.upCount == 0 {
 		d.mu.Unlock()
 		return nil, ErrNoWorkers
 	}
 	d.enqueueLocked(t, -1)
+	origin := t.origin
 	d.mu.Unlock()
 	mDispatched.Inc()
+	flightRec.Record("dispatched", t.label(), d.workerAddr(origin), "")
 	select {
 	case out := <-t.done:
 		return out.artifact, out.err
@@ -239,12 +283,30 @@ func (d *Dispatcher) Do(ctx context.Context, desc *Descriptor) ([]byte, error) {
 	}
 }
 
+// workerAddr returns worker wi's address ("" when out of range).
+func (d *Dispatcher) workerAddr(wi int) string {
+	if wi < 0 || wi >= len(d.workers) {
+		return ""
+	}
+	return d.workers[wi].addr
+}
+
 // enqueueLocked queues t on the least-loaded live worker (queue depth
 // plus busy slots), skipping `avoid` when another live worker exists.
 func (d *Dispatcher) enqueueLocked(t *task, avoid int) {
 	best := -1
 	bestLoad := 0
-	for i, w := range d.workers {
+	// Scan from a rotating start so equal loads do not always resolve
+	// to the same worker: a leader dispatching one task at a time (all
+	// loads zero) would otherwise pin every task to one worker.
+	n := len(d.workers)
+	start := d.rr
+	if n > 0 {
+		d.rr = (d.rr + 1) % n
+	}
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		w := d.workers[i]
 		if !w.up {
 			continue
 		}
@@ -263,7 +325,11 @@ func (d *Dispatcher) enqueueLocked(t *task, avoid int) {
 		return
 	}
 	t.origin = best
+	t.enqueued = time.Now()
 	d.workers[best].queue = append(d.workers[best].queue, t)
+	t.tr.Mark("enqueue", "fleet", 0, map[string]any{
+		"task": t.label(), "worker": d.workers[best].addr,
+	})
 	// Broadcast, not Signal: a single wakeup can land on a pump of a
 	// down worker, which finds nothing runnable and sleeps again —
 	// stranding the task just queued.
@@ -316,7 +382,7 @@ func (d *Dispatcher) claimLocked(wi int) (*task, bool) {
 
 // pump is one execution slot of one worker: claim (or steal) a task,
 // run it, repeat.
-func (d *Dispatcher) pump(wi int) {
+func (d *Dispatcher) pump(wi, slot int) {
 	defer d.wg.Done()
 	for {
 		d.mu.Lock()
@@ -337,8 +403,9 @@ func (d *Dispatcher) pump(wi int) {
 		d.mu.Unlock()
 		if stolen {
 			mStolen.Inc()
+			flightRec.Record("stolen", t.label(), d.workers[wi].addr, "")
 		}
-		d.execute(wi, t)
+		d.execute(wi, slot, t, stolen)
 		d.mu.Lock()
 		d.workers[wi].busy--
 		d.mu.Unlock()
@@ -348,19 +415,36 @@ func (d *Dispatcher) pump(wi int) {
 // execute runs one attempt of t on worker wi and routes the outcome:
 // success resolves the task, terminal failures resolve it with an
 // error, retryable failures re-enqueue it elsewhere after a backoff.
-func (d *Dispatcher) execute(wi int, t *task) {
+func (d *Dispatcher) execute(wi, slot int, t *task, stolen bool) {
 	w := d.workers[wi]
+	// One trace lane per (worker, slot): concurrent attempts on one
+	// worker render side by side instead of stacking in one row.
+	tid := 100*(wi+1) + slot
+	t.tr.RecordSpan("queue-wait", "fleet", tid, t.enqueued, time.Since(t.enqueued), map[string]any{
+		"task": t.label(), "worker": w.addr,
+	})
+	if stolen {
+		t.tr.Mark("steal", "fleet", tid, map[string]any{"task": t.label(), "worker": w.addr})
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), d.opts.TaskTimeout)
 	defer cancel()
 	start := time.Now()
+	sendStartUS := t.tr.NowUS()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+"/task", bytes.NewReader(t.body))
 	if err != nil {
 		t.done <- outcome{err: fmt.Errorf("fleet: %w", err)}
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if t.desc.TraceID != "" {
+		req.Header.Set("X-Request-Id", t.desc.TraceID)
+	}
+	rpc := t.tr.StartSpan("rpc "+t.label(), tid).Cat("fleet").
+		Arg("task", t.label()).Arg("out", t.desc.Output.ID()).
+		Arg("worker", w.addr).Arg("attempt", t.attempts+1)
 	resp, err := d.client.Do(req)
 	if err != nil {
+		rpc.Arg("error", err.Error()).End()
 		d.recordFailure(wi, err)
 		d.retry(t, wi, fmt.Errorf("fleet: worker %s: %w", w.addr, err))
 		return
@@ -368,10 +452,13 @@ func (d *Dispatcher) execute(wi int, t *task) {
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
+		rpc.Arg("error", err.Error()).End()
 		d.recordFailure(wi, err)
 		d.retry(t, wi, fmt.Errorf("fleet: worker %s: %w", w.addr, err))
 		return
 	}
+	rpc.Arg("status", resp.StatusCode).End()
+	rtt := time.Since(start)
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		// fall through to result validation
@@ -384,28 +471,62 @@ func (d *Dispatcher) execute(wi int, t *task) {
 		// 4xx: the worker understood the request and refused it —
 		// every same-version worker would answer identically, so the
 		// failure is terminal and the caller runs the task locally.
+		flightRec.Record("rejected", t.label(), w.addr, resp.Status)
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s rejected task: %s: %s", w.addr, resp.Status, firstLine(raw))}
 		return
 	}
 	var res Result
 	if err := json.Unmarshal(raw, &res); err != nil {
 		mBadArtifact.Inc()
+		flightRec.Record("bad-artifact", t.label(), w.addr, "corrupt reply")
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s: corrupt reply: %v", w.addr, err)}
 		return
 	}
 	if want := t.desc.Output.ID(); res.ID != want {
 		mBadArtifact.Inc()
+		flightRec.Record("bad-artifact", t.label(), w.addr, "wrong output key")
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s answered key %.12s, want %.12s", w.addr, res.ID, want)}
 		return
 	}
 	if len(res.Artifact) == 0 || !json.Valid(res.Artifact) {
 		mBadArtifact.Inc()
+		flightRec.Record("bad-artifact", t.label(), w.addr, "corrupt artifact")
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s returned a corrupt artifact", w.addr)}
 		return
 	}
 	d.recordSuccess(wi)
-	w.hist.ObserveDuration(time.Since(start))
+	w.hist.ObserveDuration(rtt)
+	d.mergeWorkerSpans(wi, t, res, sendStartUS, rtt)
+	flightRec.Record("completed", t.label(), w.addr, "")
 	t.done <- outcome{artifact: res.Artifact}
+}
+
+// mergeWorkerSpans aligns the worker's execution spans onto the
+// leader's clock and appends them to the task's tracer. Worker span
+// timestamps are relative to when the worker began handling the
+// request; the classic midpoint estimate places that instant at
+// send-start plus half the network delay, i.e. half of what is left
+// of the round trip after the worker's own handling time.
+func (d *Dispatcher) mergeWorkerSpans(wi int, t *task, res Result, sendStartUS float64, rtt time.Duration) {
+	if t.tr == nil || len(res.Spans) == 0 {
+		return
+	}
+	w := d.workers[wi]
+	// The leader is pid 1; workers get one pid lane each, in worker
+	// order, so merged traces from an in-process test fleet still show
+	// distinct "processes".
+	pid := wi + 2
+	t.tr.ProcessMeta(pid, "mcheckworker "+w.addr)
+	rttUS := float64(rtt) / float64(time.Microsecond)
+	netUS := (rttUS - res.ElapsedUS) / 2
+	if netUS < 0 {
+		netUS = 0
+	}
+	d.mu.Lock()
+	w.seq++
+	lane := w.seq
+	d.mu.Unlock()
+	t.tr.MergeRemote(res.Spans, sendStartUS+netUS, pid, lane)
 }
 
 // retry re-dispatches t after a failed attempt, preferring a worker
@@ -426,6 +547,10 @@ func (d *Dispatcher) retry(t *task, failedOn int, err error) {
 	}
 	d.mu.Unlock()
 	mRetried.Inc()
+	flightRec.Record("retried", t.label(), d.workerAddr(failedOn), firstLine([]byte(err.Error())))
+	t.tr.Mark("retry", "fleet", 0, map[string]any{
+		"task": t.label(), "failed_on": d.workerAddr(failedOn), "attempt": t.attempts,
+	})
 	backoff := d.opts.Backoff << (t.attempts - 1)
 	time.AfterFunc(backoff, func() {
 		d.mu.Lock()
@@ -451,6 +576,7 @@ func (d *Dispatcher) recordFailure(wi int, err error) {
 		w.up = false
 		d.upCount--
 		mWorkersUp.Set(float64(d.upCount))
+		flightRec.Record("worker-down", "", w.addr, firstLine([]byte(err.Error())))
 		if d.upCount == 0 {
 			d.drainLocked(ErrNoWorkers)
 		}
@@ -521,6 +647,7 @@ func (d *Dispatcher) probeOne(wi int) {
 		w.lastErr = ""
 		d.upCount++
 		mWorkersUp.Set(float64(d.upCount))
+		flightRec.Record("worker-up", "", w.addr, "healthz recovered")
 		d.cond.Broadcast()
 	case !ok && w.up:
 		if err != nil {
@@ -531,10 +658,61 @@ func (d *Dispatcher) probeOne(wi int) {
 		w.up = false
 		d.upCount--
 		mWorkersUp.Set(float64(d.upCount))
+		flightRec.Record("worker-down", "", w.addr, w.lastErr)
 		if d.upCount == 0 {
 			d.drainLocked(ErrNoWorkers)
 		}
 	}
+}
+
+// ScrapeWorkers GETs every worker's /metrics concurrently and parses
+// the expositions, returning families keyed by worker address — the
+// raw material of mcheckd's metrics federation. Unreachable or
+// malformed workers are reported in errs and omitted from the result;
+// a scrape is best-effort and never fails the caller's own exposition.
+func (d *Dispatcher) ScrapeWorkers(ctx context.Context) (map[string]map[string]*obs.PromFamily, map[string]error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	var (
+		mu   sync.Mutex
+		out  = map[string]map[string]*obs.PromFamily{}
+		errs = map[string]error{}
+		wg   sync.WaitGroup
+	)
+	for _, w := range d.workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fams, err := d.scrapeOne(ctx, w.addr)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[w.addr] = err
+				return
+			}
+			out[w.addr] = fams
+		}()
+	}
+	wg.Wait()
+	return out, errs
+}
+
+func (d *Dispatcher) scrapeOne(ctx context.Context, addr string) (map[string]*obs.PromFamily, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("metrics: %s", resp.Status)
+	}
+	return obs.ParsePrometheus(io.LimitReader(resp.Body, 8<<20))
 }
 
 // firstLine trims a worker error body to its first line for error

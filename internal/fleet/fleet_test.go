@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"flashmc/internal/depot"
+	"flashmc/internal/obs"
 )
 
 // testDesc is a minimal valid whole-program descriptor; the fake
@@ -85,7 +86,7 @@ func TestDispatchRoundTrip(t *testing.T) {
 	d := New([]string{ts.URL}, quickOpts())
 	defer d.Close()
 
-	art, err := d.Do(context.Background(), testDesc())
+	art, err := d.Do(context.Background(), testDesc(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRetryFailsOver(t *testing.T) {
 	// fails; the retry avoids it.
 	d := New([]string{bad.URL, good.URL}, quickOpts())
 	defer d.Close()
-	art, err := d.Do(context.Background(), testDesc())
+	art, err := d.Do(context.Background(), testDesc(), nil)
 	if err != nil {
 		t.Fatalf("retry did not fail over: %v", err)
 	}
@@ -136,7 +137,7 @@ func TestDeadlineExpiry(t *testing.T) {
 	d := New([]string{slow.URL}, opts)
 	defer d.Close()
 
-	_, err := d.Do(context.Background(), testDesc())
+	_, err := d.Do(context.Background(), testDesc(), nil)
 	if err == nil {
 		t.Fatal("slow worker did not time out")
 	}
@@ -161,12 +162,12 @@ func TestAllWorkersDownFastFail(t *testing.T) {
 	defer d.Close()
 
 	// First task burns through both workers and marks them down.
-	if _, err := d.Do(context.Background(), testDesc()); err == nil {
+	if _, err := d.Do(context.Background(), testDesc(), nil); err == nil {
 		t.Fatal("Do succeeded against closed servers")
 	}
 
 	start := time.Now()
-	_, err := d.Do(context.Background(), testDesc())
+	_, err := d.Do(context.Background(), testDesc(), nil)
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("err = %v, want ErrNoWorkers", err)
 	}
@@ -209,7 +210,7 @@ func TestBadArtifactTerminal(t *testing.T) {
 			retriedBefore := mRetried.Value()
 			d := New([]string{ts.URL}, quickOpts())
 			defer d.Close()
-			if _, err := d.Do(context.Background(), testDesc()); err == nil {
+			if _, err := d.Do(context.Background(), testDesc(), nil); err == nil {
 				t.Fatal("bad reply accepted")
 			}
 			if got := mBadArtifact.Value() - badBefore; got != 1 {
@@ -234,7 +235,7 @@ func TestRejectTerminal(t *testing.T) {
 
 	d := New([]string{ts.URL}, quickOpts())
 	defer d.Close()
-	_, err := d.Do(context.Background(), testDesc())
+	_, err := d.Do(context.Background(), testDesc(), nil)
 	if err == nil || !strings.Contains(err.Error(), "rejected") {
 		t.Fatalf("err = %v, want a rejection", err)
 	}
@@ -324,7 +325,7 @@ func TestProbeRevivesWorker(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if _, err := d.Do(context.Background(), testDesc()); !errors.Is(err, ErrNoWorkers) {
+	if _, err := d.Do(context.Background(), testDesc(), nil); !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("down fleet: err = %v, want ErrNoWorkers", err)
 	}
 
@@ -335,7 +336,7 @@ func TestProbeRevivesWorker(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if _, err := d.Do(context.Background(), testDesc()); err != nil {
+	if _, err := d.Do(context.Background(), testDesc(), nil); err != nil {
 		t.Fatalf("revived fleet: %v", err)
 	}
 }
@@ -343,7 +344,7 @@ func TestProbeRevivesWorker(t *testing.T) {
 // TestTaskHandler covers the worker HTTP surface's error contract:
 // malformed requests 400, rejections 422, transient failures 500.
 func TestTaskHandler(t *testing.T) {
-	exec := func(ctx context.Context, d *Descriptor) ([]byte, error) {
+	exec := func(ctx context.Context, d *Descriptor, tr *obs.Tracer) ([]byte, error) {
 		switch d.Checker {
 		case "reject-me":
 			return nil, fmt.Errorf("%w: version skew", ErrReject)

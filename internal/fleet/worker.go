@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"os"
 	"time"
 
 	"flashmc/internal/obs"
@@ -17,16 +18,21 @@ var (
 )
 
 // ExecFunc executes one descriptor and returns the artifact bytes it
-// stored under the descriptor's output key. Returning an error that
-// wraps ErrReject means every same-version worker would refuse this
-// descriptor (version skew, fingerprint mismatch); any other error is
-// transient and worth retrying elsewhere.
-type ExecFunc func(ctx context.Context, d *Descriptor) ([]byte, error)
+// stored under the descriptor's output key, recording its execution
+// spans on tr (nil when the descriptor is untraced). Returning an
+// error that wraps ErrReject means every same-version worker would
+// refuse this descriptor (version skew, fingerprint mismatch); any
+// other error is transient and worth retrying elsewhere.
+type ExecFunc func(ctx context.Context, d *Descriptor, tr *obs.Tracer) ([]byte, error)
 
 // TaskHandler serves POST /task for cmd/mcheckworker: decode and
 // validate the descriptor, execute it, reply with a Result. Status
 // codes carry the retry contract: 400/422 are terminal (the
-// dispatcher falls back to local execution), 5xx is retryable.
+// dispatcher falls back to local execution), 5xx is retryable. For
+// descriptors carrying a trace id, the reply includes the worker's
+// execution spans (timestamps relative to the start of handling) and
+// the handling time, so the dispatcher can align them onto the
+// leader's clock.
 func TaskHandler(exec ExecFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -45,9 +51,15 @@ func TaskHandler(exec ExecFunc) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		var tr *obs.Tracer
+		if desc.TraceID != "" {
+			tr = obs.NewTracer()
+			tr.SetProcess(os.Getpid(), "mcheckworker")
+		}
 		start := time.Now()
-		art, err := exec(r.Context(), &desc)
-		mWorkerExec.ObserveDuration(time.Since(start))
+		art, err := exec(r.Context(), &desc, tr)
+		elapsed := time.Since(start)
+		mWorkerExec.ObserveDuration(elapsed)
 		if err != nil {
 			mWorkerErrors.Inc()
 			status := http.StatusInternalServerError
@@ -57,7 +69,12 @@ func TaskHandler(exec ExecFunc) http.Handler {
 			http.Error(w, err.Error(), status)
 			return
 		}
+		res := Result{ID: desc.Output.ID(), Artifact: art}
+		if tr != nil {
+			res.Spans = tr.Events()
+			res.ElapsedUS = float64(elapsed) / float64(time.Microsecond)
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(Result{ID: desc.Output.ID(), Artifact: art})
+		json.NewEncoder(w).Encode(res)
 	})
 }

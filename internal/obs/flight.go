@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// FlightEvent is one task-lifecycle observation in the flight
+// recorder: what happened, to which task, on which worker.
+type FlightEvent struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Task   string    `json:"task,omitempty"`
+	Worker string    `json:"worker,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring buffer of FlightEvents — the
+// first place to look when a distributed system misbehaves. Unlike
+// counters it keeps the *sequence* of recent decisions (dispatched,
+// stolen, retried, fell back, worker died) with timestamps and
+// identities, and unlike logs it is bounded, structured, and servable
+// as JSON from a debug endpoint. A nil *FlightRecorder is a valid
+// no-op recorder.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []FlightEvent
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last n events
+// (n < 1 is raised to 1).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{buf: make([]FlightEvent, 0, n)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (f *FlightRecorder) Record(kind, task, worker, detail string) {
+	if f == nil {
+		return
+	}
+	e := FlightEvent{Time: time.Now(), Kind: kind, Task: task, Worker: worker, Detail: detail}
+	f.mu.Lock()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, e)
+	} else {
+		f.buf[f.next] = e
+		f.next = (f.next + 1) % len(f.buf)
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// Total returns how many events were ever recorded (retained or not).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFlightRecorderRing: the recorder keeps the last n events
+// oldest-first, and Total counts everything ever recorded.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	if got := f.Events(); len(got) != 0 {
+		t.Fatalf("fresh recorder has events: %+v", got)
+	}
+	for i := 0; i < 5; i++ {
+		f.Record("dispatched", fmt.Sprintf("task-%d", i), "w0", "")
+	}
+	got := f.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, want := range []string{"task-2", "task-3", "task-4"} {
+		if got[i].Task != want {
+			t.Fatalf("event %d task = %q, want %q (oldest-first)", i, got[i].Task, want)
+		}
+		if got[i].Time.IsZero() {
+			t.Fatalf("event %d has zero time", i)
+		}
+	}
+	if f.Total() != 5 {
+		t.Fatalf("total = %d, want 5", f.Total())
+	}
+}
+
+// TestFlightRecorderBelowCapacity: before the buffer wraps, events
+// come back in insertion order without phantom zero entries.
+func TestFlightRecorderBelowCapacity(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record("dispatched", "a", "w0", "")
+	f.Record("completed", "a", "w0", "200")
+	got := f.Events()
+	if len(got) != 2 || got[0].Kind != "dispatched" || got[1].Kind != "completed" {
+		t.Fatalf("events = %+v", got)
+	}
+	if got[1].Detail != "200" {
+		t.Fatalf("detail = %q", got[1].Detail)
+	}
+}
+
+// TestFlightRecorderNilAndTiny: a nil recorder is a no-op; capacity
+// below one is raised to one.
+func TestFlightRecorderNilAndTiny(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("dispatched", "a", "w0", "")
+	if f.Events() != nil || f.Total() != 0 {
+		t.Fatal("nil recorder not a no-op")
+	}
+	tiny := NewFlightRecorder(0)
+	tiny.Record("a", "", "", "")
+	tiny.Record("b", "", "", "")
+	got := tiny.Events()
+	if len(got) != 1 || got[0].Kind != "b" {
+		t.Fatalf("tiny recorder events = %+v", got)
+	}
+}

@@ -453,9 +453,20 @@ func escapeHelp(s string) string {
 // WritePrometheus renders every registered metric in text exposition
 // format, families sorted by name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusFiltered(w, nil)
+}
+
+// WritePrometheusFiltered renders the registered metrics whose family
+// name passes keep (nil keeps everything). mcheckd uses it to exclude
+// the families its metrics federation re-exports with a worker label —
+// emitting both would re-declare the TYPE.
+func (r *Registry) WritePrometheusFiltered(w io.Writer, keep func(name string) bool) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
+		if keep != nil && !keep(n) {
+			continue
+		}
 		names = append(names, n)
 	}
 	fams := make([]*family, 0, len(names))

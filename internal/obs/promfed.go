@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file re-exports scraped metric families under a source label —
+// mcheckd's metrics federation: the leader scrapes each worker's
+// /metrics, parses it with ParsePrometheus, and re-renders the
+// fleet_worker_* families with a worker="addr" label injected, so one
+// scrape of the leader shows the whole fleet without a separate
+// aggregation service.
+
+// escapeLabelValue escapes a label value per the text exposition
+// format (backslash, quote, newline).
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// FederatedNames returns the family names WriteFederated would emit
+// for the same sources and keep filter — the leader excludes exactly
+// these from its own exposition so the merged output declares each
+// TYPE once.
+func FederatedNames(sources map[string]map[string]*PromFamily, keep func(name string) bool) map[string]bool {
+	names := map[string]bool{}
+	for _, fams := range sources {
+		for name := range fams {
+			if keep == nil || keep(name) {
+				names[name] = true
+			}
+		}
+	}
+	return names
+}
+
+// WriteFederated renders families gathered from several sources in
+// text exposition format, with `label="sourceKey"` injected into every
+// sample so same-named families from different sources stay distinct
+// series. Families are sorted by name; within a family, sources by
+// key and samples in their parsed order (preserving each histogram
+// series' le ordering). Samples that already carry the label are
+// skipped — they would otherwise render a duplicate label name.
+func WriteFederated(w io.Writer, sources map[string]map[string]*PromFamily, label string, keep func(name string) bool) error {
+	keys := make([]string, 0, len(sources))
+	for k := range sources {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	names := FederatedNames(sources, keep)
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		help, typ := "", ""
+		for _, k := range keys {
+			if f, ok := sources[k][name]; ok {
+				if help == "" {
+					help = f.Help
+				}
+				if typ == "" {
+					typ = f.Type
+				}
+			}
+		}
+		if typ == "" {
+			typ = "untyped"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			f, ok := sources[k][name]
+			if !ok {
+				continue
+			}
+			for _, s := range f.Samples {
+				if _, clash := s.Labels[label]; clash {
+					continue
+				}
+				parts := []string{label + `="` + escapeLabelValue(k) + `"`}
+				lnames := make([]string, 0, len(s.Labels))
+				for ln := range s.Labels {
+					lnames = append(lnames, ln)
+				}
+				sort.Strings(lnames)
+				for _, ln := range lnames {
+					parts = append(parts, ln+`="`+escapeLabelValue(s.Labels[ln])+`"`)
+				}
+				if _, err := fmt.Fprintf(w, "%s{%s} %s\n", s.Name, strings.Join(parts, ","), formatFloat(s.Value)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// parseExposition parses one worker's /metrics text for federation
+// tests.
+func parseExposition(t *testing.T, text string) map[string]*PromFamily {
+	t.Helper()
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("source exposition invalid: %v", err)
+	}
+	return fams
+}
+
+const workerExposition = `# HELP fleet_worker_tasks_total task requests received by this worker
+# TYPE fleet_worker_tasks_total counter
+fleet_worker_tasks_total 4
+# HELP fleet_worker_exec_seconds task execution latency on this worker
+# TYPE fleet_worker_exec_seconds histogram
+fleet_worker_exec_seconds_bucket{kind="sm",le="0.1"} 1
+fleet_worker_exec_seconds_bucket{kind="sm",le="1"} 3
+fleet_worker_exec_seconds_bucket{kind="sm",le="+Inf"} 4
+fleet_worker_exec_seconds_sum{kind="sm"} 2.5
+fleet_worker_exec_seconds_count{kind="sm"} 4
+fleet_worker_exec_seconds_bucket{kind="glob",le="0.1"} 0
+fleet_worker_exec_seconds_bucket{kind="glob",le="1"} 1
+fleet_worker_exec_seconds_bucket{kind="glob",le="+Inf"} 1
+fleet_worker_exec_seconds_sum{kind="glob"} 0.9
+fleet_worker_exec_seconds_count{kind="glob"} 1
+`
+
+// TestFederatedDuplicateFamiliesParse: two workers exposing the same
+// family names federate into one exposition that the repo's own parser
+// accepts — one HELP/TYPE per family, series distinguished by the
+// injected worker label. This is the exact shape mcheckd's /metrics
+// serves for a fleet, so the parser is the CI gate on it.
+func TestFederatedDuplicateFamiliesParse(t *testing.T) {
+	sources := map[string]map[string]*PromFamily{
+		"127.0.0.1:18286": parseExposition(t, workerExposition),
+		"127.0.0.1:18287": parseExposition(t, workerExposition),
+	}
+	var buf bytes.Buffer
+	if err := WriteFederated(&buf, sources, "worker", nil); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("federated output does not parse: %v\n%s", err, buf.String())
+	}
+	ctr := fams["fleet_worker_tasks_total"]
+	if ctr == nil || len(ctr.Samples) != 2 {
+		t.Fatalf("fleet_worker_tasks_total = %+v", ctr)
+	}
+	seen := map[string]bool{}
+	for _, s := range ctr.Samples {
+		if s.Value != 4 {
+			t.Fatalf("sample %+v, want value 4", s)
+		}
+		seen[s.Labels["worker"]] = true
+	}
+	if !seen["127.0.0.1:18286"] || !seen["127.0.0.1:18287"] {
+		t.Fatalf("worker labels = %v", seen)
+	}
+}
+
+// TestFederatedHistogramSeriesOrdering: a HistogramVec family with
+// several label series keeps each series' le buckets in ascending
+// order through federation — the parser's bucket-order check is the
+// assertion.
+func TestFederatedHistogramSeriesOrdering(t *testing.T) {
+	sources := map[string]map[string]*PromFamily{
+		"w1": parseExposition(t, workerExposition),
+		"w2": parseExposition(t, workerExposition),
+	}
+	var buf bytes.Buffer
+	if err := WriteFederated(&buf, sources, "worker", func(n string) bool {
+		return strings.HasPrefix(n, "fleet_worker_exec_seconds")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("federated histogram does not parse: %v\n%s", err, buf.String())
+	}
+	// 2 workers × 2 kind series × (3 buckets + sum + count) = 20.
+	hist := fams["fleet_worker_exec_seconds"]
+	if hist == nil || hist.Type != "histogram" || len(hist.Samples) != 20 {
+		t.Fatalf("fleet_worker_exec_seconds = %+v", hist)
+	}
+	if tasks := fams["fleet_worker_tasks_total"]; tasks != nil {
+		t.Fatalf("keep filter leaked: %+v", tasks)
+	}
+}
+
+// TestFederatedEscapedLabelValues: label values containing quotes,
+// backslashes, and newlines — in both the source key and the source's
+// own labels — survive the aggregator unmangled.
+func TestFederatedEscapedLabelValues(t *testing.T) {
+	hairy := "y \"z\" \\ \nw"
+	sources := map[string]map[string]*PromFamily{
+		hairy: {
+			"fleet_worker_tasks_total": {
+				Name: "fleet_worker_tasks_total", Type: "counter",
+				Samples: []Sample{{
+					Name:   "fleet_worker_tasks_total",
+					Labels: map[string]string{"path": hairy},
+					Value:  1,
+				}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFederated(&buf, sources, "worker", nil); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("escaped output does not parse: %v\n%s", err, buf.String())
+	}
+	samples := fams["fleet_worker_tasks_total"].Samples
+	if len(samples) != 1 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	if samples[0].Labels["worker"] != hairy || samples[0].Labels["path"] != hairy {
+		t.Fatalf("labels did not round-trip: %+v", samples[0].Labels)
+	}
+}
+
+// TestFederatedSkipsPrelabeledSamples: a sample that already carries
+// the injected label name is dropped instead of rendered with a
+// duplicate label — the in-process-fleet case where a worker's
+// registry already saw a federated scrape.
+func TestFederatedSkipsPrelabeledSamples(t *testing.T) {
+	sources := map[string]map[string]*PromFamily{
+		"w1": {
+			"fleet_worker_tasks_total": {
+				Name: "fleet_worker_tasks_total", Type: "counter",
+				Samples: []Sample{
+					{Name: "fleet_worker_tasks_total", Labels: map[string]string{"worker": "older"}, Value: 9},
+					{Name: "fleet_worker_tasks_total", Value: 2},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFederated(&buf, sources, "worker", nil); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("federated output does not parse: %v\n%s", err, buf.String())
+	}
+	samples := fams["fleet_worker_tasks_total"].Samples
+	if len(samples) != 1 || samples[0].Value != 2 || samples[0].Labels["worker"] != "w1" {
+		t.Fatalf("samples = %+v", samples)
+	}
+}

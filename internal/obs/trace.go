@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
 
 // Event is one Chrome trace_event record. Complete spans use phase
 // "X" with a microsecond timestamp and duration; chrome://tracing and
-// Perfetto render them as nested bars per (pid, tid).
+// Perfetto render them as nested bars per (pid, tid). Phase "M"
+// carries process metadata (process_name), which is how a merged
+// multi-process trace renders one named lane per worker.
 type Event struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -31,16 +34,64 @@ type Event struct {
 type Tracer struct {
 	mu     sync.Mutex
 	t0     time.Time
+	pid    int
+	procs  map[int]bool // pids a process_name metadata event was emitted for
 	events []Event
 }
 
-// NewTracer returns a tracer whose timestamps are relative to now.
-func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+// NewTracer returns a tracer whose timestamps are relative to now and
+// whose events carry process id 1 until SetProcess changes it.
+func NewTracer() *Tracer { return &Tracer{t0: time.Now(), pid: 1} }
+
+// SetProcess names this tracer's own process: subsequent events carry
+// pid, and a process_name metadata ("M") event is recorded so trace
+// viewers label the lane. Call it before recording spans.
+func (t *Tracer) SetProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pid = pid
+	t.mu.Unlock()
+	t.ProcessMeta(pid, name)
+}
+
+// ProcessMeta records a process_name metadata event for an arbitrary
+// pid lane (deduplicated per tracer) — the leader uses it to name the
+// lanes it merges remote worker spans into.
+func (t *Tracer) ProcessMeta(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.procs == nil {
+		t.procs = map[int]bool{}
+	}
+	if t.procs[pid] {
+		return
+	}
+	t.procs[pid] = true
+	t.events = append(t.events, Event{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// NowUS returns microseconds elapsed since the tracer's start — the
+// time base remote spans are aligned against.
+func (t *Tracer) NowUS() float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(time.Since(t.t0)) / float64(time.Microsecond)
+}
 
 // Span is one in-flight span; End records it.
 type Span struct {
 	t     *Tracer
 	name  string
+	cat   string
 	tid   int
 	start time.Time
 	args  map[string]any
@@ -67,6 +118,16 @@ func (s *Span) Arg(key string, value any) *Span {
 	return s
 }
 
+// Cat sets the span's category, which viewers use for filtering (and
+// ci.sh greps for to prove dispatcher spans exist).
+func (s *Span) Cat(cat string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.cat = cat
+	return s
+}
+
 // End closes the span, recording a complete ("X") event.
 func (s *Span) End() {
 	if s == nil {
@@ -74,10 +135,10 @@ func (s *Span) End() {
 	}
 	s.t.record(Event{
 		Name: s.name,
+		Cat:  s.cat,
 		Ph:   "X",
 		TS:   float64(s.start.Sub(s.t.t0)) / float64(time.Microsecond),
 		Dur:  float64(time.Since(s.start)) / float64(time.Microsecond),
-		PID:  1,
 		TID:  s.tid,
 		Args: s.args,
 	})
@@ -85,23 +146,78 @@ func (s *Span) End() {
 
 // Instant records a zero-duration instant event (phase "i").
 func (t *Tracer) Instant(name string, tid int) {
+	t.Mark(name, "", tid, nil)
+}
+
+// Mark records an instant event (phase "i") with a category and
+// arguments — the dispatcher uses it for enqueue/steal/retry marks.
+func (t *Tracer) Mark(name, cat string, tid int, args map[string]any) {
 	if t == nil {
 		return
 	}
 	t.record(Event{
-		Name: name, Ph: "i",
-		TS:  float64(time.Since(t.t0)) / float64(time.Microsecond),
-		PID: 1, TID: tid,
+		Name: name, Cat: cat, Ph: "i",
+		TS:   float64(time.Since(t.t0)) / float64(time.Microsecond),
+		TID:  tid,
+		Args: args,
 	})
+}
+
+// RecordSpan records a complete ("X") span for an interval measured
+// outside the Span helper — e.g. a queue wait whose start predates the
+// claim that observes it.
+func (t *Tracer) RecordSpan(name, cat string, tid int, start time.Time, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ts := float64(start.Sub(t.t0)) / float64(time.Microsecond)
+	if ts < 0 {
+		ts = 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.record(Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS: ts, Dur: float64(dur) / float64(time.Microsecond),
+		TID: tid, Args: args,
+	})
+}
+
+// MergeRemote appends spans recorded by another process's tracer,
+// shifting their timestamps by offsetUS (the estimated position of the
+// remote tracer's t0 on this tracer's clock) and rewriting their
+// process/thread ids so each remote task gets its own lane. Metadata
+// events are dropped — the merging side names the lanes it assigns.
+func (t *Tracer) MergeRemote(events []Event, offsetUS float64, pid, tid int) {
+	if t == nil || len(events) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range events {
+		if e.Ph == "M" {
+			continue
+		}
+		e.PID, e.TID = pid, tid
+		e.TS += offsetUS
+		if e.TS < 0 {
+			e.TS = 0
+		}
+		t.events = append(t.events, e)
+	}
 }
 
 func (t *Tracer) record(e Event) {
 	t.mu.Lock()
+	if e.PID == 0 {
+		e.PID = t.pid
+	}
 	t.events = append(t.events, e)
 	t.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events.
+// Events returns a copy of the recorded events in recording order.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -117,49 +233,144 @@ type traceFile struct {
 	DisplayTimeUnit string  `json:"displayTimeUnit"`
 }
 
-// WriteJSON writes the trace in Chrome trace_event JSON object format,
-// loadable by chrome://tracing and ui.perfetto.dev.
-func (t *Tracer) WriteJSON(w io.Writer) error {
-	events := t.Events()
-	if events == nil {
-		events = []Event{}
+// sortEvents orders events the way ValidateTrace checks them: by
+// (pid, tid), then timestamp; metadata first and longer spans before
+// the spans they enclose at equal timestamps.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.Dur > b.Dur
+	})
+}
+
+// WriteTraceJSON writes events in Chrome trace_event JSON object
+// format, loadable by chrome://tracing and ui.perfetto.dev. Events are
+// sorted per (pid, tid) lane, which is the order ValidateTrace asserts
+// timestamps are monotone in.
+func WriteTraceJSON(w io.Writer, events []Event) error {
+	sorted := append([]Event(nil), events...)
+	sortEvents(sorted)
+	if sorted == nil {
+		sorted = []Event{}
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+	return enc.Encode(traceFile{TraceEvents: sorted, DisplayTimeUnit: "ms"})
+}
+
+// WriteJSON writes the trace in Chrome trace_event JSON object format.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	return WriteTraceJSON(w, t.Events())
+}
+
+// ProcessStats is one process's slice of a validated trace.
+type ProcessStats struct {
+	PID   int
+	Name  string
+	Spans int
+}
+
+// TraceStats summarizes a validated trace: total complete spans plus
+// the per-process breakdown (processes sorted by pid; names come from
+// process_name metadata events when present).
+type TraceStats struct {
+	Spans     int
+	Processes []ProcessStats
 }
 
 // ValidateTrace checks that r holds Chrome trace_event JSON (object
-// form or bare array) containing at least one complete ("X") span
-// with a non-negative duration, returning the complete-span count.
-// cmd/obscheck uses it as the CI gate on -trace output.
+// form or bare array) containing at least one complete ("X") span,
+// returning the complete-span count. cmd/obscheck uses it as the CI
+// gate on -trace output.
 func ValidateTrace(r io.Reader) (int, error) {
+	st, err := ValidateTraceStats(r)
+	if st == nil {
+		return 0, err
+	}
+	return st.Spans, err
+}
+
+// ValidateTraceStats validates a trace like ValidateTrace and returns
+// the per-process breakdown. Beyond well-formedness it asserts the
+// timestamp discipline merged multi-process traces rely on: every
+// timestamp non-negative, every complete span's duration non-negative,
+// and timestamps monotone per (pid, tid) lane in file order (the order
+// WriteTraceJSON emits).
+func ValidateTraceStats(r io.Reader) (*TraceStats, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var events []Event
 	var obj traceFile
 	if err := json.Unmarshal(raw, &obj); err != nil {
 		if aerr := json.Unmarshal(raw, &events); aerr != nil {
-			return 0, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+			return nil, fmt.Errorf("obs: trace is not valid JSON: %w", err)
 		}
 	} else {
 		events = obj.TraceEvents
 	}
-	complete := 0
+	type lane struct{ pid, tid int }
+	lastTS := map[lane]float64{}
+	names := map[int]string{}
+	spans := map[int]int{}
+	total := 0
 	for _, e := range events {
 		if e.Name == "" || e.Ph == "" {
-			return complete, fmt.Errorf("obs: trace event missing name or phase: %+v", e)
+			return nil, fmt.Errorf("obs: trace event missing name or phase: %+v", e)
 		}
+		if e.TS < 0 {
+			return nil, fmt.Errorf("obs: event %q has negative timestamp %v", e.Name, e.TS)
+		}
+		if e.Ph == "M" {
+			if e.Name == "process_name" {
+				if n, ok := e.Args["name"].(string); ok {
+					names[e.PID] = n
+				}
+			}
+			continue
+		}
+		l := lane{e.PID, e.TID}
+		if last, ok := lastTS[l]; ok && e.TS < last {
+			return nil, fmt.Errorf("obs: timestamps not monotone in lane (pid=%d,tid=%d): %q at %v after %v",
+				e.PID, e.TID, e.Name, e.TS, last)
+		}
+		lastTS[l] = e.TS
 		if e.Ph == "X" {
 			if e.Dur < 0 {
-				return complete, fmt.Errorf("obs: complete event %q has negative duration", e.Name)
+				return nil, fmt.Errorf("obs: complete event %q has negative duration", e.Name)
 			}
-			complete++
+			spans[e.PID]++
+			total++
 		}
 	}
-	if complete == 0 {
-		return 0, fmt.Errorf("obs: trace contains no complete (ph=X) span")
+	if total == 0 {
+		return nil, fmt.Errorf("obs: trace contains no complete (ph=X) span")
 	}
-	return complete, nil
+	st := &TraceStats{Spans: total}
+	pids := make([]int, 0, len(spans))
+	for pid := range spans {
+		pids = append(pids, pid)
+	}
+	for pid := range names {
+		if _, ok := spans[pid]; !ok {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		st.Processes = append(st.Processes, ProcessStats{PID: pid, Name: names[pid], Spans: spans[pid]})
+	}
+	return st, nil
 }

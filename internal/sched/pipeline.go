@@ -101,6 +101,14 @@ type Request struct {
 	// PutBundle must have published the bundle under it first); left
 	// empty, every task runs locally even with a Remote configured.
 	SrcHash string
+	// Tracer, when non-nil, overrides the analyzer's tracer for this
+	// request — mcheckd records one tracer per /check so traces do not
+	// interleave across concurrent requests.
+	Tracer *obs.Tracer
+	// TraceID stamps remote descriptors with the request's trace
+	// identity (mcheckd derives it from X-Request-Id); workers echo
+	// their execution spans only for traced descriptors.
+	TraceID string
 }
 
 // Stats describes one Check call.
@@ -196,7 +204,11 @@ func (rs *runState) markGlobal() {
 // byte-identical between warm and cold runs.
 func (a *Analyzer) Check(req Request) (*Result, error) {
 	start := time.Now()
-	sp := a.Tracer.StartSpan("check", 0)
+	tracer := a.Tracer
+	if req.Tracer != nil {
+		tracer = req.Tracer
+	}
+	sp := tracer.StartSpan("check", 0)
 	defer sp.End()
 	d := a.Depot
 	if d == nil {
@@ -232,7 +244,8 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 	// with or without workers.
 	var rem *remoteRun
 	if a.Remote != nil && req.SrcHash != "" {
-		rem = &remoteRun{r: a.Remote, srcHash: req.SrcHash, specOpt: SpecHash(req.Spec)}
+		rem = &remoteRun{r: a.Remote, srcHash: req.SrcHash, specOpt: SpecHash(req.Spec),
+			traceID: req.TraceID, tr: tracer}
 	}
 
 	var tasks []*Task
@@ -264,7 +277,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				}
 				rs.markFn(p.Fns[i].Name)
 				if rem != nil {
-					desc := rem.desc(fleet.KindSummary, key)
+					desc := rem.desc(fleet.KindSummary, key, id)
 					desc.Checker, desc.CheckerVersion = "lanes", lanesVersion
 					desc.FnIndex, desc.Fn = i, p.Fns[i].Name
 					if s := rem.summaryTask(desc); s != nil {
@@ -305,7 +318,8 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				i := i
 				key := depot.Key{Kind: reportsKind, Source: fps[i], Checker: job.Name,
 					Version: job.Version, Options: job.Options}
-				tasks = append(tasks, &Task{ID: fmt.Sprintf("sm:%d:%d", ji, i), Run: func() error {
+				id := fmt.Sprintf("sm:%d:%d", ji, i)
+				tasks = append(tasks, &Task{ID: id, Run: func() error {
 					var cached artifact
 					if rs.lookup(d, key, &cached) {
 						smResults[ji][i] = cached.Reports
@@ -314,7 +328,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 					}
 					rs.markFn(p.Fns[i].Name)
 					if rem != nil {
-						desc := rem.desc(fleet.KindSM, key)
+						desc := rem.desc(fleet.KindSM, key, id)
 						desc.Checker, desc.CheckerVersion, desc.AdhocSrc = job.Name, job.Version, job.AdhocSrc
 						desc.FnIndex, desc.Fn = i, p.Fns[i].Name
 						if art := rem.artifactTask(desc); art != nil {
@@ -339,7 +353,8 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 			laneResults[ji] = slot
 			for _, h := range slot.handlers {
 				h := h
-				tasks = append(tasks, &Task{ID: fmt.Sprintf("lanes:%d:%s", ji, h), Deps: []string{"link"}, Run: func() error {
+				id := fmt.Sprintf("lanes:%d:%s", ji, h)
+				tasks = append(tasks, &Task{ID: id, Deps: []string{"link"}, Run: func() error {
 					reach := linked.Reachable([]string{h})
 					key := depot.Key{Kind: reportsKind,
 						Source:  reachFingerprint(h, reach, fpByFn),
@@ -352,7 +367,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 					}
 					rs.markFn(h)
 					if rem != nil {
-						desc := rem.desc(fleet.KindLanes, key)
+						desc := rem.desc(fleet.KindLanes, key, id)
 						desc.Checker, desc.CheckerVersion, desc.Handler = job.Name, job.Version, h
 						if art := rem.artifactTask(desc); art != nil {
 							slot.set(h, art.Reports)
@@ -372,7 +387,8 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		case job.Run != nil || job.RunCov != nil:
 			key := depot.Key{Kind: reportsKind, Source: progFP, Checker: job.Name,
 				Version: job.Version, Options: job.Options}
-			tasks = append(tasks, &Task{ID: fmt.Sprintf("glob:%d", ji), Run: func() error {
+			id := fmt.Sprintf("glob:%d", ji)
+			tasks = append(tasks, &Task{ID: id, Run: func() error {
 				var cached artifact
 				if rs.lookup(d, key, &cached) {
 					globalResults[ji] = cached.Reports
@@ -381,7 +397,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				}
 				rs.markGlobal()
 				if rem != nil {
-					desc := rem.desc(fleet.KindGlobal, key)
+					desc := rem.desc(fleet.KindGlobal, key, id)
 					desc.Checker, desc.CheckerVersion = job.Name, job.Version
 					if art := rem.artifactTask(desc); art != nil {
 						globalResults[ji] = art.Reports
@@ -405,7 +421,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		}
 	}
 
-	stats, err := RunTraced(a.Workers, a.Tracer, tasks)
+	stats, err := RunTraced(a.Workers, tracer, tasks)
 	if err != nil {
 		return nil, err
 	}

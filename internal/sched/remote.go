@@ -29,13 +29,16 @@ import (
 	"flashmc/internal/flash"
 	"flashmc/internal/fleet"
 	"flashmc/internal/global"
+	"flashmc/internal/obs"
 )
 
 // Remote executes one serialized task somewhere else and returns the
 // artifact bytes. Implemented by *fleet.Dispatcher; any error means
-// the caller should run the task locally.
+// the caller should run the task locally. A non-nil tracer receives
+// the dispatch-side spans and the remote execution spans, merged onto
+// the caller's time base.
 type Remote interface {
-	Do(ctx context.Context, desc *fleet.Descriptor) ([]byte, error)
+	Do(ctx context.Context, desc *fleet.Descriptor, tr *obs.Tracer) ([]byte, error)
 }
 
 // PutBundle publishes a request's source snapshot to the shared depot
@@ -72,22 +75,50 @@ func reject(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", fleet.ErrReject, fmt.Sprintf(format, args...))
 }
 
+// taskSpanName names a descriptor's root execution span by its
+// identity, so a merged trace reads like the scheduler's task list.
+func taskSpanName(d *fleet.Descriptor) string {
+	switch d.Kind {
+	case fleet.KindSM:
+		return "sm " + d.Checker + " " + d.Fn
+	case fleet.KindSummary:
+		return "summary " + d.Fn
+	case fleet.KindLanes:
+		return "lanes " + d.Handler
+	case fleet.KindGlobal:
+		return "glob " + d.Checker
+	}
+	return "task " + d.Kind
+}
+
 // Execute runs one descriptor. Errors wrapping fleet.ErrReject are
 // terminal (version skew, identity mismatch); any other error is
 // transient (bundle not yet visible in the depot, IO) and worth
-// retrying on another worker.
-func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor) ([]byte, error) {
+// retrying on another worker. A non-nil tracer records the worker's
+// execution spans: bundle fetch, frontend parse (cache misses only),
+// the computation itself, and the depot put.
+func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor, tr *obs.Tracer) ([]byte, error) {
 	if err := desc.Validate(); err != nil {
 		return nil, reject("%v", err)
 	}
+	root := tr.StartSpan(taskSpanName(desc), 0).Cat("exec").Arg("out", desc.Output.ID())
+	if desc.ParentSpan != "" {
+		root.Arg("task", desc.ParentSpan)
+	}
+	defer root.End()
+	bsp := tr.StartSpan("bundle", 0)
 	var b fleet.Bundle
-	if !e.Depot.GetJSON(fleet.BundleKey(desc.SrcHash, desc.SpecOpt), &b) {
+	ok := e.Depot.GetJSON(fleet.BundleKey(desc.SrcHash, desc.SpecOpt), &b)
+	bsp.End()
+	if !ok {
 		return nil, fmt.Errorf("sched: bundle %.12s not in depot (is the depot shared?)", desc.SrcHash)
 	}
 	if got := SpecHash(b.Spec); got != desc.SpecOpt {
 		return nil, reject("bundle spec hash %.12s, descriptor wants %.12s", got, desc.SpecOpt)
 	}
 	cp, _, err := e.Programs.Load(desc.SrcHash, func() (*core.Program, error) {
+		fsp := tr.StartSpan("frontend", 0)
+		defer fsp.End()
 		return core.Load("fleet", cpp.Layered(cpp.MapSource(b.Files), flash.HeaderSource()), b.Roots)
 	})
 	if err != nil {
@@ -106,7 +137,10 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor) ([]byte,
 		if err := e.checkLanesIdentity(desc, desc.SpecOpt); err != nil {
 			return nil, err
 		}
-		return e.put(desc, global.FromCFG(p.Graphs[desc.FnIndex], checkers.LaneAnnotator))
+		rsp := tr.StartSpan("run", 0)
+		sum := global.FromCFG(p.Graphs[desc.FnIndex], checkers.LaneAnnotator)
+		rsp.End()
+		return e.put(tr, desc, sum)
 
 	case fleet.KindSM:
 		if err := e.checkFn(cp, desc); err != nil {
@@ -119,8 +153,10 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor) ([]byte,
 		if desc.Output.Options != opts {
 			return nil, reject("options %.12s, worker computes %.12s", desc.Output.Options, opts)
 		}
+		rsp := tr.StartSpan("run", 0)
 		reports, cov := engine.RunCov(p.Graphs[desc.FnIndex], sm)
-		return e.put(desc, mkArtifact(reports, cov))
+		rsp.End()
+		return e.put(tr, desc, mkArtifact(reports, cov))
 
 	case fleet.KindGlobal:
 		if cp.ProgramFP != desc.Output.Source {
@@ -143,12 +179,14 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor) ([]byte,
 			reports []engine.Report
 			covs    []*engine.Coverage
 		)
+		rsp := tr.StartSpan("run", 0)
 		if prov, ok := chk.(checkers.CoverageProvider); ok {
 			reports, covs = prov.CheckCov(p, b.Spec)
 		} else {
 			reports = chk.Check(p, b.Spec)
 		}
-		return e.put(desc, mkArtifact(reports, covs...))
+		rsp.End()
+		return e.put(tr, desc, mkArtifact(reports, covs...))
 
 	case fleet.KindLanes:
 		if err := e.checkLanesIdentity(desc, desc.SpecOpt); err != nil {
@@ -166,8 +204,10 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor) ([]byte,
 			return nil, reject("handler %s cone fingerprint %.12s, descriptor wants %.12s", desc.Handler, got, desc.Output.Source)
 		}
 		one := &flash.Spec{Hardware: []string{desc.Handler}, Allowance: specAllowance(b.Spec)}
+		rsp := tr.StartSpan("run", 0)
 		got, cov := checkers.CheckLanesCov(linked, one)
-		return e.put(desc, mkArtifact(got, cov))
+		rsp.End()
+		return e.put(tr, desc, mkArtifact(got, cov))
 	}
 	return nil, reject("unknown task kind %q", desc.Kind)
 }
@@ -267,30 +307,39 @@ func (e *Executor) link(srcHash string, p *core.Program) *global.Program {
 
 // put stores v under the descriptor's output key and returns the
 // exact bytes stored, so the dispatcher's copy and the depot's agree.
-func (e *Executor) put(desc *fleet.Descriptor, v any) ([]byte, error) {
+func (e *Executor) put(tr *obs.Tracer, desc *fleet.Descriptor, v any) ([]byte, error) {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return nil, reject("marshal artifact: %v", err)
 	}
-	if err := e.Depot.Put(desc.Output, raw); err != nil {
+	psp := tr.StartSpan("put", 0)
+	err = e.Depot.Put(desc.Output, raw)
+	psp.End()
+	if err != nil {
 		return nil, fmt.Errorf("sched: store artifact: %w", err)
 	}
 	return raw, nil
 }
 
-// remoteRun is one Check call's dispatch context: the source address
-// and spec hash every descriptor of the request shares.
+// remoteRun is one Check call's dispatch context: the source address,
+// spec hash, trace identity, and tracer every descriptor of the
+// request shares.
 type remoteRun struct {
 	r       Remote
 	srcHash string
 	specOpt string
+	traceID string
+	tr      *obs.Tracer
 }
 
-// desc starts a descriptor for one task of this request.
-func (rr *remoteRun) desc(kind string, out depot.Key) *fleet.Descriptor {
+// desc starts a descriptor for one task of this request; parent names
+// the scheduler task it executes, correlating the worker's spans with
+// the leader's dispatch spans for the same task id.
+func (rr *remoteRun) desc(kind string, out depot.Key, parent string) *fleet.Descriptor {
 	return &fleet.Descriptor{
 		Format: fleet.DescFormat, Kind: kind,
 		SrcHash: rr.srcHash, SpecOpt: rr.specOpt, Output: out,
+		TraceID: rr.traceID, ParentSpan: parent,
 	}
 }
 
@@ -298,28 +347,28 @@ func (rr *remoteRun) desc(kind string, out depot.Key) *fleet.Descriptor {
 // fleet could not produce the artifact and the caller runs it locally
 // (counted as a fallback).
 func (rr *remoteRun) artifactTask(d *fleet.Descriptor) *artifact {
-	raw, err := rr.r.Do(context.Background(), d)
+	raw, err := rr.r.Do(context.Background(), d, rr.tr)
 	if err == nil {
 		var art artifact
 		if json.Unmarshal(raw, &art) == nil {
 			return &art
 		}
 	}
-	fleet.CountFallback()
+	fleet.CountFallback(d.ParentSpan)
 	return nil
 }
 
 // summaryTask dispatches one per-function summary task; nil means
 // run it locally.
 func (rr *remoteRun) summaryTask(d *fleet.Descriptor) *global.Summary {
-	raw, err := rr.r.Do(context.Background(), d)
+	raw, err := rr.r.Do(context.Background(), d, rr.tr)
 	if err == nil {
 		var s global.Summary
 		if json.Unmarshal(raw, &s) == nil {
 			return &s
 		}
 	}
-	fleet.CountFallback()
+	fleet.CountFallback(d.ParentSpan)
 	return nil
 }
 

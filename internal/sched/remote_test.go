@@ -20,15 +20,15 @@ import (
 // the serialize/recompute/cross-check logic.
 type execRemote struct{ ex *Executor }
 
-func (r execRemote) Do(ctx context.Context, d *fleet.Descriptor) ([]byte, error) {
-	return r.ex.Execute(ctx, d)
+func (r execRemote) Do(ctx context.Context, d *fleet.Descriptor, tr *obs.Tracer) ([]byte, error) {
+	return r.ex.Execute(ctx, d, tr)
 }
 
 // corruptRemote answers every task with bytes no artifact decoder
 // accepts, forcing the local-fallback path.
 type corruptRemote struct{}
 
-func (corruptRemote) Do(ctx context.Context, d *fleet.Descriptor) ([]byte, error) {
+func (corruptRemote) Do(ctx context.Context, d *fleet.Descriptor, tr *obs.Tracer) ([]byte, error) {
 	return []byte("}} definitely not an artifact {{"), nil
 }
 
@@ -197,7 +197,7 @@ func TestExecutorRejectsSkew(t *testing.T) {
 	d.SrcHash = "0000000000000000"
 	d.Checker, d.CheckerVersion = "lanes", lanesVersion
 	d.Output = depot.Key{Kind: "reports/v3", Source: "x", Checker: "lanes", Version: lanesVersion, Options: specOpt}
-	if _, err := ex.Execute(context.Background(), d); err == nil || errors.Is(err, fleet.ErrReject) {
+	if _, err := ex.Execute(context.Background(), d, nil); err == nil || errors.Is(err, fleet.ErrReject) {
 		t.Fatalf("missing bundle: err = %v, want transient non-reject", err)
 	}
 
@@ -207,7 +207,7 @@ func TestExecutorRejectsSkew(t *testing.T) {
 	d.Checker, d.CheckerVersion = "lanes", lanesVersion
 	d.FnIndex, d.Fn = 0, "no_such_function"
 	d.Output = depot.Key{Kind: "summary", Source: "x", Checker: "lanes", Version: lanesVersion, Options: specOpt}
-	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+	if _, err := ex.Execute(context.Background(), d, nil); !errors.Is(err, fleet.ErrReject) {
 		t.Fatalf("wrong fn name: err = %v, want ErrReject", err)
 	}
 
@@ -216,7 +216,7 @@ func TestExecutorRejectsSkew(t *testing.T) {
 	d.Checker, d.CheckerVersion = "lanes", "v0-ancient"
 	d.Handler = prog.Fns[0].Name
 	d.Output = depot.Key{Kind: "lanes", Source: "x", Checker: "lanes", Version: "v0-ancient", Options: specOpt}
-	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+	if _, err := ex.Execute(context.Background(), d, nil); !errors.Is(err, fleet.ErrReject) {
 		t.Fatalf("version skew: err = %v, want ErrReject", err)
 	}
 
@@ -224,7 +224,7 @@ func TestExecutorRejectsSkew(t *testing.T) {
 	d = base(fleet.KindGlobal)
 	d.Checker, d.CheckerVersion = "no_such_checker", "v1"
 	d.Output = depot.Key{Kind: "reports/v3", Source: "x", Checker: "no_such_checker", Version: "v1", Options: specOpt}
-	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+	if _, err := ex.Execute(context.Background(), d, nil); !errors.Is(err, fleet.ErrReject) {
 		t.Fatalf("unknown checker: err = %v, want ErrReject", err)
 	}
 
@@ -237,7 +237,7 @@ func TestExecutorRejectsSkew(t *testing.T) {
 	d.SpecOpt = "bogus-spec"
 	d.Checker, d.CheckerVersion = "lanes", lanesVersion
 	d.Output = depot.Key{Kind: "reports/v3", Source: "x", Checker: "lanes", Version: lanesVersion, Options: "bogus-spec"}
-	if _, err := ex.Execute(context.Background(), d); !errors.Is(err, fleet.ErrReject) {
+	if _, err := ex.Execute(context.Background(), d, nil); !errors.Is(err, fleet.ErrReject) {
 		t.Fatalf("spec hash mismatch: err = %v, want ErrReject", err)
 	}
 }
