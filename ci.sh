@@ -139,3 +139,47 @@ grep -q '^fleet_worker_tasks_total{worker=' "$tmp/fleet-metrics.txt"
 kill $w1 $w2 $fd $ld 2>/dev/null || true
 wait $w1 $w2 $fd $ld 2>/dev/null || true
 trap 'rm -rf "$tmp"' EXIT
+
+# Provenance gate: a fresh depot, three runs of the same corpus.
+# (1) The warm re-run's ledger entry must attribute every cache
+# decision as a hit — any other nonzero reason means the scheduler
+# recomputed (or misattributed) work on identical inputs — and
+# -diff cold,warm must print nothing to stdout (empty stdout is the
+# diff contract for byte-identical report streams; `cmp` double-checks
+# the printed streams). (2) A -version-salt run must miss *every* key
+# with reason checker-version-bump while still printing byte-identical
+# reports — proving miss attribution tells bumps apart from real work.
+rm -rf "$tmp/prov-depot"
+"$tmp/mcheck" -flash -cache "$tmp/prov-depot" "$tmp/corpus/sci"/*.c \
+    > "$tmp/prov-cold.out" || true
+"$tmp/mcheck" -flash -cache "$tmp/prov-depot" "$tmp/corpus/sci"/*.c \
+    > "$tmp/prov-warm.out" || true
+cmp "$tmp/prov-cold.out" "$tmp/prov-warm.out"
+"$tmp/mcheck" -cache "$tmp/prov-depot" -runs > "$tmp/prov-runs.txt"
+cat "$tmp/prov-runs.txt"
+test "$(wc -l < "$tmp/prov-runs.txt")" -eq 2
+cold_id=$(sed -n '1s/ .*//p' "$tmp/prov-runs.txt")
+warm_id=$(sed -n '2s/ .*//p' "$tmp/prov-runs.txt")
+grep -q "hit=0 " "$tmp/prov-runs.txt"            # cold line: no hits
+sed -n 2p "$tmp/prov-runs.txt" | grep -q " new=0 vb=0 oc=0 dep=0 ev=0 "
+"$tmp/mcheck" -cache "$tmp/prov-depot" -diff "$cold_id,$warm_id" \
+    > "$tmp/prov-diff.out" 2> "$tmp/prov-diff.err"
+cat "$tmp/prov-diff.err"
+test ! -s "$tmp/prov-diff.out"
+"$tmp/mcheck" -flash -cache "$tmp/prov-depot" -version-salt ci-bump \
+    "$tmp/corpus/sci"/*.c > "$tmp/prov-salt.out" || true
+cmp "$tmp/prov-cold.out" "$tmp/prov-salt.out"
+"$tmp/mcheck" -cache "$tmp/prov-depot" -runs | sed -n 3p | tee "$tmp/prov-salt-line.txt"
+grep -q " hit=0 new=0 " "$tmp/prov-salt-line.txt"
+grep -q " oc=0 dep=0 ev=0 " "$tmp/prov-salt-line.txt"
+! grep -q " vb=0 " "$tmp/prov-salt-line.txt"
+# -explain must name a producer and checker version for a warm report.
+"$tmp/mcheck" -flash -cache "$tmp/prov-depot" -explain "$tmp/corpus/sci"/*.c \
+    > /dev/null 2> "$tmp/prov-explain.txt" || true
+grep -q "producer=pid:" "$tmp/prov-explain.txt"
+grep -q "decision=hit" "$tmp/prov-explain.txt"
+# The bench trajectory must be appendable: one more entry than committed.
+base_entries=$(grep -c '"unix"' BENCH_PR9.json)
+cp BENCH_PR9.json "$tmp/traj.json"
+go run ./cmd/paperbench -append "$tmp/traj.json"
+test "$(grep -c '"unix"' "$tmp/traj.json")" -eq "$((base_entries + 1))"

@@ -33,6 +33,14 @@
 // wall-time attribution; -coverage-out writes the coverage/v1 JSON
 // artifact (validated by obscheck -coverage).
 //
+// Provenance: -explain prints, for every report, the artifact it was
+// assembled from, this run's cache decision for that artifact, the
+// producer (local pid or worker address), checker version, and wall
+// cost. Each run against a persistent -cache appends an entry to the
+// depot's run ledger; -runs lists the ledger and -diff OLD,NEW
+// compares two entries — appeared/disappeared reports (with witness
+// traces) to stdout, perf deltas to stderr — with no input files.
+//
 // With -triage every SM report is ranked by path feasibility before
 // printing: 'slice' replays reports over loop-bounded paths and
 // demotes those firing only on branch-contradictory paths to
@@ -103,6 +111,10 @@ func main() {
 	coverage := flag.Bool("coverage", false, "collect per-checker rule/state coverage; print a table and timing attribution to stderr")
 	coverageOut := flag.String("coverage-out", "", "write the coverage/v1 JSON artifact to this path (implies -coverage)")
 	triageFlag := flag.String("triage", "", "rank reports by path feasibility: 'slice' (correlated-branch slicing) or 'sym' (slicing plus bounded symbolic evaluation); verdicts cache in -cache")
+	runsList := flag.Bool("runs", false, "list the -cache depot's run ledger and exit (takes no input files)")
+	diffSpec := flag.String("diff", "", "compare two run-ledger entries OLD,NEW from -cache and exit: report changes to stdout (empty = identical), perf deltas to stderr")
+	explain := flag.Bool("explain", false, "after the run, print each report's provenance (artifact, cache decision, producer, checker version, cost) to stderr")
+	versionSalt := flag.String("version-salt", "", "append this salt to every checker version (testing aid: forces checker-version-bump cache misses)")
 	flag.Parse()
 
 	triageMode, ok := parseTriageMode(*triageFlag)
@@ -125,6 +137,22 @@ func main() {
 	}
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Ledger-only modes read the depot directly and take no input
+	// files; they must be dispatched before the no-input check.
+	if *runsList || *diffSpec != "" {
+		if *cacheDir == "" {
+			fail("-runs/-diff read the run ledger from a persistent depot; pass -cache DIR")
+		}
+		store, err := depot.OpenSharded(*cacheDir, *cacheShards)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *runsList {
+			os.Exit(runsCmd(store))
+		}
+		os.Exit(diffCmd(store, *diffSpec))
 	}
 
 	files := flag.Args()
@@ -222,6 +250,18 @@ func main() {
 		}
 	}
 
+	if *versionSalt != "" {
+		// Salting every version makes each depot key miss with reason
+		// checker-version-bump while leaving the computed reports
+		// unchanged — ci.sh uses it to gate miss attribution.
+		for i := range jobs {
+			jobs[i].Version += "+" + *versionSalt
+		}
+		for name := range triageVersions {
+			triageVersions[name] += "+" + *versionSalt
+		}
+	}
+
 	if *lintSMs {
 		vocab := lint.FlashVocab()
 		for _, fn := range prog.Fns {
@@ -254,9 +294,20 @@ func main() {
 		covSet = cover.NewSet()
 	}
 	analyzer := &sched.Analyzer{Depot: store, Workers: *workers, Tracer: tracer, Coverage: covSet}
-	res, err := analyzer.Check(sched.Request{Prog: prog, Spec: spec, Jobs: jobs})
+	req := sched.Request{Prog: prog, Spec: spec, Jobs: jobs}
+	res, err := analyzer.Check(req)
 	if err != nil {
 		fail("%v", err)
+	}
+	// Record the run in the depot's ledger. Only a persistent depot is
+	// worth recording into: an in-memory ledger dies with the process.
+	var runEntry *sched.RunEntry
+	if *cacheDir != "" {
+		runEntry = sched.NewRunEntry(&req, res, covSet)
+		if err := sched.AppendRun(store, runEntry); err != nil {
+			fmt.Fprintf(os.Stderr, "mcheck: ledger: %v\n", err)
+			runEntry = nil
+		}
 	}
 	reports := res.Reports
 	if *verbose {
@@ -272,6 +323,9 @@ func main() {
 			st.Functions, st.Tasks, st.CacheHits, st.CacheMisses,
 			100*float64(st.CacheHits)/float64(max(1, st.CacheHits+st.CacheMisses)),
 			len(st.Reanalyzed), st.Elapsed.Round(1000000))
+		if runEntry != nil {
+			fmt.Printf("run %s recorded (%s)\n", runEntry.ID, runEntry.DecisionLine())
+		}
 	}
 
 	if triageMode != "" {
@@ -294,20 +348,36 @@ func main() {
 				}
 			}
 		}
+		// Triage re-ranks reports, severing the per-report provenance
+		// index; explain at artifact granularity instead.
+		if *explain {
+			explainArtifacts(store, res)
+		}
 	} else {
-		sort.Slice(reports, func(i, j int) bool {
-			a, b := reports[i], reports[j]
+		// Sort an index permutation instead of the reports themselves,
+		// so each printed report keeps its Result.RefIdx provenance link
+		// for -explain.
+		order := make([]int, len(reports))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := reports[order[i]], reports[order[j]]
 			if a.Pos.File != b.Pos.File {
 				return a.Pos.File < b.Pos.File
 			}
 			return a.Pos.Line < b.Pos.Line
 		})
-		for _, r := range reports {
+		for _, ri := range order {
+			r := reports[ri]
 			fmt.Printf("%s: [%s] %s\n", r.Pos, r.SM, r.Msg)
 			if *why {
 				for i, s := range r.Trace {
 					fmt.Printf("    #%d %s\n", i+1, s)
 				}
+			}
+			if *explain {
+				explainReport(store, res, ri)
 			}
 		}
 	}

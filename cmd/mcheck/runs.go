@@ -1,0 +1,124 @@
+package main
+
+// Ledger subcommands and provenance explanation for mcheck:
+//
+//	mcheck -cache DIR -runs        list the depot's run ledger
+//	mcheck -cache DIR -diff A,B    compare two ledger entries
+//	mcheck ... -explain            per-report provenance after a run
+//
+// -runs prints one greppable line per run, oldest first. -diff prints
+// report changes to stdout (empty stdout ⇒ byte-identical streams)
+// and perf deltas to stderr, so scripts can gate on `test -s`.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"flashmc/internal/depot"
+	"flashmc/internal/engine"
+	"flashmc/internal/sched"
+)
+
+// runsCmd lists the ledger, one line per run in append order.
+func runsCmd(store *depot.Depot) int {
+	ids := sched.ListRuns(store)
+	for _, id := range ids {
+		e, ok := sched.GetRun(store, id)
+		if !ok {
+			fmt.Printf("%s (entry evicted)\n", id)
+			continue
+		}
+		fmt.Printf("%s reports=%d tasks=%d %s elapsed_ms=%.1f\n",
+			e.ID, len(e.Reports), e.Tasks, e.DecisionLine(), float64(e.ElapsedUS)/1000)
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "mcheck: ledger is empty (runs record only into a persistent -cache)")
+	}
+	return 0
+}
+
+// diffCmd compares two ledger entries named "A,B". Report changes go
+// to stdout with their witness traces; perf deltas go to stderr.
+func diffCmd(store *depot.Depot, spec string) int {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fmt.Fprintln(os.Stderr, "mcheck: -diff wants two run ids: -diff OLD,NEW")
+		return 2
+	}
+	a, okA := sched.GetRun(store, parts[0])
+	b, okB := sched.GetRun(store, parts[1])
+	if !okA {
+		fmt.Fprintf(os.Stderr, "mcheck: -diff: unknown run %s\n", parts[0])
+		return 2
+	}
+	if !okB {
+		fmt.Fprintf(os.Stderr, "mcheck: -diff: unknown run %s\n", parts[1])
+		return 2
+	}
+	diff := sched.DiffRuns(a, b)
+	printSide := func(sign string, reps []engine.Report) {
+		for _, r := range reps {
+			fmt.Printf("%s %s: [%s] %s\n", sign, r.Pos, r.SM, r.Msg)
+			for i, s := range r.Trace {
+				fmt.Printf("    #%d %s\n", i+1, s)
+			}
+		}
+	}
+	printSide("-", diff.Disappeared)
+	printSide("+", diff.Appeared)
+	if !diff.SameRequest {
+		fmt.Fprintf(os.Stderr, "diff %s..%s: different requests (program or checkers changed)\n", a.ID, b.ID)
+	}
+	if diff.Identical {
+		fmt.Fprintf(os.Stderr, "diff %s..%s: reports byte-identical\n", a.ID, b.ID)
+	} else {
+		fmt.Fprintf(os.Stderr, "diff %s..%s: %d appeared, %d disappeared\n",
+			a.ID, b.ID, len(diff.Appeared), len(diff.Disappeared))
+	}
+	fmt.Fprintf(os.Stderr, "perf: elapsed %+.1fms, task time %+.1fms, hits %+d, misses %+d\n",
+		float64(diff.ElapsedDeltaUS)/1000, float64(diff.TaskDeltaUS)/1000,
+		diff.HitDelta, diff.MissDelta)
+	return 0
+}
+
+// explainReport prints one report's lineage: the artifact it came
+// from, this run's cache decision for that artifact, and — when the
+// provenance sidecar exists — who produced it, at which checker
+// version, from which inputs, and at what cost.
+func explainReport(store *depot.Depot, res *sched.Result, ri int) {
+	r := res.Reports[ri]
+	if ri >= len(res.RefIdx) || res.RefIdx[ri] < 0 {
+		fmt.Fprintf(os.Stderr, "explain: %s [%s]: synthesized outside any artifact (link error)\n", r.Pos, r.SM)
+		return
+	}
+	ref := res.Artifacts[res.RefIdx[ri]]
+	line := fmt.Sprintf("explain: %s [%s] task=%s decision=%s artifact=%.12s checker=%s version=%s source=%.12s",
+		r.Pos, r.SM, ref.Task, ref.Decision, ref.Key.ID(), ref.Key.Checker, ref.Key.Version, ref.Key.Source)
+	if p, ok := store.GetProv(ref.Key); ok {
+		line += fmt.Sprintf(" producer=%s wall=%.1fms", p.Producer, float64(p.WallUS)/1000)
+		if p.TraceID != "" {
+			line += " trace=" + p.TraceID
+		}
+		if len(p.Deps) > 0 {
+			line += fmt.Sprintf(" deps=%d", len(p.Deps))
+		}
+	} else {
+		line += " producer=unknown (no provenance sidecar)"
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+// explainArtifacts prints artifact-level lineage for every artifact
+// the run touched (used when per-report order is reshuffled by
+// triage).
+func explainArtifacts(store *depot.Depot, res *sched.Result) {
+	for _, ref := range res.Artifacts {
+		line := fmt.Sprintf("explain: task=%s decision=%s artifact=%.12s checker=%s version=%s source=%.12s",
+			ref.Task, ref.Decision, ref.Key.ID(), ref.Key.Checker, ref.Key.Version, ref.Key.Source)
+		if p, ok := store.GetProv(ref.Key); ok {
+			line += fmt.Sprintf(" producer=%s wall=%.1fms", p.Producer, float64(p.WallUS)/1000)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}

@@ -10,7 +10,10 @@
 //	mcheckclient -addr host:port -wait 10s   poll /healthz until 200
 //	mcheckclient -addr host:port -trace FILE file.c...
 //	             also fetch the request's merged Chrome trace (from
-//	             /debug/trace/<X-Trace-Id>) into FILE
+//	             /debug/trace/<X-Trace-Id>) into FILE, then print the
+//	             request's flight-recorder events (/debug/fleet?trace=)
+//	mcheckclient -addr host:port -runs       list the server's run ledger
+//	mcheckclient -addr host:port -diff A,B   compare two ledger entries
 package main
 
 import (
@@ -31,7 +34,9 @@ func main() {
 	get := flag.String("get", "", "GET this path and print the body instead of posting a check")
 	wait := flag.Duration("wait", 0, "poll /healthz until it answers 200 (or this long elapses)")
 	triageMode := flag.String("triage", "", "triage_mode for /check (\"slice\" or \"sym\")")
-	traceOut := flag.String("trace", "", "after /check, fetch the merged request trace into this file")
+	traceOut := flag.String("trace", "", "after /check, fetch the merged request trace into this file and print the request's flight events")
+	runsList := flag.Bool("runs", false, "list the server's run ledger (/debug/runs) and exit")
+	diffSpec := flag.String("diff", "", "compare two server ledger runs OLD,NEW (/debug/runs/diff) and exit")
 	flag.Parse()
 
 	base := *addr
@@ -60,6 +65,13 @@ func main() {
 		if *get == "" && flag.NArg() == 0 {
 			return
 		}
+	}
+
+	if *runsList {
+		os.Exit(runsCmd(base))
+	}
+	if *diffSpec != "" {
+		os.Exit(diffCmd(base, *diffSpec))
 	}
 
 	if *get != "" {
@@ -147,5 +159,6 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "mcheckclient: trace %s written to %s\n", id, *traceOut)
+		printFlight(base, id)
 	}
 }

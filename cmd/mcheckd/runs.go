@@ -1,0 +1,73 @@
+package main
+
+// The run-ledger debug surface. The depot's runs/v1 ledger records
+// one entry per leader /check computation; these endpoints make it
+// queryable over HTTP:
+//
+//	GET /debug/runs              — run summaries, append order
+//	GET /debug/runs/<id>         — one full ledger entry
+//	GET /debug/runs/diff?a=&b=   — compare two entries
+//
+// mcheckclient -runs/-diff are thin clients of these routes; offline,
+// mcheck -runs/-diff read the same ledger straight from the depot.
+
+import (
+	"net/http"
+	"strings"
+
+	"flashmc/internal/sched"
+)
+
+// runSummaryJSON is one line of the /debug/runs listing.
+type runSummaryJSON struct {
+	ID        string `json:"id"`
+	Unix      int64  `json:"unix"`
+	Reports   int    `json:"reports"`
+	Tasks     int    `json:"tasks"`
+	Hits      int    `json:"hits"`
+	Misses    int    `json:"misses"`
+	Decisions string `json:"decisions"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+type runsResponse struct {
+	Runs []runSummaryJSON `json:"runs"`
+}
+
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/debug/runs"), "/")
+	switch rest {
+	case "":
+		resp := runsResponse{Runs: []runSummaryJSON{}}
+		for _, id := range sched.ListRuns(s.store) {
+			e, ok := sched.GetRun(s.store, id)
+			if !ok {
+				continue // entry evicted; the index keeps the id
+			}
+			resp.Runs = append(resp.Runs, runSummaryJSON{
+				ID: e.ID, Unix: e.Unix, Reports: len(e.Reports), Tasks: e.Tasks,
+				Hits: e.Hits, Misses: e.Misses, Decisions: e.DecisionLine(),
+				ElapsedUS: e.ElapsedUS,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+
+	case "diff":
+		a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+		ea, okA := sched.GetRun(s.store, a)
+		eb, okB := sched.GetRun(s.store, b)
+		if a == "" || b == "" || !okA || !okB {
+			http.Error(w, "diff wants ?a=<runid>&b=<runid> of known runs", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, sched.DiffRuns(ea, eb))
+
+	default:
+		e, ok := sched.GetRun(s.store, rest)
+		if !ok {
+			http.Error(w, "unknown run id", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, e)
+	}
+}

@@ -98,6 +98,10 @@ type statsJSON struct {
 	ElapsedMS     float64  `json:"elapsed_ms"`
 	TaskMS        float64  `json:"task_ms"`
 	QueueWaitMS   float64  `json:"queue_wait_ms"`
+	// Decisions breaks cache lookups down by reason; RunID names the
+	// run's ledger entry (GET /debug/runs/<id>).
+	Decisions map[string]int `json:"decisions,omitempty"`
+	RunID     string         `json:"run_id,omitempty"`
 }
 
 type checkResponse struct {
@@ -213,6 +217,8 @@ func newServer(store *depot.Depot, workers int) *server {
 	s.mux.HandleFunc("/debug/timings", s.handleTimings)
 	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
 	s.mux.HandleFunc("/debug/fleet", s.handleFleet)
+	s.mux.HandleFunc("/debug/runs", s.handleRuns)
+	s.mux.HandleFunc("/debug/runs/", s.handleRuns)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -433,6 +439,15 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.misses.Add(float64(res.Stats.CacheMisses))
 	s.queueMax.SetMax(float64(res.Stats.MaxQueueDepth))
 
+	// Ledger: one entry per leader run (followers reuse the leader's
+	// work, so one computation is one entry). Failure to append is
+	// logged, never fatal — the ledger is observability, not output.
+	entry := sched.NewRunEntry(&creq, res, s.coverage)
+	if err := sched.AppendRun(s.store, entry); err != nil {
+		log.Printf("mcheckd: id=%s ledger: %v", reqID, err)
+		entry.ID = ""
+	}
+
 	resp.Reports = s.rankReports(prog, cp.ProgramFP, res.Reports, smByName, smVersions, triageMode)
 	resp.Stats = statsJSON{
 		Functions:     res.Stats.Functions,
@@ -445,6 +460,8 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:     float64(res.Stats.Elapsed) / float64(time.Millisecond),
 		TaskMS:        float64(res.Stats.TaskTime) / float64(time.Millisecond),
 		QueueWaitMS:   float64(res.Stats.QueueWait) / float64(time.Millisecond),
+		Decisions:     res.Stats.Decisions,
+		RunID:         entry.ID,
 	}
 	s.storeTrace(reqID, tracer.Events())
 	w.Header().Set("X-Trace-Id", reqID)
@@ -499,11 +516,22 @@ type fleetDebugResponse struct {
 // handleFleet reports what the dispatcher is doing right now and what
 // it recently did: per-worker queue depth, inflight count and health,
 // and the flight recorder's task lifecycle tail (dispatched, stolen,
-// retried, rejected, completed, fell-back, worker-down/up).
+// retried, rejected, completed, fell-back, worker-down/up). With
+// ?trace=<id> the flight tail is filtered to one request's events
+// (FlightTotal stays the ring-wide count).
 func (s *server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	resp := fleetDebugResponse{
 		FlightTotal:  fleet.FlightTotal(),
 		FlightEvents: fleet.FlightEvents(),
+	}
+	if want := r.URL.Query().Get("trace"); want != "" {
+		kept := resp.FlightEvents[:0]
+		for _, e := range resp.FlightEvents {
+			if e.Trace == want {
+				kept = append(kept, e)
+			}
+		}
+		resp.FlightEvents = kept
 	}
 	if resp.FlightEvents == nil {
 		resp.FlightEvents = []obs.FlightEvent{}

@@ -197,6 +197,23 @@ func TestFleetTraceMerged(t *testing.T) {
 			t.Fatalf("no federated sample for worker %s: %v", addr, seen)
 		}
 	}
+	// Labeled (CounterVec) worker families federate too: the by-kind
+	// counter must arrive with both its own kind label and the
+	// injected worker label.
+	byKind := fams["fleet_worker_tasks_by_kind_total"]
+	if byKind == nil {
+		t.Fatal("federated /metrics lacks fleet_worker_tasks_by_kind_total")
+	}
+	kinds := map[string]bool{}
+	for _, s := range byKind.Samples {
+		if s.Labels["worker"] == "" {
+			t.Fatalf("by-kind sample lost its worker label: %+v", s)
+		}
+		kinds[s.Labels["kind"]] = true
+	}
+	if !kinds["sm"] {
+		t.Fatalf("no kind=\"sm\" sample federated: %v", kinds)
+	}
 }
 
 // TestDebugFleetSeesDeadWorker: killing a worker shows up in

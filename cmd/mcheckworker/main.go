@@ -76,8 +76,11 @@ func withRequestLog(h http.Handler) http.Handler {
 }
 
 // newWorkerMux assembles the worker's HTTP surface over one depot.
-func newWorkerMux(store *depot.Depot) http.Handler {
+// producer names this worker in the provenance records it writes
+// beside computed artifacts (its listen address).
+func newWorkerMux(store *depot.Depot, producer string) http.Handler {
 	exec := sched.NewExecutor(store)
+	exec.Producer = producer
 	mux := http.NewServeMux()
 	mux.Handle("/task", fleet.TaskHandler(exec.Execute))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -110,5 +113,5 @@ func main() {
 		log.Fatalf("mcheckworker: %v", err)
 	}
 	log.Printf("mcheckworker: listening on %s (cache=%q)", *addr, *cacheDir)
-	log.Fatal(http.ListenAndServe(*addr, newWorkerMux(store)))
+	log.Fatal(http.ListenAndServe(*addr, newWorkerMux(store, *addr)))
 }

@@ -18,7 +18,7 @@ func TestWorkerMux(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newWorkerMux(store))
+	ts := httptest.NewServer(newWorkerMux(store, "127.0.0.1:test"))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -83,7 +83,7 @@ func TestWorkerRequestID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newWorkerMux(store))
+	ts := httptest.NewServer(newWorkerMux(store, "127.0.0.1:test"))
 	defer ts.Close()
 
 	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)

@@ -6,6 +6,7 @@
 //
 //	paperbench [-seed N] [-trials N] [-json]
 //	paperbench -bench out.json [-gate BENCH_PR4.json] [-coverage-out cov.json]
+//	paperbench -append BENCH_PR9.json
 //
 // -json replaces the rendered tables with one machine-readable JSON
 // object (for dashboards and CI trend tracking). The payload carries a
@@ -19,7 +20,10 @@
 // and fails if wall time or configs explored regressed more than 25%;
 // -coverage-out writes the corpus coverage/v1 artifact (validated by
 // obscheck -coverage); -coverage prints the checker × protocol matrix
-// and any coverage-dead findings with the rendered tables.
+// and any coverage-dead findings with the rendered tables; -append
+// grows a committed trajectory file — a JSON array of timestamped
+// bench measurements — so performance history accumulates across PRs
+// instead of each baseline overwriting the last.
 package main
 
 import (
@@ -48,6 +52,13 @@ type benchResult struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	ConfigsExplored float64 `json:"configs_explored"`
 	RulesFired      float64 `json:"rules_fired"`
+}
+
+// trajectoryEntry is one row of a -append trajectory file: a bench
+// measurement plus when it was taken.
+type trajectoryEntry struct {
+	benchResult
+	Unix int64 `json:"unix"`
 }
 
 // renderJSON builds the deterministic -json payload: bench schema,
@@ -123,6 +134,7 @@ func main() {
 	gateFile := flag.String("gate", "", "compare the bench measurement against this committed baseline; exit nonzero on >25% regression")
 	coverageOut := flag.String("coverage-out", "", "write the corpus coverage/v1 artifact to this path")
 	showCoverage := flag.Bool("coverage", false, "print the checker x protocol coverage matrix and coverage-dead findings")
+	appendFile := flag.String("append", "", "append this run's bench measurement to the trajectory JSON array at this path (created if missing)")
 	flag.Parse()
 
 	c, err := paper.LoadCorpus(flashgen.Options{Seed: *seed})
@@ -134,8 +146,32 @@ func main() {
 	// One coverage run feeds every consumer that needs it.
 	var matrix *paper.CoverageMatrix
 	var bench benchResult
-	if *jsonOut || *benchOut != "" || *gateFile != "" || *coverageOut != "" || *showCoverage {
+	if *jsonOut || *benchOut != "" || *gateFile != "" || *coverageOut != "" || *showCoverage || *appendFile != "" {
 		matrix, bench = measure(c, *seed)
+	}
+
+	if *appendFile != "" {
+		var traj []trajectoryEntry
+		if data, err := os.ReadFile(*appendFile); err == nil {
+			if err := json.Unmarshal(data, &traj); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: append: %s: %v\n", *appendFile, err)
+				os.Exit(1)
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "paperbench: append: %v\n", err)
+			os.Exit(1)
+		}
+		traj = append(traj, trajectoryEntry{benchResult: bench, Unix: time.Now().Unix()})
+		data, err := json.MarshalIndent(traj, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: append: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*appendFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: append: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("paperbench: trajectory %s now has %d entries\n", *appendFile, len(traj))
 	}
 
 	if *coverageOut != "" {
@@ -185,7 +221,7 @@ func main() {
 		fmt.Printf("paperbench: gate ok: wall %.3fs (baseline %.3fs), %g configs (baseline %g)\n",
 			bench.WallSeconds, baseline.WallSeconds, bench.ConfigsExplored, baseline.ConfigsExplored)
 	}
-	if *benchOut != "" || *gateFile != "" || *coverageOut != "" {
+	if *benchOut != "" || *gateFile != "" || *coverageOut != "" || *appendFile != "" {
 		if !*jsonOut && !*showCoverage {
 			return
 		}

@@ -61,6 +61,10 @@ var (
 	mGCPressure = obs.NewCounter("depot_gc_pressure_sweeps_total", "GC sweeps triggered by Put write pressure")
 )
 
+// manifestTmpSeq disambiguates fresh-manifest temp files between
+// goroutines of one process (the pid alone is not unique per call).
+var manifestTmpSeq uint64
+
 const (
 	// manifestName pins the shard layout at the depot root. No .json
 	// extension: artifact walks only consider *.json files.
@@ -296,7 +300,12 @@ func openSharded(dir string, shards int, wantPaths []string) (*Depot, error) {
 		// creators write byte-identical content for the same layout,
 		// so whichever rename lands last is harmless; a racing creator
 		// with a DIFFERENT layout is caught by re-reading the winner.
-		tmp := fmt.Sprintf("%s.new.%d", mf, os.Getpid())
+		// The temp name must be unique per *call*, not per process:
+		// two goroutines in one process racing Open on the same fresh
+		// dir (a daemon's tests, a leader opening shared volumes)
+		// would otherwise write one temp file and the loser's rename
+		// would fail ENOENT after the winner renamed it away.
+		tmp := fmt.Sprintf("%s.new.%d.%d", mf, os.Getpid(), atomic.AddUint64(&manifestTmpSeq, 1))
 		if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
 			return nil, fmt.Errorf("depot: %w", err)
 		}

@@ -50,9 +50,9 @@ func FlightTotal() uint64 { return flightRec.Total() }
 // the fleet could not produce its artifact. It lives here (rather
 // than on Dispatcher) because fallback is the caller's act: the
 // dispatcher only reports failure.
-func CountFallback(task string) {
+func CountFallback(task, trace string) {
 	mFallback.Inc()
-	flightRec.Record("fell-back", task, "", "")
+	flightRec.Record("fell-back", task, "", "", trace)
 }
 
 // ErrNoWorkers is returned by Do when every worker is down (or the
@@ -274,7 +274,7 @@ func (d *Dispatcher) Do(ctx context.Context, desc *Descriptor, tr *obs.Tracer) (
 	origin := t.origin
 	d.mu.Unlock()
 	mDispatched.Inc()
-	flightRec.Record("dispatched", t.label(), d.workerAddr(origin), "")
+	flightRec.Record("dispatched", t.label(), d.workerAddr(origin), "", t.desc.TraceID)
 	select {
 	case out := <-t.done:
 		return out.artifact, out.err
@@ -338,10 +338,15 @@ func (d *Dispatcher) enqueueLocked(t *task, avoid int) {
 
 // claimLocked hands worker wi its next task: the front of its own
 // queue, or — when that is empty — a steal from the back of the
-// longest other queue. A steal skips tasks whose last failed attempt
-// was on this worker: retry placed them elsewhere on purpose, and
-// snatching one back would burn its remaining attempts on the worker
-// already known to fail it. Returns nil when there is nothing to run.
+// longest other queue. Only strandable queues are victims: the owner
+// is down or all its slots are busy. An up worker with an idle slot
+// will claim its own queue imminently, so stealing from it just
+// reshuffles the task (and races the owner's first attempt — the
+// retry tests depend on a queued task reaching its owner). A steal
+// also skips tasks whose last failed attempt was on this worker:
+// retry placed them elsewhere on purpose, and snatching one back
+// would burn its remaining attempts on the worker already known to
+// fail it. Returns nil when there is nothing to run.
 func (d *Dispatcher) claimLocked(wi int) (*task, bool) {
 	w := d.workers[wi]
 	if !w.up {
@@ -356,6 +361,9 @@ func (d *Dispatcher) claimLocked(wi int) (*task, bool) {
 	for i, v := range d.workers {
 		if i == wi {
 			continue
+		}
+		if v.up && v.busy < d.opts.Slots {
+			continue // owner has an idle slot; it will claim this itself
 		}
 		idx := -1
 		for j := len(v.queue) - 1; j >= 0; j-- {
@@ -403,7 +411,7 @@ func (d *Dispatcher) pump(wi, slot int) {
 		d.mu.Unlock()
 		if stolen {
 			mStolen.Inc()
-			flightRec.Record("stolen", t.label(), d.workers[wi].addr, "")
+			flightRec.Record("stolen", t.label(), d.workers[wi].addr, "", t.desc.TraceID)
 		}
 		d.execute(wi, slot, t, stolen)
 		d.mu.Lock()
@@ -471,33 +479,33 @@ func (d *Dispatcher) execute(wi, slot int, t *task, stolen bool) {
 		// 4xx: the worker understood the request and refused it —
 		// every same-version worker would answer identically, so the
 		// failure is terminal and the caller runs the task locally.
-		flightRec.Record("rejected", t.label(), w.addr, resp.Status)
+		flightRec.Record("rejected", t.label(), w.addr, resp.Status, t.desc.TraceID)
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s rejected task: %s: %s", w.addr, resp.Status, firstLine(raw))}
 		return
 	}
 	var res Result
 	if err := json.Unmarshal(raw, &res); err != nil {
 		mBadArtifact.Inc()
-		flightRec.Record("bad-artifact", t.label(), w.addr, "corrupt reply")
+		flightRec.Record("bad-artifact", t.label(), w.addr, "corrupt reply", t.desc.TraceID)
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s: corrupt reply: %v", w.addr, err)}
 		return
 	}
 	if want := t.desc.Output.ID(); res.ID != want {
 		mBadArtifact.Inc()
-		flightRec.Record("bad-artifact", t.label(), w.addr, "wrong output key")
+		flightRec.Record("bad-artifact", t.label(), w.addr, "wrong output key", t.desc.TraceID)
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s answered key %.12s, want %.12s", w.addr, res.ID, want)}
 		return
 	}
 	if len(res.Artifact) == 0 || !json.Valid(res.Artifact) {
 		mBadArtifact.Inc()
-		flightRec.Record("bad-artifact", t.label(), w.addr, "corrupt artifact")
+		flightRec.Record("bad-artifact", t.label(), w.addr, "corrupt artifact", t.desc.TraceID)
 		t.done <- outcome{err: fmt.Errorf("fleet: worker %s returned a corrupt artifact", w.addr)}
 		return
 	}
 	d.recordSuccess(wi)
 	w.hist.ObserveDuration(rtt)
 	d.mergeWorkerSpans(wi, t, res, sendStartUS, rtt)
-	flightRec.Record("completed", t.label(), w.addr, "")
+	flightRec.Record("completed", t.label(), w.addr, "", t.desc.TraceID)
 	t.done <- outcome{artifact: res.Artifact}
 }
 
@@ -547,7 +555,7 @@ func (d *Dispatcher) retry(t *task, failedOn int, err error) {
 	}
 	d.mu.Unlock()
 	mRetried.Inc()
-	flightRec.Record("retried", t.label(), d.workerAddr(failedOn), firstLine([]byte(err.Error())))
+	flightRec.Record("retried", t.label(), d.workerAddr(failedOn), firstLine([]byte(err.Error())), t.desc.TraceID)
 	t.tr.Mark("retry", "fleet", 0, map[string]any{
 		"task": t.label(), "failed_on": d.workerAddr(failedOn), "attempt": t.attempts,
 	})
@@ -576,7 +584,7 @@ func (d *Dispatcher) recordFailure(wi int, err error) {
 		w.up = false
 		d.upCount--
 		mWorkersUp.Set(float64(d.upCount))
-		flightRec.Record("worker-down", "", w.addr, firstLine([]byte(err.Error())))
+		flightRec.Record("worker-down", "", w.addr, firstLine([]byte(err.Error())), "")
 		if d.upCount == 0 {
 			d.drainLocked(ErrNoWorkers)
 		}
@@ -647,7 +655,7 @@ func (d *Dispatcher) probeOne(wi int) {
 		w.lastErr = ""
 		d.upCount++
 		mWorkersUp.Set(float64(d.upCount))
-		flightRec.Record("worker-up", "", w.addr, "healthz recovered")
+		flightRec.Record("worker-up", "", w.addr, "healthz recovered", "")
 		d.cond.Broadcast()
 	case !ok && w.up:
 		if err != nil {
@@ -658,7 +666,7 @@ func (d *Dispatcher) probeOne(wi int) {
 		w.up = false
 		d.upCount--
 		mWorkersUp.Set(float64(d.upCount))
-		flightRec.Record("worker-down", "", w.addr, w.lastErr)
+		flightRec.Record("worker-down", "", w.addr, w.lastErr, "")
 		if d.upCount == 0 {
 			d.drainLocked(ErrNoWorkers)
 		}

@@ -13,6 +13,7 @@ import (
 
 var (
 	mWorkerTasks  = obs.NewCounter("fleet_worker_tasks_total", "task requests received by this worker")
+	mWorkerByKind = obs.NewCounterVec("fleet_worker_tasks_by_kind_total", "task requests received by this worker, by descriptor kind", "kind")
 	mWorkerErrors = obs.NewCounter("fleet_worker_task_errors_total", "task requests this worker failed or refused")
 	mWorkerExec   = obs.NewHistogram("fleet_worker_exec_seconds", "task execution latency on this worker", nil)
 )
@@ -51,6 +52,7 @@ func TaskHandler(exec ExecFunc) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		mWorkerByKind.With(desc.Kind).Inc()
 		var tr *obs.Tracer
 		if desc.TraceID != "" {
 			tr = obs.NewTracer()

@@ -13,6 +13,11 @@ type FlightEvent struct {
 	Task   string    `json:"task,omitempty"`
 	Worker string    `json:"worker,omitempty"`
 	Detail string    `json:"detail,omitempty"`
+	// Trace is the request trace id the event belongs to, so one
+	// request's flight can be filtered out of the shared ring
+	// (/debug/fleet?trace=<id>). Lifecycle events that belong to no
+	// request (worker-down, worker-up) leave it empty.
+	Trace string `json:"trace,omitempty"`
 }
 
 // FlightRecorder is a fixed-size ring buffer of FlightEvents — the
@@ -38,12 +43,14 @@ func NewFlightRecorder(n int) *FlightRecorder {
 	return &FlightRecorder{buf: make([]FlightEvent, 0, n)}
 }
 
-// Record appends one event, evicting the oldest when full.
-func (f *FlightRecorder) Record(kind, task, worker, detail string) {
+// Record appends one event, evicting the oldest when full. trace is
+// the request trace id the event belongs to ("" for events outside
+// any request).
+func (f *FlightRecorder) Record(kind, task, worker, detail, trace string) {
 	if f == nil {
 		return
 	}
-	e := FlightEvent{Time: time.Now(), Kind: kind, Task: task, Worker: worker, Detail: detail}
+	e := FlightEvent{Time: time.Now(), Kind: kind, Task: task, Worker: worker, Detail: detail, Trace: trace}
 	f.mu.Lock()
 	if len(f.buf) < cap(f.buf) {
 		f.buf = append(f.buf, e)

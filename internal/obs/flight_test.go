@@ -2,6 +2,8 @@ package obs
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 	"testing"
 )
 
@@ -13,7 +15,7 @@ func TestFlightRecorderRing(t *testing.T) {
 		t.Fatalf("fresh recorder has events: %+v", got)
 	}
 	for i := 0; i < 5; i++ {
-		f.Record("dispatched", fmt.Sprintf("task-%d", i), "w0", "")
+		f.Record("dispatched", fmt.Sprintf("task-%d", i), "w0", "", "")
 	}
 	got := f.Events()
 	if len(got) != 3 {
@@ -36,8 +38,8 @@ func TestFlightRecorderRing(t *testing.T) {
 // come back in insertion order without phantom zero entries.
 func TestFlightRecorderBelowCapacity(t *testing.T) {
 	f := NewFlightRecorder(8)
-	f.Record("dispatched", "a", "w0", "")
-	f.Record("completed", "a", "w0", "200")
+	f.Record("dispatched", "a", "w0", "", "")
+	f.Record("completed", "a", "w0", "200", "")
 	got := f.Events()
 	if len(got) != 2 || got[0].Kind != "dispatched" || got[1].Kind != "completed" {
 		t.Fatalf("events = %+v", got)
@@ -51,15 +53,70 @@ func TestFlightRecorderBelowCapacity(t *testing.T) {
 // below one is raised to one.
 func TestFlightRecorderNilAndTiny(t *testing.T) {
 	var f *FlightRecorder
-	f.Record("dispatched", "a", "w0", "")
+	f.Record("dispatched", "a", "w0", "", "")
 	if f.Events() != nil || f.Total() != 0 {
 		t.Fatal("nil recorder not a no-op")
 	}
 	tiny := NewFlightRecorder(0)
-	tiny.Record("a", "", "", "")
-	tiny.Record("b", "", "", "")
+	tiny.Record("a", "", "", "", "")
+	tiny.Record("b", "", "", "", "")
 	got := tiny.Events()
 	if len(got) != 1 || got[0].Kind != "b" {
 		t.Fatalf("tiny recorder events = %+v", got)
+	}
+}
+
+// TestFlightRecorderConcurrentWraparound: many writers wrapping a
+// small ring must stay race-clean and evict oldest-first. Each
+// goroutine writes an increasing sequence; because the ring evicts in
+// insertion order, the retained events of any one goroutine must be a
+// contiguous suffix of its sequence ending at its last write.
+func TestFlightRecorderConcurrentWraparound(t *testing.T) {
+	const (
+		ring       = 64
+		goroutines = 8
+		perG       = 100
+	)
+	f := NewFlightRecorder(ring)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; seq < perG; seq++ {
+				f.Record("dispatched", fmt.Sprintf("g%d", g), "w0", fmt.Sprintf("%d", seq), "t1")
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := f.Total(); got != goroutines*perG {
+		t.Fatalf("Total = %d, want %d", got, goroutines*perG)
+	}
+	events := f.Events()
+	if len(events) != ring {
+		t.Fatalf("retained %d events, ring holds %d", len(events), ring)
+	}
+	seqs := map[string][]int{}
+	for _, e := range events {
+		if e.Trace != "t1" {
+			t.Fatalf("event lost its trace id: %+v", e)
+		}
+		n, err := strconv.Atoi(e.Detail)
+		if err != nil {
+			t.Fatalf("bad detail %q", e.Detail)
+		}
+		seqs[e.Task] = append(seqs[e.Task], n)
+	}
+	for task, s := range seqs {
+		for i := 1; i < len(s); i++ {
+			if s[i] != s[i-1]+1 {
+				t.Fatalf("%s: retained seqs not a contiguous suffix (oldest not evicted first): %v", task, s)
+			}
+		}
+		if s[len(s)-1] != perG-1 {
+			t.Fatalf("%s: newest write evicted before older ones: %v", task, s)
+		}
 	}
 }

@@ -240,6 +240,46 @@ func (v *GaugeVec) snapshot() ([]string, map[string]*Gauge) {
 	return vals, out
 }
 
+// CounterVec is a family of counters split by one label — the
+// scheduler's per-reason cache-decision counters, for example.
+// Children render as name{label="value"} sample lines, sorted by
+// label value.
+type CounterVec struct {
+	label    string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for one label value, creating it if
+// needed.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// snapshot returns the child label values (sorted) and counters.
+func (v *CounterVec) snapshot() ([]string, map[string]*Counter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.children))
+	out := make(map[string]*Counter, len(v.children))
+	for val, c := range v.children {
+		vals = append(vals, val)
+		out[val] = c
+	}
+	sort.Strings(vals)
+	return vals, out
+}
+
 // HistogramVec is a family of histograms split by one label — the
 // fleet's per-worker task latencies, for example. Children render as
 // name_bucket{label="value",le="bound"} series, sorted by label value.
@@ -292,6 +332,7 @@ type family struct {
 	name, help, kind string
 
 	counter      *Counter
+	counterVec   *CounterVec
 	gauge        *Gauge
 	gaugeFn      func() float64
 	gaugeVec     *GaugeVec
@@ -336,7 +377,25 @@ func (r *Registry) lookup(name, help, kind string, mk func(*family)) *family {
 // Counter returns the counter registered under name, creating it if
 // needed.
 func (r *Registry) Counter(name, help string) *Counter {
-	return r.lookup(name, help, kindCounter, func(f *family) { f.counter = &Counter{} }).counter
+	f := r.lookup(name, help, kindCounter, func(f *family) { f.counter = &Counter{} })
+	if f.counter == nil {
+		panic(fmt.Sprintf("obs: metric %s re-registered as plain counter (was labeled)", name))
+	}
+	return f.counter
+}
+
+// CounterVec returns the labeled counter family registered under name,
+// creating it with the given label name if needed. Registering a name
+// already held by a plain counter (or vice versa) panics — mixing
+// labeled and unlabeled samples in one family is malformed exposition.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	f := r.lookup(name, help, kindCounter, func(f *family) {
+		f.counterVec = &CounterVec{label: label, children: map[string]*Counter{}}
+	})
+	if f.counterVec == nil {
+		panic(fmt.Sprintf("obs: metric %s re-registered as labeled counter (was plain)", name))
+	}
+	return f.counterVec
 }
 
 // Gauge returns the gauge registered under name, creating it if
@@ -415,6 +474,12 @@ func MakeHistogram(buckets []float64) *Histogram {
 
 // NewCounter registers a counter in the Default registry.
 func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// NewCounterVec registers a labeled counter family in the Default
+// registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return Default.CounterVec(name, help, label)
+}
 
 // NewGauge registers a gauge in the Default registry.
 func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
@@ -495,6 +560,11 @@ func (r *Registry) WritePrometheusFiltered(w io.Writer, keep func(name string) b
 		switch {
 		case f.counter != nil:
 			fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.counter.Value()))
+		case f.counterVec != nil:
+			vals, children := f.counterVec.snapshot()
+			for _, v := range vals {
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", f.name, f.counterVec.label, v, formatFloat(children[v].Value()))
+			}
 		case f.gaugeFn != nil:
 			fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
 		case f.gaugeVec != nil:
@@ -553,6 +623,11 @@ func (r *Registry) Snapshot() map[string]float64 {
 		switch {
 		case f.counter != nil:
 			out[f.name] = f.counter.Value()
+		case f.counterVec != nil:
+			vals, children := f.counterVec.snapshot()
+			for _, v := range vals {
+				out[fmt.Sprintf("%s{%s=%q}", f.name, f.counterVec.label, v)] = children[v].Value()
+			}
 		case f.gaugeFn != nil:
 			out[f.name] = f.gaugeFn()
 		case f.gaugeVec != nil:

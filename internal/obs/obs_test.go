@@ -337,3 +337,55 @@ func TestGaugeVecExposition(t *testing.T) {
 	var g *Gauge = r.Gauge("gv_shard_bytes", "bytes per shard")
 	_ = g
 }
+
+// TestCounterVecExposition: a labeled counter family renders one
+// sample per label value, sorted, parses with the repo's own parser,
+// and lands in Snapshot under name{label="value"} keys.
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("cv_decisions_total", "cache decisions by reason", "reason")
+	vec.With("new").Add(3)
+	vec.With("hit").Add(7)
+	if got := r.CounterVec("cv_decisions_total", "cache decisions by reason", "reason"); got != vec {
+		t.Fatal("re-registration returned a different vec")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	i0 := strings.Index(text, `cv_decisions_total{reason="hit"} 7`)
+	i1 := strings.Index(text, `cv_decisions_total{reason="new"} 3`)
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Fatalf("labeled samples missing or unsorted:\n%s", text)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("labeled exposition does not parse: %v\n%s", err, text)
+	}
+	f := fams["cv_decisions_total"]
+	if f == nil || f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("cv_decisions_total parsed wrong: %+v", f)
+	}
+	for _, s := range f.Samples {
+		if s.Labels["reason"] == "" {
+			t.Fatalf("sample lost its label: %+v", s)
+		}
+	}
+
+	snap := r.Snapshot()
+	if snap[`cv_decisions_total{reason="hit"}`] != 7 || snap[`cv_decisions_total{reason="new"}`] != 3 {
+		t.Fatalf("snapshot keys wrong: %v", snap)
+	}
+
+	// Mixing a plain counter into a labeled family is a programming
+	// error and must panic, like any kind mismatch.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("plain Counter on a labeled family did not panic")
+		}
+	}()
+	var c *Counter = r.Counter("cv_decisions_total", "cache decisions by reason")
+	_ = c
+}

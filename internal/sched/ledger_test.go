@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+
+	"flashmc/internal/cc/token"
+	"flashmc/internal/depot"
+	"flashmc/internal/engine"
+)
+
+// TestRunLedger: entries append in order, round-trip by id, and
+// DiffRuns attributes appeared/disappeared reports and perf deltas.
+func TestRunLedger(t *testing.T) {
+	d, err := depot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := func(msg string) engine.Report {
+		return engine.Report{SM: "lock", Rule: "double-lock", Fn: "f", Msg: msg,
+			Trace: engine.Witness(token.Pos{}, "lock", msg)}
+	}
+	a := &RunEntry{RequestFP: "req", ProgramFP: "prog", ReportHash: "h1",
+		Reports: []engine.Report{rep("one"), rep("two")},
+		Hits:    3, Misses: 1, ElapsedUS: 100,
+		Decisions: map[string]int{DecisionHit: 3, DecisionNew: 1}}
+	if err := AppendRun(d, a); err != nil {
+		t.Fatal(err)
+	}
+	b := &RunEntry{RequestFP: "req", ProgramFP: "prog", ReportHash: "h2",
+		Reports: []engine.Report{rep("two"), rep("three")},
+		Hits:    4, Misses: 0, ElapsedUS: 60,
+		Decisions: map[string]int{DecisionHit: 4}}
+	if err := AppendRun(d, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == "" || b.ID == "" || a.ID == b.ID {
+		t.Fatalf("ids not assigned uniquely: %q %q", a.ID, b.ID)
+	}
+
+	ids := ListRuns(d)
+	if len(ids) != 2 || ids[0] != a.ID || ids[1] != b.ID {
+		t.Fatalf("index wrong: %v", ids)
+	}
+	got, ok := GetRun(d, a.ID)
+	if !ok || got.ReportHash != "h1" || len(got.Reports) != 2 {
+		t.Fatalf("entry round-trip wrong: %+v", got)
+	}
+	if line := got.DecisionLine(); line != "hit=3 new=1 vb=0 oc=0 dep=0 ev=0" {
+		t.Fatalf("decision line wrong: %q", line)
+	}
+
+	diff := DiffRuns(a, b)
+	if diff.Identical || !diff.SameRequest {
+		t.Fatalf("diff flags wrong: %+v", diff)
+	}
+	if len(diff.Appeared) != 1 || diff.Appeared[0].Msg != "three" {
+		t.Fatalf("appeared wrong: %+v", diff.Appeared)
+	}
+	if len(diff.Disappeared) != 1 || diff.Disappeared[0].Msg != "one" {
+		t.Fatalf("disappeared wrong: %+v", diff.Disappeared)
+	}
+	if diff.ElapsedDeltaUS != -40 || diff.HitDelta != 1 || diff.MissDelta != -1 {
+		t.Fatalf("perf deltas wrong: %+v", diff)
+	}
+	if len(diff.Appeared[0].Trace) == 0 {
+		t.Fatal("diff lost the witness trace")
+	}
+
+	// Identical runs diff empty.
+	self := DiffRuns(b, b)
+	if !self.Identical || len(self.Appeared)+len(self.Disappeared) != 0 {
+		t.Fatalf("self-diff not empty: %+v", self)
+	}
+}

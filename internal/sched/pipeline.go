@@ -134,12 +134,39 @@ type Stats struct {
 	// GlobalReruns counts whole-program passes that missed (they
 	// re-run on any program change and are not per-function work).
 	GlobalReruns int
+	// Decisions breaks the depot lookups down by cache-decision
+	// reason (DecisionHit, DecisionNew, ...). The values sum to
+	// CacheHits + CacheMisses.
+	Decisions map[string]int
+	// TaskDurations holds each executed task body's wall time; the
+	// run ledger derives timing quantiles from it.
+	TaskDurations []time.Duration
+}
+
+// ArtifactRef ties a run's reports back to the depot artifact that
+// produced them, so a report can be explained offline: GetProv on
+// Key names the producer, checker version, inputs and cost.
+type ArtifactRef struct {
+	// Task is the scheduler task that loaded or computed the
+	// artifact.
+	Task string
+	// Key addresses the artifact (and its provenance sidecar).
+	Key depot.Key
+	// Decision is the task's cache decision this run.
+	Decision string
 }
 
 // Result is the outcome of one Check call.
 type Result struct {
 	Reports []engine.Report
-	Stats   Stats
+	// RefIdx is parallel to Reports: the index into Artifacts of the
+	// artifact each report came from, or -1 for reports synthesized
+	// outside any artifact (link errors).
+	RefIdx []int
+	// Artifacts lists the report-producing artifacts the run touched,
+	// in assembly order.
+	Artifacts []ArtifactRef
+	Stats     Stats
 }
 
 // Analyzer executes requests through the scheduler with a depot
@@ -168,23 +195,36 @@ type Analyzer struct {
 
 // runState accumulates one Check call's cache traffic.
 type runState struct {
+	d          *depot.Depot
 	mu         sync.Mutex
 	hits       int
 	misses     int
+	decisions  map[string]int
 	reanalyzed map[string]bool
 	globals    int
 }
 
-func (rs *runState) lookup(d *depot.Depot, key depot.Key, v any) bool {
-	ok := d.GetJSON(key, v)
+// lookup resolves key and classifies the cache decision for the task
+// identified by (checker, identity). On a miss the task's marker is
+// rewritten to the new key, so the *next* run's miss (if any) can be
+// attributed; a warm run writes nothing.
+func (rs *runState) lookup(checker, identity string, key depot.Key, v any) (bool, string) {
+	ok := rs.d.GetJSON(key, v)
+	reason := DecisionHit
+	if !ok {
+		reason = classifyMiss(rs.d, checker, identity, key)
+		writeMarker(rs.d, checker, identity, key)
+	}
+	decisionCounts.With(reason).Inc()
 	rs.mu.Lock()
 	if ok {
 		rs.hits++
 	} else {
 		rs.misses++
 	}
+	rs.decisions[reason]++
 	rs.mu.Unlock()
-	return ok
+	return ok, reason
 }
 
 func (rs *runState) markFn(name string) {
@@ -215,7 +255,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		d, _ = depot.Open("")
 	}
 	p := req.Prog
-	rs := &runState{reanalyzed: map[string]bool{}}
+	rs := &runState{d: d, reanalyzed: map[string]bool{}, decisions: map[string]int{}}
 
 	fps, progFP := req.Fingerprints, req.ProgramFP
 	if len(fps) != len(p.Fns) || progFP == "" {
@@ -269,9 +309,12 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 			sumIDs = append(sumIDs, id)
 			key := depot.Key{Kind: "summary", Source: fps[i], Checker: "lanes",
 				Version: lanesVersion, Options: lanesOptions}
-			tasks = append(tasks, &Task{ID: id, Run: func() error {
+			t := &Task{ID: id}
+			t.Run = func() error {
 				var s global.Summary
-				if rs.lookup(d, key, &s) {
+				ok, reason := rs.lookup("lanes", "sum:"+p.Fns[i].Name, key, &s)
+				t.Annotate("cache", reason)
+				if ok {
 					summaries[i] = &s
 					return nil
 				}
@@ -285,9 +328,16 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 						return nil
 					}
 				}
+				t0 := time.Now()
 				summaries[i] = global.FromCFG(p.Graphs[i], checkers.LaneAnnotator)
-				return d.PutJSON(key, summaries[i])
-			}})
+				if err := d.PutJSON(key, summaries[i]); err != nil {
+					return err
+				}
+				_ = d.PutProv(key, &depot.Provenance{Producer: localProducer,
+					TraceID: req.TraceID, WallUS: time.Since(t0).Microseconds()})
+				return nil
+			}
+			tasks = append(tasks, t)
 		}
 	}
 
@@ -304,24 +354,33 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		}})
 	}
 
-	// Per-job result slots, assembled in job order after the run.
+	// Per-job result slots, assembled in job order after the run. The
+	// ref slots record which artifact each slot's reports came from
+	// (each task writes only its own index, so no locking).
 	smResults := make([][][]engine.Report, len(req.Jobs))
 	globalResults := make([][]engine.Report, len(req.Jobs))
 	laneResults := make([]*laneSlot, len(req.Jobs))
+	smRefs := make([][]ArtifactRef, len(req.Jobs))
+	globalRefs := make([]ArtifactRef, len(req.Jobs))
 
 	for ji, job := range req.Jobs {
 		ji, job := ji, job
 		switch {
 		case job.SM != nil:
 			smResults[ji] = make([][]engine.Report, len(p.Fns))
+			smRefs[ji] = make([]ArtifactRef, len(p.Fns))
 			for i := range p.Fns {
 				i := i
 				key := depot.Key{Kind: reportsKind, Source: fps[i], Checker: job.Name,
 					Version: job.Version, Options: job.Options}
 				id := fmt.Sprintf("sm:%d:%d", ji, i)
-				tasks = append(tasks, &Task{ID: id, Run: func() error {
+				t := &Task{ID: id}
+				t.Run = func() error {
 					var cached artifact
-					if rs.lookup(d, key, &cached) {
+					ok, reason := rs.lookup(job.Name, "sm:"+p.Fns[i].Name, key, &cached)
+					t.Annotate("cache", reason)
+					smRefs[ji][i] = ArtifactRef{Task: id, Key: key, Decision: reason}
+					if ok {
 						smResults[ji][i] = cached.Reports
 						a.recordCoverage(job.Name, cached.Coverage)
 						return nil
@@ -337,12 +396,19 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 							return nil
 						}
 					}
+					t0 := time.Now()
 					reports, cov := engine.RunCov(p.Graphs[i], job.SM)
 					smResults[ji][i] = reports
 					art := mkArtifact(reports, cov)
 					a.recordCoverage(job.Name, art.Coverage)
-					return d.PutJSON(key, art)
-				}})
+					if err := d.PutJSON(key, art); err != nil {
+						return err
+					}
+					_ = d.PutProv(key, &depot.Provenance{Producer: localProducer,
+						TraceID: req.TraceID, WallUS: time.Since(t0).Microseconds()})
+					return nil
+				}
+				tasks = append(tasks, t)
 			}
 
 		case job.Lanes:
@@ -354,13 +420,17 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 			for _, h := range slot.handlers {
 				h := h
 				id := fmt.Sprintf("lanes:%d:%s", ji, h)
-				tasks = append(tasks, &Task{ID: id, Deps: []string{"link"}, Run: func() error {
+				t := &Task{ID: id, Deps: []string{"link"}}
+				t.Run = func() error {
 					reach := linked.Reachable([]string{h})
 					key := depot.Key{Kind: reportsKind,
 						Source:  reachFingerprint(h, reach, fpByFn),
 						Checker: job.Name, Version: job.Version, Options: job.Options}
 					var cached artifact
-					if rs.lookup(d, key, &cached) {
+					ok, reason := rs.lookup(job.Name, "lanes:"+h, key, &cached)
+					t.Annotate("cache", reason)
+					slot.setRef(h, ArtifactRef{Task: id, Key: key, Decision: reason})
+					if ok {
 						slot.set(h, cached.Reports)
 						a.recordCoverage(job.Name, cached.Coverage)
 						return nil
@@ -376,21 +446,34 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 						}
 					}
 					one := &flash.Spec{Hardware: []string{h}, Allowance: specAllowance(req.Spec)}
+					t0 := time.Now()
 					got, cov := checkers.CheckLanesCov(linked, one)
 					slot.set(h, got)
 					art := mkArtifact(got, cov)
 					a.recordCoverage(job.Name, art.Coverage)
-					return d.PutJSON(key, art)
-				}})
+					if err := d.PutJSON(key, art); err != nil {
+						return err
+					}
+					_ = d.PutProv(key, &depot.Provenance{
+						Deps:     summaryDepKeys(reach, fpByFn, job.Version, job.Options),
+						Producer: localProducer, TraceID: req.TraceID,
+						WallUS: time.Since(t0).Microseconds()})
+					return nil
+				}
+				tasks = append(tasks, t)
 			}
 
 		case job.Run != nil || job.RunCov != nil:
 			key := depot.Key{Kind: reportsKind, Source: progFP, Checker: job.Name,
 				Version: job.Version, Options: job.Options}
 			id := fmt.Sprintf("glob:%d", ji)
-			tasks = append(tasks, &Task{ID: id, Run: func() error {
+			t := &Task{ID: id}
+			t.Run = func() error {
 				var cached artifact
-				if rs.lookup(d, key, &cached) {
+				ok, reason := rs.lookup(job.Name, "glob", key, &cached)
+				t.Annotate("cache", reason)
+				globalRefs[ji] = ArtifactRef{Task: id, Key: key, Decision: reason}
+				if ok {
 					globalResults[ji] = cached.Reports
 					a.recordCoverage(job.Name, cached.Coverage)
 					return nil
@@ -405,6 +488,7 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 						return nil
 					}
 				}
+				t0 := time.Now()
 				var covs []*engine.Coverage
 				if job.RunCov != nil {
 					globalResults[ji], covs = job.RunCov(p)
@@ -413,8 +497,14 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 				}
 				art := mkArtifact(globalResults[ji], covs...)
 				a.recordCoverage(job.Name, art.Coverage)
-				return d.PutJSON(key, art)
-			}})
+				if err := d.PutJSON(key, art); err != nil {
+					return err
+				}
+				_ = d.PutProv(key, &depot.Provenance{Producer: localProducer,
+					TraceID: req.TraceID, WallUS: time.Since(t0).Microseconds()})
+				return nil
+			}
+			tasks = append(tasks, t)
 
 		default:
 			return nil, fmt.Errorf("sched: job %s: no SM, Run, RunCov, or Lanes", job.Name)
@@ -430,27 +520,35 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 	// the same order direct execution produces, so warm and cold runs
 	// render identically.
 	res := &Result{}
+	addFrom := func(ref ArtifactRef, reps []engine.Report) {
+		res.Artifacts = append(res.Artifacts, ref)
+		for range reps {
+			res.RefIdx = append(res.RefIdx, len(res.Artifacts)-1)
+		}
+		res.Reports = append(res.Reports, reps...)
+	}
 	for ji, job := range req.Jobs {
 		switch {
 		case job.SM != nil:
-			for _, reps := range smResults[ji] {
-				res.Reports = append(res.Reports, reps...)
+			for i, reps := range smResults[ji] {
+				addFrom(smRefs[ji][i], reps)
 			}
 		case job.Lanes:
 			slot := laneResults[ji]
 			for _, h := range slot.handlers {
-				res.Reports = append(res.Reports, slot.reports[h]...)
+				addFrom(slot.refs[h], slot.reports[h])
 			}
 			for _, e := range linkErrs {
 				res.Reports = append(res.Reports, engine.Report{SM: job.Name, Rule: "link", Msg: e.Error(),
 					Trace: engine.Witness(token.Pos{}, "link", e.Error())})
+				res.RefIdx = append(res.RefIdx, -1)
 			}
 			// Link runs live on every call (it is the barrier, never
 			// cached), so its coverage is recorded here identically on
 			// warm and cold paths.
 			a.Coverage.Record(job.Name, checkers.LinkCoverage(len(linkErrs)))
 		case job.Run != nil || job.RunCov != nil:
-			res.Reports = append(res.Reports, globalResults[ji]...)
+			addFrom(globalRefs[ji], globalResults[ji])
 		}
 	}
 
@@ -464,6 +562,8 @@ func (a *Analyzer) Check(req Request) (*Result, error) {
 		CacheHits:     rs.hits,
 		CacheMisses:   rs.misses,
 		GlobalReruns:  rs.globals,
+		Decisions:     rs.decisions,
+		TaskDurations: stats.Durations,
 	}
 	for fn := range rs.reanalyzed {
 		res.Stats.Reanalyzed = append(res.Stats.Reanalyzed, fn)
@@ -483,17 +583,27 @@ func (a *Analyzer) recordCoverage(checker string, covs []*engine.Coverage) {
 	}
 }
 
-// laneSlot collects one lane job's per-handler reports; tasks write
-// concurrently.
+// laneSlot collects one lane job's per-handler reports and artifact
+// refs; tasks write concurrently.
 type laneSlot struct {
 	l        sync.Mutex
 	handlers []string
 	reports  map[string][]engine.Report
+	refs     map[string]ArtifactRef
 }
 
 func (s *laneSlot) set(h string, r []engine.Report) {
 	s.l.Lock()
 	s.reports[h] = r
+	s.l.Unlock()
+}
+
+func (s *laneSlot) setRef(h string, ref ArtifactRef) {
+	s.l.Lock()
+	if s.refs == nil {
+		s.refs = map[string]ArtifactRef{}
+	}
+	s.refs[h] = ref
 	s.l.Unlock()
 }
 

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"flashmc/internal/cc/cpp"
 	"flashmc/internal/checkers"
@@ -59,6 +60,9 @@ func PutBundle(d *depot.Depot, srcHash string, files map[string]string, roots []
 type Executor struct {
 	Depot    *depot.Depot
 	Programs *ProgramCache
+	// Producer identifies this worker in provenance records (its
+	// listen address); empty falls back to the local pid form.
+	Producer string
 
 	mu     sync.Mutex
 	linked map[string]*global.Program // srcHash -> linked call graph
@@ -138,9 +142,10 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor, tr *obs.
 			return nil, err
 		}
 		rsp := tr.StartSpan("run", 0)
+		t0 := time.Now()
 		sum := global.FromCFG(p.Graphs[desc.FnIndex], checkers.LaneAnnotator)
 		rsp.End()
-		return e.put(tr, desc, sum)
+		return e.put(tr, desc, sum, t0, nil)
 
 	case fleet.KindSM:
 		if err := e.checkFn(cp, desc); err != nil {
@@ -154,9 +159,10 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor, tr *obs.
 			return nil, reject("options %.12s, worker computes %.12s", desc.Output.Options, opts)
 		}
 		rsp := tr.StartSpan("run", 0)
+		t0 := time.Now()
 		reports, cov := engine.RunCov(p.Graphs[desc.FnIndex], sm)
 		rsp.End()
-		return e.put(tr, desc, mkArtifact(reports, cov))
+		return e.put(tr, desc, mkArtifact(reports, cov), t0, nil)
 
 	case fleet.KindGlobal:
 		if cp.ProgramFP != desc.Output.Source {
@@ -180,13 +186,14 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor, tr *obs.
 			covs    []*engine.Coverage
 		)
 		rsp := tr.StartSpan("run", 0)
+		t0 := time.Now()
 		if prov, ok := chk.(checkers.CoverageProvider); ok {
 			reports, covs = prov.CheckCov(p, b.Spec)
 		} else {
 			reports = chk.Check(p, b.Spec)
 		}
 		rsp.End()
-		return e.put(tr, desc, mkArtifact(reports, covs...))
+		return e.put(tr, desc, mkArtifact(reports, covs...), t0, nil)
 
 	case fleet.KindLanes:
 		if err := e.checkLanesIdentity(desc, desc.SpecOpt); err != nil {
@@ -205,9 +212,11 @@ func (e *Executor) Execute(ctx context.Context, desc *fleet.Descriptor, tr *obs.
 		}
 		one := &flash.Spec{Hardware: []string{desc.Handler}, Allowance: specAllowance(b.Spec)}
 		rsp := tr.StartSpan("run", 0)
+		t0 := time.Now()
 		got, cov := checkers.CheckLanesCov(linked, one)
 		rsp.End()
-		return e.put(tr, desc, mkArtifact(got, cov))
+		return e.put(tr, desc, mkArtifact(got, cov), t0,
+			summaryDepKeys(reach, fpByFn, desc.CheckerVersion, desc.Output.Options))
 	}
 	return nil, reject("unknown task kind %q", desc.Kind)
 }
@@ -307,7 +316,9 @@ func (e *Executor) link(srcHash string, p *core.Program) *global.Program {
 
 // put stores v under the descriptor's output key and returns the
 // exact bytes stored, so the dispatcher's copy and the depot's agree.
-func (e *Executor) put(tr *obs.Tracer, desc *fleet.Descriptor, v any) ([]byte, error) {
+// A provenance sidecar naming this worker, the request's trace and
+// the compute cost (wall time since t0) is written beside it.
+func (e *Executor) put(tr *obs.Tracer, desc *fleet.Descriptor, v any, t0 time.Time, deps []string) ([]byte, error) {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return nil, reject("marshal artifact: %v", err)
@@ -318,6 +329,13 @@ func (e *Executor) put(tr *obs.Tracer, desc *fleet.Descriptor, v any) ([]byte, e
 	if err != nil {
 		return nil, fmt.Errorf("sched: store artifact: %w", err)
 	}
+	producer := e.Producer
+	if producer == "" {
+		producer = localProducer
+	}
+	_ = e.Depot.PutProv(desc.Output, &depot.Provenance{Deps: deps,
+		Producer: producer, TraceID: desc.TraceID,
+		WallUS: time.Since(t0).Microseconds()})
 	return raw, nil
 }
 
@@ -354,7 +372,7 @@ func (rr *remoteRun) artifactTask(d *fleet.Descriptor) *artifact {
 			return &art
 		}
 	}
-	fleet.CountFallback(d.ParentSpan)
+	fleet.CountFallback(d.ParentSpan, d.TraceID)
 	return nil
 }
 
@@ -368,7 +386,7 @@ func (rr *remoteRun) summaryTask(d *fleet.Descriptor) *global.Summary {
 			return &s
 		}
 	}
-	fleet.CountFallback(d.ParentSpan)
+	fleet.CountFallback(d.ParentSpan, d.TraceID)
 	return nil
 }
 

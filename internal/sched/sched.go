@@ -39,6 +39,20 @@ type Task struct {
 	// enqueuedAt stamps when the task became ready, for queue-wait
 	// accounting.
 	enqueuedAt time.Time
+	// args are trace-span annotations attached by the task body (via
+	// Annotate) and emitted on the task's span when Run returns — the
+	// pipeline stamps each task's cache decision this way.
+	args map[string]any
+}
+
+// Annotate attaches a key/value to the task's trace span. It is only
+// safe to call from within the task's own Run (the runner reads the
+// annotations after Run returns, on the same goroutine).
+func (t *Task) Annotate(key string, v any) {
+	if t.args == nil {
+		t.args = map[string]any{}
+	}
+	t.args[key] = v
 }
 
 // RunStats describes one scheduler run.
@@ -52,6 +66,10 @@ type RunStats struct {
 	TaskTime time.Duration
 	// QueueWait is the summed time tasks spent ready but unclaimed.
 	QueueWait time.Duration
+	// Durations holds each executed task body's wall time, in no
+	// particular order; the run ledger derives timing quantiles from
+	// it.
+	Durations []time.Duration
 }
 
 var (
@@ -199,6 +217,9 @@ func RunTraced(workers int, tracer *obs.Tracer, tasks []*Task) (RunStats, error)
 				start := time.Now()
 				err := t.Run()
 				dur := time.Since(start)
+				for k, v := range t.args {
+					sp.Arg(k, v)
+				}
 				sp.End()
 				mTasks.Inc()
 				mTaskSecs.ObserveDuration(dur)
@@ -206,6 +227,7 @@ func RunTraced(workers int, tracer *obs.Tracer, tasks []*Task) (RunStats, error)
 				stats.Tasks++
 				stats.TaskTime += dur
 				stats.QueueWait += wait
+				stats.Durations = append(stats.Durations, dur)
 				finish(t, err)
 				mu.Unlock()
 			}
