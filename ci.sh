@@ -30,6 +30,29 @@ for proto in bitvector dyn_ptr sci coma rac common; do
     cmp "$tmp/cold.$proto" "$tmp/warm.$proto"
 done
 
+# Fused-checking gate: the product automaton (-fused) walks each
+# function once for all nine checkers, so (a) its report stream must be
+# byte-identical to the sequential engine's over every protocol, (b) a
+# fused warm run over the sequential depot above must replay the cold
+# bytes (de-fused artifact keys make the caches interchangeable), and
+# (c) the fused walk must touch strictly fewer CFG nodes than nine
+# sequential walks — otherwise the fusion silently degenerated into
+# per-checker runs and the gate is vacuous.
+for proto in bitvector dyn_ptr sci coma rac common; do
+    "$tmp/mcheck" -flash -stats "$tmp/corpus/$proto"/*.c \
+        > "$tmp/fseq.$proto" 2> "$tmp/fseq-stats.$proto" || true
+    "$tmp/mcheck" -flash -fused -stats "$tmp/corpus/$proto"/*.c \
+        > "$tmp/ffus.$proto" 2> "$tmp/ffus-stats.$proto" || true
+    cmp "$tmp/fseq.$proto" "$tmp/ffus.$proto"
+    "$tmp/mcheck" -flash -fused -cache "$tmp/depot" "$tmp/corpus/$proto"/*.c \
+        > "$tmp/ffus-warm.$proto" || true
+    cmp "$tmp/cold.$proto" "$tmp/ffus-warm.$proto"
+done
+seq_visits=$(awk '$1=="engine_node_visits_total"{s+=$2} END{printf "%.0f", s}' "$tmp"/fseq-stats.*)
+fus_visits=$(awk '$1=="engine_node_visits_total"{s+=$2} END{printf "%.0f", s}' "$tmp"/ffus-stats.*)
+echo "fused gate: node visits sequential=$seq_visits fused=$fus_visits"
+test "$fus_visits" -lt "$seq_visits"
+
 # Depot-churn gate: fill a tiny sharded depot past its byte budget and
 # let LRU eviction run between a cold and a warm pass of every
 # protocol. Evicted artifacts recompute, surviving ones replay, and
@@ -161,7 +184,7 @@ test "$(wc -l < "$tmp/prov-runs.txt")" -eq 2
 cold_id=$(sed -n '1s/ .*//p' "$tmp/prov-runs.txt")
 warm_id=$(sed -n '2s/ .*//p' "$tmp/prov-runs.txt")
 grep -q "hit=0 " "$tmp/prov-runs.txt"            # cold line: no hits
-sed -n 2p "$tmp/prov-runs.txt" | grep -q " new=0 vb=0 oc=0 dep=0 ev=0 "
+sed -n 2p "$tmp/prov-runs.txt" | grep -q " new=0 vb=0 oc=0 dep=0 ev=0 rem=0"
 "$tmp/mcheck" -cache "$tmp/prov-depot" -diff "$cold_id,$warm_id" \
     > "$tmp/prov-diff.out" 2> "$tmp/prov-diff.err"
 cat "$tmp/prov-diff.err"
@@ -171,15 +194,18 @@ test ! -s "$tmp/prov-diff.out"
 cmp "$tmp/prov-cold.out" "$tmp/prov-salt.out"
 "$tmp/mcheck" -cache "$tmp/prov-depot" -runs | sed -n 3p | tee "$tmp/prov-salt-line.txt"
 grep -q " hit=0 new=0 " "$tmp/prov-salt-line.txt"
-grep -q " oc=0 dep=0 ev=0 " "$tmp/prov-salt-line.txt"
+grep -q " oc=0 dep=0 ev=0 rem=0" "$tmp/prov-salt-line.txt"
 ! grep -q " vb=0 " "$tmp/prov-salt-line.txt"
 # -explain must name a producer and checker version for a warm report.
 "$tmp/mcheck" -flash -cache "$tmp/prov-depot" -explain "$tmp/corpus/sci"/*.c \
     > /dev/null 2> "$tmp/prov-explain.txt" || true
 grep -q "producer=pid:" "$tmp/prov-explain.txt"
 grep -q "decision=hit" "$tmp/prov-explain.txt"
-# The bench trajectory must be appendable: one more entry than committed.
-base_entries=$(grep -c '"unix"' BENCH_PR9.json)
-cp BENCH_PR9.json "$tmp/traj.json"
+# The bench trajectory must be appendable: one more entry than
+# committed, and the appended entry must carry the fused-vs-sequential
+# comparison with identical report streams.
+base_entries=$(grep -c '"unix"' BENCH_PR10.json)
+cp BENCH_PR10.json "$tmp/traj.json"
 go run ./cmd/paperbench -append "$tmp/traj.json"
 test "$(grep -c '"unix"' "$tmp/traj.json")" -eq "$((base_entries + 1))"
+test "$(grep -c '"identical": true' "$tmp/traj.json")" -eq "$((base_entries + 1))"

@@ -52,6 +52,13 @@ type benchResult struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	ConfigsExplored float64 `json:"configs_explored"`
 	RulesFired      float64 `json:"rules_fired"`
+	// Fused is the fused-vs-sequential comparison: the product
+	// automaton must reproduce the sequential suite byte-identically
+	// while sweeping each node a fraction of the times. Omitted in
+	// baselines that predate it (the gate ignores it). These fields
+	// are additive, so bench_schema stays at 1.
+	Fused           *paper.FusedComparison `json:"fused,omitempty"`
+	FusedVisitRatio float64                `json:"fused_visit_ratio,omitempty"`
 }
 
 // trajectoryEntry is one row of a -append trajectory file: a bench
@@ -148,6 +155,28 @@ func main() {
 	var bench benchResult
 	if *jsonOut || *benchOut != "" || *gateFile != "" || *coverageOut != "" || *showCoverage || *appendFile != "" {
 		matrix, bench = measure(c, *seed)
+	}
+
+	// Bench payloads additionally carry the fused-vs-sequential
+	// comparison; any output mismatch is a hard failure, not a metric.
+	if *benchOut != "" || *gateFile != "" || *appendFile != "" {
+		fc, err := c.FusedVsSequential()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: fused: %v\n", err)
+			os.Exit(1)
+		}
+		if !fc.Identical {
+			for _, m := range fc.Mismatches {
+				fmt.Fprintf(os.Stderr, "paperbench: fused: %s\n", m)
+			}
+			os.Exit(1)
+		}
+		bench.Fused = &fc
+		bench.FusedVisitRatio = fc.VisitRatio()
+		fmt.Fprintf(os.Stderr,
+			"paperbench: fused == sequential over %d protocols x %d checkers; node visits %.0f -> %.0f (%.2fx), pattern evals %.0f -> %.0f, wall %.2fs -> %.2fs\n",
+			fc.Protocols, fc.Checkers, fc.SeqNodeVisits, fc.FusedNodeVisits, fc.VisitRatio(),
+			fc.SeqPatternEvals, fc.FusedPatternEvals, fc.SeqWallSeconds, fc.FusedWallSeconds)
 	}
 
 	if *appendFile != "" {

@@ -1,0 +1,57 @@
+package checkers
+
+import (
+	"flashmc/internal/core"
+	"flashmc/internal/engine"
+	"flashmc/internal/flash"
+)
+
+// Suite is the fused form of the built-in checker suite: every SM
+// checker (the six whose analysis is one state machine) compiled into
+// a single product automaton, the global and AST passes kept
+// alongside. Running the suite walks each function once for all SM
+// members through a shared match index instead of once per checker.
+type Suite struct {
+	Checkers []Checker     // All() order
+	Fused    *engine.Fused // product over the SM members
+	// Member maps a Checkers index to its member index in Fused
+	// (-1 for checkers that are not a single SM: lanes, exec, nofloat).
+	Member []int
+}
+
+// FusedSuite compiles the full built-in suite for a protocol spec.
+func FusedSuite(spec *flash.Spec) *Suite {
+	s := &Suite{Checkers: All()}
+	s.Member = make([]int, len(s.Checkers))
+	var sms []*engine.SM
+	for i, c := range s.Checkers {
+		s.Member[i] = -1
+		if sp, ok := c.(SMProvider); ok {
+			sm, _ := sp.BuildSM(spec)
+			s.Member[i] = len(sms)
+			sms = append(sms, sm)
+		}
+	}
+	s.Fused = engine.CompileFused(sms...)
+	return s
+}
+
+// CheckCov runs the whole suite over p — the SM members in one fused
+// pass per function, the remaining passes as usual — and returns
+// per-checker reports and coverage in All() order. Results are
+// byte-identical to calling every checker's CheckCov one by one: for
+// each SM checker that method is exactly RunSMCov(BuildSM(spec)),
+// which the fused engine reproduces member by member.
+func (s *Suite) CheckCov(p *core.Program, spec *flash.Spec) ([][]engine.Report, [][]*engine.Coverage) {
+	fusedReports, fusedCovs := p.RunFusedCov(s.Fused)
+	reports := make([][]engine.Report, len(s.Checkers))
+	covs := make([][]*engine.Coverage, len(s.Checkers))
+	for i, c := range s.Checkers {
+		if m := s.Member[i]; m >= 0 {
+			reports[i], covs[i] = fusedReports[m], fusedCovs[m]
+			continue
+		}
+		reports[i], covs[i] = c.(CoverageProvider).CheckCov(p, spec)
+	}
+	return reports, covs
+}

@@ -1,0 +1,66 @@
+package checkers
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"flashmc/internal/core"
+	"flashmc/internal/engine"
+	"flashmc/internal/flashgen"
+)
+
+// renderSM serializes one checker's reports and coverage for byte
+// comparison (Coverage timing fields are excluded from JSON, so the
+// rendering is deterministic).
+func renderSM(t *testing.T, reports []engine.Report, covs []*engine.Coverage) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Reports  []engine.Report
+		Coverage []*engine.Coverage
+	}{reports, covs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzFusedSuite drives the product-automaton compiler with generated
+// protocol programs: for any flashgen seed and protocol, the fused
+// suite's per-member reports and coverage must be byte-identical to
+// running each SM checker independently. The property under fuzz is
+// the fused engine's whole contract — pattern interning, the shared
+// match index's empty-environment pre-filter, and per-member schedule
+// preservation can only be wrong in ways that show up here.
+func FuzzFusedSuite(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(3))
+	f.Add(int64(1787569708), uint8(5))
+	f.Add(int64(-9000), uint8(250))
+	f.Fuzz(func(t *testing.T, seed int64, protoIdx uint8) {
+		gen := flashgen.Generate(flashgen.Options{Seed: seed})
+		if len(gen.Protocols) == 0 {
+			t.Skip("no protocols generated")
+		}
+		p := gen.Protocols[int(protoIdx)%len(gen.Protocols)]
+		prog, err := core.Load(p.Name, p.Source(), p.RootFiles)
+		if err != nil || len(prog.ParseErrors) > 0 {
+			t.Skip("generated protocol failed to load")
+		}
+		suite := FusedSuite(p.Spec)
+		fusedReports, fusedCovs := prog.RunFusedCov(suite.Fused)
+		for i, c := range suite.Checkers {
+			m := suite.Member[i]
+			if m < 0 {
+				continue
+			}
+			wantReports, wantCovs := c.(CoverageProvider).CheckCov(prog, p.Spec)
+			got := renderSM(t, fusedReports[m], fusedCovs[m])
+			want := renderSM(t, wantReports, wantCovs)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d proto %s checker %s: fused output diverged from sequential:\nfused: %s\nsequential: %s",
+					seed, p.Name, c.Name(), got, want)
+			}
+		}
+	})
+}

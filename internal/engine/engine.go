@@ -43,6 +43,8 @@ var (
 	mPruned  = obs.NewCounter("engine_infeasible_pruned_total", "configurations dropped by the correlated-branch pruner")
 	mReports = obs.NewCounter("engine_reports_total", "diagnostics emitted by runs")
 	mPaths   = obs.NewCounter("engine_paths_walked_total", "paths enumerated by the every-path executor")
+	mVisits  = obs.NewCounter("engine_node_visits_total", "node events swept against a rule vocabulary (a fused run sweeps each node once per distinct binding environment; a sequential run sweeps once per configuration per worklist visit)")
+	mEvals   = obs.NewCounter("engine_pattern_evals_total", "pattern alternatives evaluated against node events (fused runs serve repeated evaluations from the shared match index)")
 )
 
 // Stop is the reserved target state that kills a configuration (stops
@@ -432,11 +434,20 @@ type runner struct {
 	ruleKeys map[*Rule]string
 	condKeys []string
 
+	// plan is the compile-time rules-by-state partition; mi, when
+	// non-nil, is the shared match index of a fused run (the runner then
+	// matches through interned vocabulary alternatives and leaves visit
+	// accounting to the index).
+	plan *smPlan
+	mi   *matchIndex
+
 	// local metric shadows, flushed once by flushMetrics.
 	nConfigs int
 	nRules   int
 	nPruned  int
 	nPaths   int
+	nVisits  int
+	nEvals   int
 }
 
 func (r *runner) flushMetrics() {
@@ -445,6 +456,8 @@ func (r *runner) flushMetrics() {
 	mRules.Add(float64(r.nRules))
 	mPruned.Add(float64(r.nPruned))
 	mPaths.Add(float64(r.nPaths))
+	mVisits.Add(float64(r.nVisits))
+	mEvals.Add(float64(r.nEvals))
 	mReports.Add(float64(len(r.reports)))
 }
 
@@ -485,7 +498,16 @@ func newRunner(sm *SM, g *cfg.Graph) *runner {
 	for i := range sm.Cond {
 		r.condKeys[i] = CondKey(sm, i)
 	}
+	r.plan = buildPlan(sm)
 	return r
+}
+
+// startState resolves the SM's start state for a function ("" skips).
+func startState(sm *SM, fn *ast.FuncDecl) string {
+	if sm.StartFor != nil {
+		return sm.StartFor(fn)
+	}
+	return sm.Start
 }
 
 // RunCov is Run plus the run's dynamic coverage: which rules, states,
@@ -493,17 +515,24 @@ func newRunner(sm *SM, g *cfg.Graph) *runner {
 // wall time went. The coverage is never nil (it is Empty when the SM
 // skipped the function).
 func RunCov(g *cfg.Graph, sm *SM) ([]Report, *Coverage) {
-	t0 := time.Now()
 	cov := &Coverage{SM: sm.Name, Fn: g.Fn.Name}
-	start := sm.Start
-	if sm.StartFor != nil {
-		start = sm.StartFor(g.Fn)
-	}
-	if start == "" {
+	if startState(sm, g.Fn) == "" {
 		return nil, cov
 	}
 	r := newRunner(sm, g)
 	r.cov = cov
+	r.runToFixpoint()
+	return r.reports, cov
+}
+
+// runToFixpoint drives the worklist to a fixed point, runs the at-exit
+// hooks, and flushes metrics. It is the shared body of RunCov and the
+// per-member phase of Fused.RunCov; callers have already resolved a
+// non-empty start state.
+func (r *runner) runToFixpoint() {
+	t0 := time.Now()
+	g, sm, cov := r.g, r.sm, r.cov
+	start := startState(sm, g.Fn)
 
 	// out[n] = configurations holding immediately after n's event.
 	out := make([]configSet, len(g.Nodes))
@@ -578,7 +607,6 @@ func RunCov(g *cfg.Graph, sm *SM) ([]Report, *Coverage) {
 	}
 	r.flushMetrics()
 	cov.Elapsed = time.Since(t0)
-	return r.reports, cov
 }
 
 // refine applies branch-correlation pruning and CondRules to a
@@ -601,13 +629,28 @@ func (r *runner) refine(c config, e *cfg.Edge) (config, bool) {
 			}
 		}
 	}
+	ek := ""
+	if r.mi != nil && len(r.sm.Cond) > 0 {
+		ek = envKeyOf(c.env)
+	}
 	for ci, cr := range r.sm.Cond {
 		if cr.State != c.state && cr.State != All {
 			continue
 		}
-		results := match.Find(cr.Pattern, cond, c.env)
-		if len(results) == 0 {
-			continue
+		var matched match.Env
+		if r.mi != nil {
+			env, _, ok := r.mi.eval(r.plan.condAlts[ci], e.From.ID, cond, c.env, ek)
+			if !ok {
+				continue
+			}
+			matched = env
+		} else {
+			r.nEvals++
+			results := match.Find(cr.Pattern, cond, c.env)
+			if len(results) == 0 {
+				continue
+			}
+			matched = results[0].Env
 		}
 		r.cov.hitCond(r.condKeys[ci])
 		isTrue := e.Label == cfg.True
@@ -628,7 +671,7 @@ func (r *runner) refine(c config, e *cfg.Edge) (config, bool) {
 		case Stop:
 			return c, false
 		default:
-			env := r.sm.envFor(target, results[0].Env)
+			env := r.sm.envFor(target, matched)
 			tr := c.trace.push(TraceStep{
 				Pos: e.From.Pos(), Rule: "cond", From: c.state, To: target,
 				Event:    "branch " + ast.ExprString(cond) + " is " + isTrueStr,
@@ -696,10 +739,17 @@ func (r *runner) transfer(n *cfg.Node, c config) []config {
 	}
 
 	// State-specific rules first, then all-state rules (paper §5).
+	ek := ""
+	if r.mi == nil {
+		r.nVisits++
+	} else {
+		ek = envKeyOf(c.env)
+		r.mi.visit(n.ID, ek)
+	}
 	t0 := time.Now()
 	fire := func(rules []*Rule) ([]config, bool) {
 		for _, rule := range rules {
-			env, pos, alt, ok := matchRule(rule, event, c.env)
+			env, pos, alt, ok := r.matchRule(rule, n.ID, event, c.env, ek)
 			if !ok {
 				continue
 			}
@@ -733,19 +783,10 @@ func (r *runner) transfer(n *cfg.Node, c config) []config {
 		return nil, false
 	}
 
-	var stateRules, allRules []*Rule
-	for _, rule := range r.sm.Rules {
-		switch rule.State {
-		case c.state:
-			stateRules = append(stateRules, rule)
-		case All:
-			allRules = append(allRules, rule)
-		}
-	}
-	if out, fired := fire(stateRules); fired {
+	if out, fired := fire(r.plan.byState[c.state]); fired {
 		return out
 	}
-	if out, fired := fire(allRules); fired {
+	if out, fired := fire(r.plan.allRules); fired {
 		return out
 	}
 	return []config{c}
@@ -753,31 +794,52 @@ func (r *runner) transfer(n *cfg.Node, c config) []config {
 
 // matchRule tries each alternative of a rule against the event. The
 // int result is the index of the alternative that matched, for
-// per-alternative coverage.
-func matchRule(rule *Rule, event ast.Node, env match.Env) (match.Env, token.Pos, int, bool) {
-	for i, p := range rule.Patterns {
-		if p.Stmt != nil {
-			if s, ok := event.(ast.Stmt); ok {
-				if got, ok2 := match.Stmt(p.Stmt, s, env); ok2 {
-					return got, s.Pos(), i, true
-				}
+// per-alternative coverage. In a fused run the evaluation is memoized
+// in the shared match index, keyed by (node, interned alternative,
+// environment render), so other members asking the same question get
+// the cached answer.
+func (r *runner) matchRule(rule *Rule, nodeID int, event ast.Node, env match.Env, ek string) (match.Env, token.Pos, int, bool) {
+	if r.mi != nil {
+		alts := r.plan.ruleAlts[rule]
+		for i := range rule.Patterns {
+			if env2, pos, ok := r.mi.eval(alts[i], nodeID, event, env, ek); ok {
+				return env2, pos, i, true
 			}
-			// Expression-statement patterns also match as
-			// sub-expressions of any event.
-			if es, ok := p.Stmt.(*ast.ExprStmt); ok {
-				if results := match.Find(es.X, event, env); len(results) > 0 {
-					return results[0].Env, results[0].Expr.Pos(), i, true
-				}
-			}
-			continue
 		}
-		if p.Expr != nil {
-			if results := match.Find(p.Expr, event, env); len(results) > 0 {
-				return results[0].Env, results[0].Expr.Pos(), i, true
-			}
+		return nil, token.Pos{}, 0, false
+	}
+	for i, p := range rule.Patterns {
+		r.nEvals++
+		if env2, pos, ok := evalPattern(p, event, env); ok {
+			return env2, pos, i, true
 		}
 	}
 	return nil, token.Pos{}, 0, false
+}
+
+// evalPattern evaluates one rule-pattern alternative against an event.
+func evalPattern(p Pattern, event ast.Node, env match.Env) (match.Env, token.Pos, bool) {
+	if p.Stmt != nil {
+		if s, ok := event.(ast.Stmt); ok {
+			if got, ok2 := match.Stmt(p.Stmt, s, env); ok2 {
+				return got, s.Pos(), true
+			}
+		}
+		// Expression-statement patterns also match as
+		// sub-expressions of any event.
+		if es, ok := p.Stmt.(*ast.ExprStmt); ok {
+			if results := match.Find(es.X, event, env); len(results) > 0 {
+				return results[0].Env, results[0].Expr.Pos(), true
+			}
+		}
+		return nil, token.Pos{}, false
+	}
+	if p.Expr != nil {
+		if results := match.Find(p.Expr, event, env); len(results) > 0 {
+			return results[0].Env, results[0].Expr.Pos(), true
+		}
+	}
+	return nil, token.Pos{}, false
 }
 
 // Count returns how many sub-expressions across fn bodies match pat —

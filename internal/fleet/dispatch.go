@@ -29,6 +29,8 @@ var (
 	mBadArtifact = obs.NewCounter("fleet_tasks_bad_artifact_total", "worker replies rejected for a wrong key or corrupt artifact")
 	mWorkersUp   = obs.NewGauge("fleet_workers_up", "remote workers currently considered live")
 	mRPCSecs     = obs.Default.HistogramVec("fleet_rpc_seconds", "remote task round-trip latency per worker", "worker", nil)
+	mScrapeFails = obs.NewCounterVec("fleet_scrape_failures_total",
+		"federation scrapes of a worker's /metrics that failed (its families silently drop from the leader's exposition)", "worker")
 )
 
 // flightRec is the process-wide task flight recorder: a bounded ring
@@ -144,8 +146,13 @@ type worker struct {
 	fails   int
 	busy    int // tasks currently executing on this worker
 	lastErr string
-	seq     int // traced tasks merged from this worker (tid allocator)
-	hist    *obs.Histogram
+	// lastScrapeErr is the most recent metrics-federation scrape
+	// failure ("" once a scrape succeeds again): a worker can serve
+	// tasks fine while its /metrics is unreachable, and that gap would
+	// otherwise be invisible everywhere but the missing families.
+	lastScrapeErr string
+	seq           int // traced tasks merged from this worker (tid allocator)
+	hist          *obs.Histogram
 }
 
 // Dispatcher fans tasks out over a fixed set of remote workers.
@@ -236,6 +243,9 @@ type WorkerStatus struct {
 	Queued  int    `json:"queued"`
 	Busy    int    `json:"busy"`
 	LastErr string `json:"last_error,omitempty"`
+	// LastScrapeErr is the worker's most recent failed metrics-
+	// federation scrape; empty when the last scrape succeeded.
+	LastScrapeErr string `json:"last_scrape_error,omitempty"`
 }
 
 // Status reports every worker's current liveness and load.
@@ -244,7 +254,8 @@ func (d *Dispatcher) Status() []WorkerStatus {
 	defer d.mu.Unlock()
 	out := make([]WorkerStatus, len(d.workers))
 	for i, w := range d.workers {
-		out[i] = WorkerStatus{Addr: w.addr, Up: w.up, Queued: len(w.queue), Busy: w.busy, LastErr: w.lastErr}
+		out[i] = WorkerStatus{Addr: w.addr, Up: w.up, Queued: len(w.queue), Busy: w.busy,
+			LastErr: w.lastErr, LastScrapeErr: w.lastScrapeErr}
 	}
 	return out
 }
@@ -678,6 +689,10 @@ func (d *Dispatcher) probeOne(wi int) {
 // raw material of mcheckd's metrics federation. Unreachable or
 // malformed workers are reported in errs and omitted from the result;
 // a scrape is best-effort and never fails the caller's own exposition.
+// A failed scrape is no longer silent, though: it is counted under
+// fleet_scrape_failures_total{worker=} and the error is pinned on the
+// worker's status (/debug/fleet), because the only other symptom is
+// families quietly missing from the leader's exposition.
 func (d *Dispatcher) ScrapeWorkers(ctx context.Context) (map[string]map[string]*obs.PromFamily, map[string]error) {
 	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
@@ -697,9 +712,16 @@ func (d *Dispatcher) ScrapeWorkers(ctx context.Context) (map[string]map[string]*
 			defer mu.Unlock()
 			if err != nil {
 				errs[w.addr] = err
+				mScrapeFails.With(w.addr).Inc()
+				d.mu.Lock()
+				w.lastScrapeErr = err.Error()
+				d.mu.Unlock()
 				return
 			}
 			out[w.addr] = fams
+			d.mu.Lock()
+			w.lastScrapeErr = ""
+			d.mu.Unlock()
 		}()
 	}
 	wg.Wait()

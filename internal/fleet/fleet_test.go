@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -401,5 +402,89 @@ func TestTaskHandler(t *testing.T) {
 	boom.Checker = "explode"
 	if rec := post(mustBody(boom)); rec.Code != http.StatusInternalServerError {
 		t.Fatalf("transient failure: %d, want 500", rec.Code)
+	}
+}
+
+// reviveAt rebinds an unstarted test server to an address a previous
+// server vacated, so a "worker restart" keeps its fleet identity.
+func reviveAt(ts *httptest.Server, addr string) error {
+	l, err := net.Listen("tcp", strings.TrimPrefix(addr, "http://"))
+	if err != nil {
+		return err
+	}
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	return nil
+}
+
+// TestScrapeFailureVisible: a metrics-federation scrape of a dead
+// worker must leave a visible trace — the per-worker
+// fleet_scrape_failures_total counter and the worker's
+// last_scrape_error in Status (/debug/fleet) — instead of the
+// worker's families just silently vanishing from the leader's
+// exposition. A later successful scrape clears the pinned error.
+func TestScrapeFailureVisible(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "# HELP fleet_worker_tasks_total tasks executed")
+		fmt.Fprintln(w, "# TYPE fleet_worker_tasks_total counter")
+		fmt.Fprintln(w, "fleet_worker_tasks_total 7")
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := dead.URL
+	dead.Close() // connection refused from here on
+
+	d := New([]string{live.URL, deadAddr}, quickOpts())
+	defer d.Close()
+
+	key := fmt.Sprintf("fleet_scrape_failures_total{worker=%q}", deadAddr)
+	before := obs.Default.Snapshot()[key]
+	fams, errs := d.ScrapeWorkers(context.Background())
+	if _, ok := fams[live.URL]; !ok {
+		t.Fatalf("live worker missing from scrape: %v", fams)
+	}
+	if _, ok := errs[deadAddr]; !ok {
+		t.Fatalf("dead worker missing from errs: %v", errs)
+	}
+	if got := obs.Default.Snapshot()[key] - before; got != 1 {
+		t.Fatalf("scrape failure counter moved by %v, want 1", got)
+	}
+	liveKey := fmt.Sprintf("fleet_scrape_failures_total{worker=%q}", live.URL)
+	if obs.Default.Snapshot()[liveKey] != 0 {
+		t.Fatalf("live worker's failure counter is non-zero")
+	}
+
+	byAddr := map[string]WorkerStatus{}
+	for _, ws := range d.Status() {
+		byAddr[ws.Addr] = ws
+	}
+	if byAddr[deadAddr].LastScrapeErr == "" {
+		t.Fatal("dead worker's status carries no scrape error")
+	}
+	if byAddr[live.URL].LastScrapeErr != "" {
+		t.Fatalf("live worker's status carries a scrape error: %q", byAddr[live.URL].LastScrapeErr)
+	}
+
+	// The dead worker comes back: the next scrape clears its pinned
+	// error (the counter, being a counter, keeps its history).
+	revived := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "# HELP fleet_worker_tasks_total tasks executed")
+		fmt.Fprintln(w, "# TYPE fleet_worker_tasks_total counter")
+		fmt.Fprintln(w, "fleet_worker_tasks_total 0")
+	}))
+	if err := reviveAt(revived, deadAddr); err != nil {
+		t.Skipf("cannot rebind %s: %v", deadAddr, err)
+	}
+	defer revived.Close()
+	d.ScrapeWorkers(context.Background())
+	for _, ws := range d.Status() {
+		if ws.Addr == deadAddr && ws.LastScrapeErr != "" {
+			t.Fatalf("revived worker's scrape error not cleared: %q", ws.LastScrapeErr)
+		}
 	}
 }

@@ -1,0 +1,23 @@
+package metal
+
+import "flashmc/internal/engine"
+
+// CompileFused compiles several metal sources and fuses their state
+// machines into one product automaton (engine.CompileFused), in source
+// order. It is the metal-level entry to one-pass fused checking: a
+// tool holding N ad-hoc checker sources can compile them into a single
+// per-function walk while keeping each program's reports and coverage
+// attributed individually.
+func CompileFused(srcs []string, opts Options) (*engine.Fused, []*Program, error) {
+	progs := make([]*Program, len(srcs))
+	sms := make([]*engine.SM, len(srcs))
+	for i, src := range srcs {
+		p, err := Compile(src, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		progs[i] = p
+		sms[i] = p.SM
+	}
+	return engine.CompileFused(sms...), progs, nil
+}

@@ -1,0 +1,114 @@
+package paper
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"flashmc/internal/checkers"
+	"flashmc/internal/engine"
+	"flashmc/internal/obs"
+)
+
+// FusedComparison summarizes a fused-vs-sequential run of the full
+// checker suite over the corpus. Identical is the headline contract:
+// per-checker reports (order included), witness traces and coverage
+// snapshots must survive a JSON round-trip byte-for-byte equal.
+type FusedComparison struct {
+	Protocols  int      `json:"protocols"`
+	Checkers   int      `json:"checkers"`
+	Identical  bool     `json:"identical"`
+	Mismatches []string `json:"mismatches,omitempty"`
+
+	SeqWallSeconds   float64 `json:"seq_wall_seconds"`
+	FusedWallSeconds float64 `json:"fused_wall_seconds"`
+
+	// Node visits: how many (node, configuration-environment) sweeps
+	// the engine performed against a rule vocabulary. The sequential
+	// engine sweeps once per checker per configuration per worklist
+	// revisit; the fused engine once per distinct environment, whatever
+	// the product's members ask.
+	SeqNodeVisits   float64 `json:"seq_node_visits"`
+	FusedNodeVisits float64 `json:"fused_node_visits"`
+
+	// Pattern evaluations: actual pattern-match calls (fused runs serve
+	// repeats from the shared index).
+	SeqPatternEvals   float64 `json:"seq_pattern_evals"`
+	FusedPatternEvals float64 `json:"fused_pattern_evals"`
+}
+
+// VisitRatio is the headline speedup proxy: sequential node visits per
+// fused node visit (0 when the fused run recorded none).
+func (c FusedComparison) VisitRatio() float64 {
+	if c.FusedNodeVisits == 0 {
+		return 0
+	}
+	return c.SeqNodeVisits / c.FusedNodeVisits
+}
+
+// renderChecker marshals one checker's reports and coverage to the
+// canonical JSON the depot stores, so "equal here" means "equal
+// artifacts everywhere downstream".
+func renderChecker(reports []engine.Report, covs []*engine.Coverage) (string, error) {
+	b, err := json.Marshal(struct {
+		Reports  []engine.Report
+		Coverage []*engine.Coverage
+	}{reports, covs})
+	return string(b), err
+}
+
+// FusedVsSequential runs the full built-in suite over every protocol
+// twice — once per checker sequentially, once through the fused
+// product — and compares the outputs checker by checker.
+func (c *Corpus) FusedVsSequential() (FusedComparison, error) {
+	out := FusedComparison{Protocols: len(c.Gen.Protocols)}
+
+	type snap struct{ visits, evals float64 }
+	take := func() snap {
+		s := obs.Default.Snapshot()
+		return snap{s["engine_node_visits_total"], s["engine_pattern_evals_total"]}
+	}
+
+	for _, p := range c.Gen.Protocols {
+		prog := c.Programs[p.Name]
+		suite := checkers.FusedSuite(p.Spec)
+		out.Checkers = len(suite.Checkers)
+
+		s0 := take()
+		t0 := time.Now()
+		seq := make([]string, len(suite.Checkers))
+		for i, chk := range suite.Checkers {
+			reports, covs := chk.(checkers.CoverageProvider).CheckCov(prog, p.Spec)
+			r, err := renderChecker(reports, covs)
+			if err != nil {
+				return out, err
+			}
+			seq[i] = r
+		}
+		out.SeqWallSeconds += time.Since(t0).Seconds()
+		s1 := take()
+
+		t1 := time.Now()
+		fusedReports, fusedCovs := suite.CheckCov(prog, p.Spec)
+		out.FusedWallSeconds += time.Since(t1).Seconds()
+		s2 := take()
+
+		out.SeqNodeVisits += s1.visits - s0.visits
+		out.SeqPatternEvals += s1.evals - s0.evals
+		out.FusedNodeVisits += s2.visits - s1.visits
+		out.FusedPatternEvals += s2.evals - s1.evals
+
+		for i, chk := range suite.Checkers {
+			r, err := renderChecker(fusedReports[i], fusedCovs[i])
+			if err != nil {
+				return out, err
+			}
+			if r != seq[i] {
+				out.Mismatches = append(out.Mismatches,
+					fmt.Sprintf("%s/%s: fused output differs from sequential", p.Name, chk.Name()))
+			}
+		}
+	}
+	out.Identical = len(out.Mismatches) == 0
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package paper
+
+import "testing"
+
+// TestFusedMatchesSequential is the corpus-wide equivalence gate for
+// one-pass fused checking: over every generated protocol, every
+// checker's reports (rank order included), witness traces and coverage
+// snapshots must be byte-identical between the fused product and the
+// sequential engine, while the fused run performs strictly fewer node
+// visits and pattern evaluations.
+func TestFusedMatchesSequential(t *testing.T) {
+	c := testCorpus(t)
+	cmp, err := c.FusedVsSequential()
+	if err != nil {
+		t.Fatalf("fused comparison: %v", err)
+	}
+	for _, m := range cmp.Mismatches {
+		t.Errorf("mismatch: %s", m)
+	}
+	if !cmp.Identical {
+		t.Fatalf("fused output not byte-identical to sequential (%d mismatches)", len(cmp.Mismatches))
+	}
+	if cmp.FusedNodeVisits <= 0 || cmp.SeqNodeVisits <= 0 {
+		t.Fatalf("visit counters did not move: seq=%v fused=%v", cmp.SeqNodeVisits, cmp.FusedNodeVisits)
+	}
+	if cmp.FusedNodeVisits >= cmp.SeqNodeVisits {
+		t.Errorf("fused node visits (%v) not below sequential (%v)", cmp.FusedNodeVisits, cmp.SeqNodeVisits)
+	}
+	if cmp.FusedPatternEvals >= cmp.SeqPatternEvals {
+		t.Errorf("fused pattern evals (%v) not below sequential (%v)", cmp.FusedPatternEvals, cmp.SeqPatternEvals)
+	}
+	if r := cmp.VisitRatio(); r < 3 {
+		t.Errorf("visit ratio %.2f below the 3x target (seq=%v fused=%v)", r, cmp.SeqNodeVisits, cmp.FusedNodeVisits)
+	}
+	t.Logf("fused vs sequential: %d protocols, %d checkers, visit ratio %.2fx, eval ratio %.2fx",
+		cmp.Protocols, cmp.Checkers, cmp.VisitRatio(), cmp.SeqPatternEvals/cmp.FusedPatternEvals)
+}

@@ -25,6 +25,14 @@ package sched
 // survive exactly the input changes they exist to attribute. In a
 // depot shared across different programs the identities can collide,
 // so attribution is best-effort there — counts, not invariants.
+//
+// The decision is counted only once a task's resolution is known
+// (runState.countDecision): a hit counts as "hit", a local recompute
+// counts under its classified miss reason, and a miss whose artifact a
+// fleet worker computed counts under the explicit "remote" reason —
+// the leader never guesses which local reason a worker's recompute
+// would have had, so sched_cache_decisions_total never lies about
+// where work ran.
 
 import (
 	"fmt"
@@ -44,6 +52,11 @@ const (
 	DecisionOptionsChanged = "options-changed"
 	DecisionDepInvalidated = "dep-invalidated"
 	DecisionEvicted        = "evicted"
+	// DecisionRemote marks a cache miss whose artifact was computed by
+	// a fleet worker. The classified local reason is discarded on the
+	// leader: the work did not run here, and pretending it did would
+	// misattribute every fleet recompute.
+	DecisionRemote = "remote"
 )
 
 // DecisionReasons lists every reason in display order (ledger lines,
@@ -51,6 +64,7 @@ const (
 var DecisionReasons = []string{
 	DecisionHit, DecisionNew, DecisionVersionBump,
 	DecisionOptionsChanged, DecisionDepInvalidated, DecisionEvicted,
+	DecisionRemote,
 }
 
 var decisionCounts = obs.NewCounterVec("sched_cache_decisions_total",

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"flashmc/internal/cover"
+	"flashmc/internal/depot"
+)
+
+// fusedCheck runs the FLASH suite over the test protocol with
+// Request.Fused set, returning the result and the run's coverage
+// bytes.
+func fusedCheck(t *testing.T, d *depot.Depot, workers int, fused bool) (*Result, []byte) {
+	t.Helper()
+	p, prog := loadProto(t, nil)
+	set := cover.NewSet()
+	a := &Analyzer{Depot: d, Workers: workers, Coverage: set}
+	res, err := a.Check(Request{Prog: prog, Spec: p.Spec, Jobs: FlashJobs(p.Spec), Fused: fused})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, renderCoverage(t, set)
+}
+
+// TestFusedCheckByteIdentical is the fused pipeline's acceptance gate:
+// at -j 1 and -j GOMAXPROCS, a fused Check produces the byte-identical
+// ranked report stream and per-checker coverage snapshot a sequential
+// Check does — rank order, witness traces and counts included.
+func TestFusedCheckByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		seq, seqCov := fusedCheck(t, nil, workers, false)
+		fus, fusCov := fusedCheck(t, nil, workers, true)
+		if len(seq.Reports) == 0 {
+			t.Fatal("sequential run found no reports; comparison is vacuous")
+		}
+		if !reflect.DeepEqual(seq.Reports, fus.Reports) {
+			t.Fatalf("-j %d: fused reports differ structurally from sequential", workers)
+		}
+		if !bytes.Equal(render(seq.Reports), render(fus.Reports)) {
+			t.Fatalf("-j %d: fused rendering differs from sequential", workers)
+		}
+		if !bytes.Equal(seqCov, fusCov) {
+			t.Fatalf("-j %d: fused coverage differs from sequential:\n%s\nvs\n%s", workers, seqCov, fusCov)
+		}
+	}
+}
+
+// TestFusedArtifactsInterchangeable pins the de-fusing: a fused run
+// writes the same per-checker artifacts under the same depot keys a
+// sequential run does, so either mode warm-starts fully from the
+// other's cache and replays identical reports and coverage.
+func TestFusedArtifactsInterchangeable(t *testing.T) {
+	seqDepot, err := depot.Open(filepath.Join(t.TempDir(), "seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusDepot, err := depot.Open(filepath.Join(t.TempDir(), "fused"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCold, seqCov := fusedCheck(t, seqDepot, 0, false)
+	fusCold, fusCov := fusedCheck(t, fusDepot, 0, true)
+	if fusCold.Stats.CacheMisses == 0 || !bytes.Equal(seqCov, fusCov) {
+		t.Fatalf("cold runs disagree: seq %+v fused %+v", seqCold.Stats, fusCold.Stats)
+	}
+
+	// Fused over the sequential run's depot: all hits, no recompute.
+	warmFus, warmFusCov := fusedCheck(t, seqDepot, 0, true)
+	if warmFus.Stats.CacheMisses != 0 {
+		t.Fatalf("fused warm run over sequential depot missed %d times (reanalyzed %v)",
+			warmFus.Stats.CacheMisses, warmFus.Stats.Reanalyzed)
+	}
+	// Sequential over the fused run's depot: equally warm.
+	warmSeq, warmSeqCov := fusedCheck(t, fusDepot, 0, false)
+	if warmSeq.Stats.CacheMisses != 0 {
+		t.Fatalf("sequential warm run over fused depot missed %d times (reanalyzed %v)",
+			warmSeq.Stats.CacheMisses, warmSeq.Stats.Reanalyzed)
+	}
+	for name, got := range map[string]*Result{"fused-over-seq": warmFus, "seq-over-fused": warmSeq} {
+		if !reflect.DeepEqual(seqCold.Reports, got.Reports) {
+			t.Fatalf("%s: warm reports differ from cold sequential", name)
+		}
+	}
+	if !bytes.Equal(seqCov, warmFusCov) || !bytes.Equal(seqCov, warmSeqCov) {
+		t.Fatal("warm coverage replay differs across modes")
+	}
+}
+
+// TestFusedRemoteMatchesLocal: the fused task kind de-fuses misses
+// into the existing per-checker fleet descriptors, so a fused Check
+// over a worker fleet must produce the sequential local stream too —
+// and attribute every worker-computed member under "remote".
+func TestFusedRemoteMatchesLocal(t *testing.T) {
+	files, roots, prog := loadRemoteProto(t)
+	spec := ConventionSpec(prog)
+
+	la := &Analyzer{Workers: 4}
+	localRes, err := la.Check(Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcHash := SourceHash(files, roots)
+	if err := PutBundle(shared, srcHash, files, roots, spec); err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Depot: shared, Workers: 4, Remote: execRemote{NewExecutor(shared)}}
+	res, err := a.Check(Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec), SrcHash: srcHash, Fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render(localRes.Reports), render(res.Reports)) {
+		t.Fatal("fused fleet reports differ from sequential local reports")
+	}
+	if res.Stats.CacheMisses == 0 || res.Stats.Decisions[DecisionRemote] != res.Stats.CacheMisses {
+		t.Fatalf("fused fleet attribution wrong: %+v", res.Stats)
+	}
+}

@@ -10,13 +10,16 @@ package sched
 //
 // Entries are ordinary depot artifacts (Key{Kind: "runs/v1", Source:
 // <run id>}) plus a small index artifact listing the ids in append
-// order. The index is read-modify-written under a process-wide mutex;
-// two *processes* appending concurrently can lose an index slot (the
-// entry itself survives and is still addressable by id), which is
-// acceptable for a debugging ledger — the alternative is a lock file
-// the depot deliberately avoids.
+// order. The index is read-modify-written under a process-wide mutex,
+// so two *processes* appending concurrently can still lose an index
+// slot (the entry itself survives and stays addressable by id) — the
+// alternative is a lock file the depot deliberately avoids. ListRuns
+// therefore treats the index as a hint, not the truth: it merges the
+// index with a scan of the stored entries, so an orphaned entry is
+// relisted instead of silently vanishing from every listing and diff.
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -81,11 +84,12 @@ type RunEntry struct {
 }
 
 // DecisionLine renders the entry's cache breakdown in a fixed,
-// greppable order: "hit=H new=N vb=V oc=O dep=D ev=E".
+// greppable order: "hit=H new=N vb=V oc=O dep=D ev=E rem=R".
 func (e *RunEntry) DecisionLine() string {
 	short := map[string]string{
 		DecisionHit: "hit", DecisionNew: "new", DecisionVersionBump: "vb",
 		DecisionOptionsChanged: "oc", DecisionDepInvalidated: "dep", DecisionEvicted: "ev",
+		DecisionRemote: "rem",
 	}
 	parts := make([]string, 0, len(DecisionReasons))
 	for _, r := range DecisionReasons {
@@ -159,10 +163,45 @@ func AppendRun(d *depot.Depot, e *RunEntry) error {
 	return d.PutJSON(runKey(runIndexSource), ids)
 }
 
-// ListRuns returns the ledger's run ids in append order.
+// ListRuns returns the ledger's run ids. The index supplies the fast
+// path and fixes append order; it is merged with a scan of the stored
+// runs/v1 entries so an entry whose index slot was lost to a
+// cross-process append race (see the package comment) is still
+// listed. With no orphans the index order is returned untouched;
+// otherwise the union is sorted by id, which AppendRun makes
+// chronological by construction (ids are prefixed with the UTC
+// completion time).
 func ListRuns(d *depot.Depot) []string {
 	var ids []string
 	d.GetJSON(runKey(runIndexSource), &ids)
+	indexed := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		indexed[id] = true
+	}
+	orphans := false
+	for _, fid := range d.IDs() {
+		raw, ok := d.GetByID(fid)
+		if !ok || !bytes.Contains(raw, []byte(`"report_hash"`)) {
+			continue
+		}
+		var e struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(raw, &e) != nil || e.ID == "" || indexed[e.ID] {
+			continue
+		}
+		// A ledger entry is stored under the address of its own id; any
+		// other payload that mentions report_hash is not one.
+		if runKey(e.ID).ID() != fid {
+			continue
+		}
+		ids = append(ids, e.ID)
+		indexed[e.ID] = true
+		orphans = true
+	}
+	if orphans {
+		sort.Strings(ids)
+	}
 	return ids
 }
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sync"
 	"testing"
 
 	"flashmc/internal/cc/token"
@@ -45,7 +46,7 @@ func TestRunLedger(t *testing.T) {
 	if !ok || got.ReportHash != "h1" || len(got.Reports) != 2 {
 		t.Fatalf("entry round-trip wrong: %+v", got)
 	}
-	if line := got.DecisionLine(); line != "hit=3 new=1 vb=0 oc=0 dep=0 ev=0" {
+	if line := got.DecisionLine(); line != "hit=3 new=1 vb=0 oc=0 dep=0 ev=0 rem=0" {
 		t.Fatalf("decision line wrong: %q", line)
 	}
 
@@ -70,5 +71,65 @@ func TestRunLedger(t *testing.T) {
 	self := DiffRuns(b, b)
 	if !self.Identical || len(self.Appeared)+len(self.Disappeared) != 0 {
 		t.Fatalf("self-diff not empty: %+v", self)
+	}
+}
+
+// TestListRunsSurvivesLostIndexSlot replays the cross-process append
+// race the package comment describes: ledgerMu only serializes one
+// process, so two appenders in different processes each read the same
+// index snapshot and the second write overwrites the first's slot.
+// The entry artifact itself survives; before the fix, ListRuns read
+// only the index and the orphaned run vanished from every listing and
+// diff. The race is staged deterministically — both appenders read the
+// (empty) index before either writes it back — so the index provably
+// holds one id while two entries exist.
+func TestListRunsSurvivesLostIndexSlot(t *testing.T) {
+	d, err := depot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []*RunEntry{
+		{ID: "20260101T000001Z-aaaaaaaaaaaa", ReportHash: "h1", RequestFP: "req"},
+		{ID: "20260101T000002Z-bbbbbbbbbbbb", ReportHash: "h2", RequestFP: "req"},
+	}
+	var ready, done sync.WaitGroup
+	ready.Add(len(entries))
+	done.Add(len(entries))
+	gate := make(chan struct{})
+	for _, e := range entries {
+		e := e
+		go func() {
+			defer done.Done()
+			// The appender's body, minus ledgerMu: store the entry, read
+			// the index, then (after the barrier) write it back extended.
+			if err := d.PutJSON(runKey(e.ID), e); err != nil {
+				t.Error(err)
+			}
+			var ids []string
+			d.GetJSON(runKey(runIndexSource), &ids)
+			ready.Done()
+			<-gate
+			if err := d.PutJSON(runKey(runIndexSource), append(ids, e.ID)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	ready.Wait()
+	close(gate)
+	done.Wait()
+
+	var raw []string
+	d.GetJSON(runKey(runIndexSource), &raw)
+	if len(raw) != 1 {
+		t.Fatalf("race not reproduced: index holds %v", raw)
+	}
+	got := ListRuns(d)
+	if len(got) != 2 || got[0] != entries[0].ID || got[1] != entries[1].ID {
+		t.Fatalf("ListRuns lost an entry: %v", got)
+	}
+	for _, e := range entries {
+		if _, ok := GetRun(d, e.ID); !ok {
+			t.Fatalf("entry %s unreachable", e.ID)
+		}
 	}
 }

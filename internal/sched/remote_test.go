@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"testing"
 
 	"flashmc/internal/cc/cpp"
@@ -163,6 +164,82 @@ func TestRemoteCorruptFallsBack(t *testing.T) {
 	}
 	if d := obs.Default.Snapshot()["fleet_tasks_fallback_total"] - fallbackBefore; d == 0 {
 		t.Fatal("fallback counter unchanged; the corrupt remote was never consulted")
+	}
+}
+
+// twoWorkerRemote alternates descriptors across two worker Executors
+// sharing one depot — the smallest pipeline whose work provably ran
+// on more than one worker.
+type twoWorkerRemote struct {
+	mu      sync.Mutex
+	n       int
+	workers [2]*Executor
+	served  [2]int
+}
+
+func (r *twoWorkerRemote) Do(ctx context.Context, d *fleet.Descriptor, tr *obs.Tracer) ([]byte, error) {
+	r.mu.Lock()
+	w := r.n % 2
+	r.n++
+	r.served[w]++
+	r.mu.Unlock()
+	return r.workers[w].Execute(ctx, d, tr)
+}
+
+// TestRemoteDecisionAttribution: a cold fleet run whose misses all
+// execute on workers must count every one of them under the explicit
+// "remote" reason — before the fix the leader counted its local
+// best-effort classification ("new", "evicted", ...) even though the
+// recompute never ran there, so sched_cache_decisions_total lied
+// about where work happened.
+func TestRemoteDecisionAttribution(t *testing.T) {
+	files, roots, prog := loadRemoteProto(t)
+	spec := ConventionSpec(prog)
+	shared, err := depot.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcHash := SourceHash(files, roots)
+	if err := PutBundle(shared, srcHash, files, roots, spec); err != nil {
+		t.Fatal(err)
+	}
+	rem := &twoWorkerRemote{workers: [2]*Executor{NewExecutor(shared), NewExecutor(shared)}}
+	a := &Analyzer{Depot: shared, Workers: 4, Remote: rem}
+	res, err := a.Check(Request{Prog: prog, Spec: spec, Jobs: FlashJobs(spec), SrcHash: srcHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem.served[0] == 0 || rem.served[1] == 0 {
+		t.Fatalf("not a two-worker run: served %v", rem.served)
+	}
+	dec := res.Stats.Decisions
+	if res.Stats.CacheMisses == 0 {
+		t.Fatal("cold run missed nothing; attribution is vacuous")
+	}
+	if dec[DecisionRemote] != res.Stats.CacheMisses {
+		t.Fatalf("remote decisions %d != misses %d (breakdown %v)", dec[DecisionRemote], res.Stats.CacheMisses, dec)
+	}
+	for _, r := range DecisionReasons {
+		if r == DecisionHit || r == DecisionRemote {
+			continue
+		}
+		if dec[r] != 0 {
+			t.Fatalf("local reason %q counted %d times on an all-remote run (breakdown %v)", r, dec[r], dec)
+		}
+	}
+	total := 0
+	for _, n := range dec {
+		total += n
+	}
+	if total != res.Stats.CacheHits+res.Stats.CacheMisses {
+		t.Fatalf("decisions sum %d != hits %d + misses %d", total, res.Stats.CacheHits, res.Stats.CacheMisses)
+	}
+	// The run's artifact refs agree: a ref either replays a cached
+	// artifact or names the worker-computed one.
+	for _, ref := range res.Artifacts {
+		if ref.Decision != DecisionHit && ref.Decision != DecisionRemote {
+			t.Fatalf("artifact %s carries local decision %q on an all-remote run", ref.Task, ref.Decision)
+		}
 	}
 }
 
